@@ -1,0 +1,130 @@
+// Component micro-benchmarks (google-benchmark): replacement-policy victim
+// selection, buffer-database operations, pager fault path, and the OSPM
+// suspend cycle.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/acpi/machine.h"
+#include "src/hv/backend.h"
+#include "src/hv/pager.h"
+#include "src/hv/replacement.h"
+#include "src/remotemem/buffer_db.h"
+
+namespace {
+
+using zombie::acpi::Machine;
+using zombie::acpi::MachineProfile;
+using zombie::hv::DeviceBackend;
+using zombie::hv::GuestPageTable;
+using zombie::hv::HostPager;
+using zombie::hv::MakePolicy;
+using zombie::hv::PagingParams;
+using zombie::hv::PolicyKind;
+using zombie::remotemem::BufferDb;
+using zombie::remotemem::BufferRecord;
+using zombie::remotemem::BufferType;
+
+void BM_PolicyPickVictim(benchmark::State& state) {
+  const auto kind = static_cast<PolicyKind>(state.range(0));
+  const std::size_t resident = static_cast<std::size_t>(state.range(1));
+  PagingParams params;
+  GuestPageTable table(resident + 1);
+  auto policy = MakePolicy(kind, params);
+  for (std::size_t p = 0; p < resident; ++p) {
+    table.at(p).present = true;
+    table.at(p).accessed = (p % 2) == 0;  // half the pages recently touched
+    policy->OnPageIn(p);
+  }
+  std::size_t next = resident;
+  for (auto _ : state) {
+    auto victim = policy->PickVictim(table);
+    benchmark::DoNotOptimize(victim);
+    // Keep the list full so every iteration does real work.
+    table.at(victim.page).present = false;
+    table.at(next % table.size()).present = true;
+    policy->OnPageIn(victim.page);
+    table.at(victim.page).present = true;
+    ++next;
+  }
+}
+BENCHMARK(BM_PolicyPickVictim)
+    ->Args({0, 1024})   // FIFO
+    ->Args({1, 1024})   // Clock
+    ->Args({2, 1024});  // Mixed
+
+void BM_PagerResidentHit(benchmark::State& state) {
+  PagingParams params;
+  DeviceBackend backend("dev", {});
+  HostPager pager(1024, 1024, MakePolicy(PolicyKind::kMixed, params), &backend, params);
+  for (std::uint64_t p = 0; p < 1024; ++p) {
+    (void)pager.Access(p, false);
+  }
+  std::uint64_t p = 0;
+  for (auto _ : state) {
+    auto cost = pager.Access(p++ % 1024, false);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_PagerResidentHit);
+
+void BM_PagerThrashingFault(benchmark::State& state) {
+  PagingParams params;
+  DeviceBackend backend("dev", {3000, 3000});
+  HostPager pager(4096, 64, MakePolicy(PolicyKind::kMixed, params), &backend, params);
+  std::uint64_t p = 0;
+  for (auto _ : state) {
+    auto cost = pager.Access(p++ % 4096, true);  // every access faults
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_PagerThrashingFault);
+
+void BM_BufferDbAllocateRelease(benchmark::State& state) {
+  BufferDb db;
+  const std::size_t n = 4096;
+  for (std::size_t i = 1; i <= n; ++i) {
+    BufferRecord rec;
+    rec.id = i;
+    rec.size = 64 << 20;
+    rec.type = i % 2 == 0 ? BufferType::kZombie : BufferType::kActive;
+    rec.host = static_cast<std::uint32_t>(i % 16 + 1);
+    (void)db.Insert(rec);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto id = (i++ % n) + 1;
+    (void)db.Assign(id, 99);
+    (void)db.Release(id);
+  }
+}
+BENCHMARK(BM_BufferDbAllocateRelease);
+
+void BM_BufferDbFreeQuery(benchmark::State& state) {
+  BufferDb db;
+  for (std::size_t i = 1; i <= 4096; ++i) {
+    BufferRecord rec;
+    rec.id = i;
+    rec.size = 64 << 20;
+    rec.host = 1;
+    rec.user = i % 4 == 0 ? 7 : 0;
+    (void)db.Insert(rec);
+  }
+  for (auto _ : state) {
+    auto free = db.FreeBuffers(BufferType::kZombie);
+    benchmark::DoNotOptimize(free);
+  }
+}
+BENCHMARK(BM_BufferDbFreeQuery);
+
+void BM_OspmSuspendResumeCycle(benchmark::State& state) {
+  Machine machine("bench", MachineProfile::HpCompaqElite8300(), true);
+  for (auto _ : state) {
+    auto status = machine.Suspend(zombie::acpi::SleepState::kSz);
+    benchmark::DoNotOptimize(status);
+    machine.WakeOnLan();
+  }
+}
+BENCHMARK(BM_OspmSuspendResumeCycle);
+
+}  // namespace

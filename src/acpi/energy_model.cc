@@ -1,0 +1,137 @@
+#include "src/acpi/energy_model.h"
+
+#include <cmath>
+
+namespace zombie::acpi {
+
+std::string_view MeasuredConfigName(MeasuredConfig c) {
+  switch (c) {
+    case MeasuredConfig::kS0WithoutIb:
+      return "S0WOIB";
+    case MeasuredConfig::kS0IbOff:
+      return "S0WIBOff";
+    case MeasuredConfig::kS0IbOn:
+      return "S0WIBOn";
+    case MeasuredConfig::kS3WithoutIb:
+      return "S3WOIB";
+    case MeasuredConfig::kS3WithIb:
+      return "S3WIB";
+    case MeasuredConfig::kS4WithoutIb:
+      return "S4WOIB";
+    case MeasuredConfig::kS4WithIb:
+      return "S4WIB";
+    case MeasuredConfig::kCount:
+      break;
+  }
+  return "?";
+}
+
+double MachineProfile::ConfigPercent(MeasuredConfig config) const {
+  const ComponentDraws& d = draws_;
+  const double s3_base = d.platform_standby + d.suspend_logic + d.ram_self_refresh;
+  const double s0_idle_woib = s3_base + d.idle_compute;
+  switch (config) {
+    case MeasuredConfig::kS0WithoutIb:
+      return s0_idle_woib;
+    case MeasuredConfig::kS0IbOff:
+      return s0_idle_woib + d.ib_idle_extra;
+    case MeasuredConfig::kS0IbOn:
+      return s0_idle_woib + d.ib_idle_extra + d.ib_active_extra;
+    case MeasuredConfig::kS3WithoutIb:
+      return s3_base;
+    case MeasuredConfig::kS3WithIb:
+      return s3_base + d.ib_wol_s3;
+    case MeasuredConfig::kS4WithoutIb:
+      return d.platform_standby;
+    case MeasuredConfig::kS4WithIb:
+      return d.platform_standby + d.ib_wol_s4;
+    case MeasuredConfig::kCount:
+      break;
+  }
+  return 0.0;
+}
+
+double MachineProfile::SzPercent() const {
+  // Equation (1) of the paper, computed from the modelled configurations.
+  const double ib_activity =
+      ConfigPercent(MeasuredConfig::kS0IbOn) - ConfigPercent(MeasuredConfig::kS0IbOff);
+  const double wol =
+      ConfigPercent(MeasuredConfig::kS3WithIb) - ConfigPercent(MeasuredConfig::kS3WithoutIb);
+  return ib_activity + wol + ConfigPercent(MeasuredConfig::kS3WithoutIb);
+}
+
+double MachineProfile::SzModelPercent() const {
+  // Same as eq. (1) but substituting DRAM active-idle for self-refresh, the
+  // correction the Si0x-style memory behaviour implies.
+  return SzPercent() - draws_.ram_self_refresh + draws_.ram_active_idle;
+}
+
+double MachineProfile::SleepPercent(SleepState s) const {
+  switch (s) {
+    case SleepState::kS0:
+      return S0Percent(0.0);
+    case SleepState::kS1:
+    case SleepState::kS2:
+      // Shallow sleeps: idle minus clock gating; approximate as 85% of idle.
+      return 0.85 * S0Percent(0.0);
+    case SleepState::kS3:
+      return ConfigPercent(MeasuredConfig::kS3WithIb);
+    case SleepState::kS4:
+      return ConfigPercent(MeasuredConfig::kS4WithIb);
+    case SleepState::kS5:
+      // Soft-off keeps the same WoL well as S4 on these boards.
+      return ConfigPercent(MeasuredConfig::kS4WithIb);
+    case SleepState::kSz:
+      return SzPercent();
+  }
+  return 0.0;
+}
+
+double MachineProfile::S0Percent(double utilization) const {
+  if (utilization < 0.0) {
+    utilization = 0.0;
+  }
+  if (utilization > 1.0) {
+    utilization = 1.0;
+  }
+  const double idle = ConfigPercent(MeasuredConfig::kS0IbOn);
+  // Mildly concave active power, the usual shape of the Fig. 1 solid line.
+  const double active_fraction = std::pow(utilization, 0.7);
+  return idle + draws_.active_compute * active_fraction;
+}
+
+MachineProfile MachineProfile::HpCompaqElite8300() {
+  // Fitted to the HP row of Table 3: S0WOIB 46.16, S0WIBOff 52.20,
+  // S0WIBOn 53.84, S3WOIB 4.23, S3WIB 11.03, S4WOIB 0.19, S4WIB 6.81.
+  ComponentDraws d{};
+  d.platform_standby = 0.19;
+  d.suspend_logic = 1.54;
+  d.ram_self_refresh = 2.50;
+  d.ram_active_idle = 4.00;
+  d.idle_compute = 41.93;
+  d.active_compute = 46.16;
+  d.ib_wol_s3 = 6.80;
+  d.ib_wol_s4 = 6.62;
+  d.ib_idle_extra = 6.04;
+  d.ib_active_extra = 1.64;
+  return MachineProfile("HP", /*max_power_watts=*/110.0, d);
+}
+
+MachineProfile MachineProfile::DellPrecisionT5810() {
+  // Fitted to the Dell row of Table 3: S0WOIB 35.35, S0WIBOff 42.33,
+  // S0WIBOn 44.77, S3WOIB 1.97, S3WIB 8.71, S4WOIB 1.12, S4WIB 8.31.
+  ComponentDraws d{};
+  d.platform_standby = 1.12;
+  d.suspend_logic = 0.35;
+  d.ram_self_refresh = 0.50;
+  d.ram_active_idle = 2.00;
+  d.idle_compute = 33.38;
+  d.active_compute = 55.23;
+  d.ib_wol_s3 = 6.74;
+  d.ib_wol_s4 = 7.19;
+  d.ib_idle_extra = 6.98;
+  d.ib_active_extra = 2.44;
+  return MachineProfile("Dell", /*max_power_watts=*/230.0, d);
+}
+
+}  // namespace zombie::acpi

@@ -1,0 +1,69 @@
+// A whole simulated server: power plane + firmware + device tree + OSPM +
+// energy profile.  This is the unit the rack and datacenter layers manage.
+#ifndef ZOMBIELAND_SRC_ACPI_MACHINE_H_
+#define ZOMBIELAND_SRC_ACPI_MACHINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/acpi/device.h"
+#include "src/acpi/energy_model.h"
+#include "src/acpi/firmware.h"
+#include "src/acpi/ospm.h"
+#include "src/acpi/power_domain.h"
+#include "src/acpi/sleep_state.h"
+#include "src/common/result.h"
+#include "src/common/units.h"
+
+namespace zombie::acpi {
+
+class Machine {
+ public:
+  // `sz_capable` selects the paper's modified board (independent CPU/memory
+  // power domains) versus a commodity board.
+  Machine(std::string hostname, MachineProfile profile, bool sz_capable);
+
+  const std::string& hostname() const { return hostname_; }
+  const MachineProfile& profile() const { return profile_; }
+  bool sz_capable() const { return plane_.sz_capable(); }
+
+  Ospm& ospm() { return ospm_; }
+  const Ospm& ospm() const { return ospm_; }
+  Firmware& firmware() { return firmware_; }
+  DeviceTree& devices() { return devices_; }
+  const PowerPlane& plane() const { return plane_; }
+
+  SleepState state() const { return ospm_.current_state(); }
+
+  // CPU utilisation in [0,1]; only meaningful in S0.
+  void set_utilization(double u) { utilization_ = u < 0 ? 0 : (u > 1 ? 1 : u); }
+  double utilization() const { return utilization_; }
+
+  // Instantaneous draw as percent of this machine's max power, honouring the
+  // current sleep state and utilisation.
+  double PowerPercentNow() const;
+  PowerMw PowerNow() const { return profile_.PowerAtPercent(PowerPercentNow()); }
+
+  // Convenience wrappers used by the rack layer.
+  Status Suspend(SleepState target);
+  // Wake-on-LAN entry point; returns the wake (exit) latency of the state we
+  // left, so callers can account for it.
+  Duration WakeOnLan();
+
+  // True when the DRAM rail is energised and the NIC path is up — i.e. this
+  // machine can serve one-sided RDMA right now.
+  bool ServesRemoteMemory() const;
+
+ private:
+  std::string hostname_;
+  MachineProfile profile_;
+  PowerPlane plane_;
+  Firmware firmware_;
+  DeviceTree devices_;
+  Ospm ospm_;
+  double utilization_ = 0.0;
+};
+
+}  // namespace zombie::acpi
+
+#endif  // ZOMBIELAND_SRC_ACPI_MACHINE_H_

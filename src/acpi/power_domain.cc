@@ -1,0 +1,90 @@
+#include "src/acpi/power_domain.h"
+
+namespace zombie::acpi {
+
+std::string_view ComponentName(Component c) {
+  switch (c) {
+    case Component::kCpuComplex:
+      return "cpu";
+    case Component::kDram:
+      return "dram";
+    case Component::kIbNic:
+      return "ib-nic";
+    case Component::kPciePath:
+      return "pcie-path";
+    case Component::kStorage:
+      return "storage";
+    case Component::kPlatformBase:
+      return "platform";
+    case Component::kCount:
+      break;
+  }
+  return "?";
+}
+
+bool RailOnInState(Component c, SleepState s) {
+  switch (s) {
+    case SleepState::kS0:
+    case SleepState::kS1:
+    case SleepState::kS2:
+      return true;  // everything powered (S1/S2 gate clocks, not rails)
+    case SleepState::kS3:
+      // Suspend-to-RAM: DRAM in self-refresh, WoL NIC path in low power,
+      // platform standby logic on.  CPU and storage rails off.
+      return c == Component::kDram || c == Component::kIbNic || c == Component::kPciePath ||
+             c == Component::kPlatformBase;
+    case SleepState::kS4:
+    case SleepState::kS5:
+      // Only the standby well (WoL NIC + platform logic) stays up.
+      return c == Component::kIbNic || c == Component::kPlatformBase;
+    case SleepState::kSz:
+      // Zombie: like S3, but DRAM is *active idle* and the NIC + PCIe path
+      // are fully operational for inbound RDMA.  CPU/storage rails off.
+      return c == Component::kDram || c == Component::kIbNic || c == Component::kPciePath ||
+             c == Component::kPlatformBase;
+  }
+  return false;
+}
+
+PowerPlane::PowerPlane(bool sz_capable) : sz_capable_(sz_capable) {
+  // The Sz switches are exactly the rails that must survive the S3 sequence
+  // at full (non-standby) power: DRAM, the IB NIC and its PCIe path.
+  rails_.reserve(kComponentCount);
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    const auto c = static_cast<Component>(i);
+    const bool needs_switch =
+        c == Component::kDram || c == Component::kIbNic || c == Component::kPciePath;
+    rails_.emplace_back(c, sz_capable && needs_switch);
+  }
+}
+
+bool PowerPlane::ApplyState(SleepState state) {
+  if (state == SleepState::kSz && !sz_capable_) {
+    return false;  // legacy board: no independent CPU/memory power domains
+  }
+  settled_ = false;
+  for (auto& rail : rails_) {
+    rail.SetEnergised(RailOnInState(rail.component(), state));
+  }
+  applied_state_ = state;
+  settled_ = true;  // all rails report idempotent completion
+  return true;
+}
+
+bool PowerPlane::RailEnergised(Component c) const {
+  return rails_[static_cast<std::size_t>(c)].energised();
+}
+
+std::string PowerPlane::Describe() const {
+  std::string out = "power-plane[";
+  out += SleepStateName(applied_state_);
+  out += "]:";
+  for (const auto& rail : rails_) {
+    out += ' ';
+    out += ComponentName(rail.component());
+    out += rail.energised() ? "=on" : "=off";
+  }
+  return out;
+}
+
+}  // namespace zombie::acpi

@@ -1,0 +1,93 @@
+// Board power-supply domains.
+//
+// The paper's one hardware change is to give CPU and memory *independent*
+// power supply domains, so the memory rail (and the NIC path to it) can stay
+// energised while everything else follows the S3 shutdown sequence.  This
+// module models the board's rails, the switches the Sz design adds, and the
+// state-management signalling (Section 3.1).
+#ifndef ZOMBIELAND_SRC_ACPI_POWER_DOMAIN_H_
+#define ZOMBIELAND_SRC_ACPI_POWER_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/acpi/sleep_state.h"
+
+namespace zombie::acpi {
+
+// The board components that matter for the Sz design.
+enum class Component : std::uint8_t {
+  kCpuComplex = 0,   // sockets, caches, VRs
+  kDram,             // DIMMs + memory controller rail
+  kIbNic,            // Infiniband adapter (ConnectX-3 class)
+  kPciePath,         // PCIe root complex segment between NIC and memory
+  kStorage,          // SATA/NVMe devices
+  kPlatformBase,     // chipset, BMC, fans, PSU losses
+  kCount,
+};
+constexpr std::size_t kComponentCount = static_cast<std::size_t>(Component::kCount);
+
+std::string_view ComponentName(Component c);
+
+// One power rail feeding a component, with the additional per-rail switch the
+// Sz design introduces ("power lines for these components require additional
+// switches and control signaling for Sz enter/exit").
+class PowerRail {
+ public:
+  PowerRail(Component component, bool has_sz_switch)
+      : component_(component), has_sz_switch_(has_sz_switch) {}
+
+  Component component() const { return component_; }
+  bool energised() const { return energised_; }
+  // A rail can be held up across an S-state shutdown only if it has the
+  // dedicated Sz switch.
+  bool has_sz_switch() const { return has_sz_switch_; }
+
+  void SetEnergised(bool on) { energised_ = on; }
+
+ private:
+  Component component_;
+  bool has_sz_switch_;
+  bool energised_ = true;
+};
+
+// Which rails stay energised in each sleep state.
+bool RailOnInState(Component c, SleepState s);
+
+// The board-level power plane: all rails plus the state-management signals
+// used by the firmware to confirm a transition completed.
+class PowerPlane {
+ public:
+  // `sz_capable` boards have the extra switches on the DRAM / NIC / PCIe
+  // rails.  Legacy boards do not, and refuse Sz transitions.
+  explicit PowerPlane(bool sz_capable);
+
+  bool sz_capable() const { return sz_capable_; }
+
+  // Drives every rail to its target for `state`.  Returns false (and leaves
+  // rails untouched) if the board cannot express the state, i.e. Sz on a
+  // legacy board.
+  bool ApplyState(SleepState state);
+
+  bool RailEnergised(Component c) const;
+
+  // State-management signal: true once every rail has reported its target
+  // level for the last applied state (idempotence reporting, Section 3.1).
+  bool TransitionSettled() const { return settled_; }
+  SleepState applied_state() const { return applied_state_; }
+
+  // Human-readable rail map for diagnostics.
+  std::string Describe() const;
+
+ private:
+  bool sz_capable_;
+  std::vector<PowerRail> rails_;
+  SleepState applied_state_ = SleepState::kS0;
+  bool settled_ = true;
+};
+
+}  // namespace zombie::acpi
+
+#endif  // ZOMBIELAND_SRC_ACPI_POWER_DOMAIN_H_

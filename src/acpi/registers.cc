@@ -1,0 +1,46 @@
+#include "src/acpi/registers.h"
+
+namespace zombie::acpi {
+
+std::uint16_t SlpTypFor(SleepState s) {
+  switch (s) {
+    case SleepState::kS0:
+      return 0b000;
+    case SleepState::kS1:
+      return 0b001;
+    case SleepState::kS2:
+      return 0b010;
+    case SleepState::kS3:
+      return 0b011;
+    case SleepState::kS4:
+      return 0b100;
+    case SleepState::kS5:
+      return 0b101;
+    case SleepState::kSz:
+      return 0b110;  // previously-unused encoding claimed for zombie
+  }
+  return 0b000;
+}
+
+std::optional<SleepState> SleepStateFromSlpTyp(std::uint16_t slp_typ) {
+  switch (slp_typ) {
+    case 0b000:
+      return SleepState::kS0;
+    case 0b001:
+      return SleepState::kS1;
+    case 0b010:
+      return SleepState::kS2;
+    case 0b011:
+      return SleepState::kS3;
+    case 0b100:
+      return SleepState::kS4;
+    case 0b101:
+      return SleepState::kS5;
+    case 0b110:
+      return SleepState::kSz;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace zombie::acpi

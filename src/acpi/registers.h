@@ -1,0 +1,77 @@
+// ACPI fixed-hardware PM1 control registers.
+//
+// Real S-state entry works by the OS writing SLP_TYPx|SLP_EN into the PM1A
+// and PM1B control registers; the platform latches the write and sequences
+// the power rails.  The paper reuses unused SLP_TYP encodings to trigger the
+// zombie transition ("Since this registers have unused values, we consider
+// new ones for triggering to zombie", Section 3.1).
+#ifndef ZOMBIELAND_SRC_ACPI_REGISTERS_H_
+#define ZOMBIELAND_SRC_ACPI_REGISTERS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/acpi/sleep_state.h"
+
+namespace zombie::acpi {
+
+// PM1 control register layout (subset relevant here).
+inline constexpr std::uint16_t kSlpTypShift = 10;  // SLP_TYP bits [12:10]
+inline constexpr std::uint16_t kSlpTypMask = 0x7 << kSlpTypShift;
+inline constexpr std::uint16_t kSlpEnBit = 1u << 13;  // SLP_EN
+
+// SLP_TYP encodings as published in a typical FADT/_Sx package.  The values
+// for S0..S5 follow common chipset conventions; 0b110 is an unused encoding
+// which this design assigns to Sz.
+std::uint16_t SlpTypFor(SleepState s);
+std::optional<SleepState> SleepStateFromSlpTyp(std::uint16_t slp_typ);
+
+// One PM1x control register with read/write semantics.
+class Pm1ControlRegister {
+ public:
+  std::uint16_t Read() const { return value_; }
+
+  // Writes the register.  Returns true if the write sets SLP_EN (i.e. the
+  // platform should start a sleep transition).
+  bool Write(std::uint16_t value) {
+    value_ = value;
+    return (value & kSlpEnBit) != 0;
+  }
+
+  std::uint16_t slp_typ() const { return (value_ & kSlpTypMask) >> kSlpTypShift; }
+  bool slp_en() const { return (value_ & kSlpEnBit) != 0; }
+
+  void ClearSlpEn() { value_ &= static_cast<std::uint16_t>(~kSlpEnBit); }
+
+ private:
+  std::uint16_t value_ = 0;
+};
+
+// The PM1A/PM1B pair.  The platform acts only when both registers carry the
+// same SLP_TYP with SLP_EN set (mirrored writes, as OSPM does).
+struct Pm1Block {
+  Pm1ControlRegister pm1a;
+  Pm1ControlRegister pm1b;
+
+  // Composes the value OSPM writes for `state`.
+  static std::uint16_t ComposeWrite(SleepState state) {
+    return static_cast<std::uint16_t>((SlpTypFor(state) << kSlpTypShift) & kSlpTypMask) |
+           kSlpEnBit;
+  }
+
+  // The state requested by the current register contents, if consistent and
+  // enabled on both registers.
+  std::optional<SleepState> RequestedState() const {
+    if (!pm1a.slp_en() || !pm1b.slp_en()) {
+      return std::nullopt;
+    }
+    if (pm1a.slp_typ() != pm1b.slp_typ()) {
+      return std::nullopt;
+    }
+    return SleepStateFromSlpTyp(pm1a.slp_typ());
+  }
+};
+
+}  // namespace zombie::acpi
+
+#endif  // ZOMBIELAND_SRC_ACPI_REGISTERS_H_

@@ -1,0 +1,86 @@
+#include "src/acpi/sleep_state.h"
+
+namespace zombie::acpi {
+
+std::string_view SleepStateName(SleepState s) {
+  switch (s) {
+    case SleepState::kS0:
+      return "S0";
+    case SleepState::kS1:
+      return "S1";
+    case SleepState::kS2:
+      return "S2";
+    case SleepState::kS3:
+      return "S3";
+    case SleepState::kS4:
+      return "S4";
+    case SleepState::kS5:
+      return "S5";
+    case SleepState::kSz:
+      return "Sz";
+  }
+  return "S?";
+}
+
+std::string_view DeviceStateName(DeviceState d) {
+  switch (d) {
+    case DeviceState::kD0:
+      return "D0";
+    case DeviceState::kD1:
+      return "D1";
+    case DeviceState::kD2:
+      return "D2";
+    case DeviceState::kD3Hot:
+      return "D3hot";
+    case DeviceState::kD3Cold:
+      return "D3cold";
+  }
+  return "D?";
+}
+
+std::string_view SysPowerKeyword(SleepState s) {
+  switch (s) {
+    case SleepState::kS0:
+      return "on";
+    case SleepState::kS1:
+      return "freeze";
+    case SleepState::kS2:
+      return "standby";
+    case SleepState::kS3:
+      return "mem";
+    case SleepState::kS4:
+      return "disk";
+    case SleepState::kS5:
+      return "off";
+    case SleepState::kSz:
+      return "zom";  // the new keyword introduced by the paper (Fig. 6)
+  }
+  return "?";
+}
+
+std::optional<SleepState> SleepStateFromKeyword(std::string_view keyword) {
+  if (keyword == "on") {
+    return SleepState::kS0;
+  }
+  if (keyword == "freeze") {
+    return SleepState::kS1;
+  }
+  if (keyword == "standby") {
+    return SleepState::kS2;
+  }
+  if (keyword == "mem") {
+    return SleepState::kS3;
+  }
+  if (keyword == "disk") {
+    return SleepState::kS4;
+  }
+  if (keyword == "off") {
+    return SleepState::kS5;
+  }
+  if (keyword == "zom") {
+    return SleepState::kSz;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zombie::acpi

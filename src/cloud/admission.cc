@@ -1,0 +1,37 @@
+#include "src/cloud/admission.h"
+
+namespace zombie::cloud {
+
+Status AdmissionController::Admit(const hv::VmSpec& vm) {
+  if (admitted_.contains(vm.id)) {
+    return Status(ErrorCode::kConflict, "VM already admitted");
+  }
+  if (vm.reserved_memory == 0 || vm.vcpus == 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty booking");
+  }
+  if (admitted_memory_ + vm.reserved_memory > MemoryBudget()) {
+    // The whole point: never promise memory the rack cannot serve, because
+    // GS_alloc_ext must always be able to fulfil its guarantee.
+    return Status(ErrorCode::kOutOfMemory, "rack memory budget exhausted");
+  }
+  if (static_cast<double>(admitted_cpus_ + vm.vcpus) > CpuBudget()) {
+    return Status(ErrorCode::kOutOfMemory, "rack vCPU budget exhausted");
+  }
+  admitted_memory_ += vm.reserved_memory;
+  admitted_cpus_ += vm.vcpus;
+  admitted_.emplace(vm.id, vm);
+  return Status::Ok();
+}
+
+Status AdmissionController::Release(hv::VmId vm) {
+  auto it = admitted_.find(vm);
+  if (it == admitted_.end()) {
+    return Status(ErrorCode::kNotFound, "VM not admitted");
+  }
+  admitted_memory_ -= it->second.reserved_memory;
+  admitted_cpus_ -= it->second.vcpus;
+  admitted_.erase(it);
+  return Status::Ok();
+}
+
+}  // namespace zombie::cloud

@@ -1,0 +1,74 @@
+// Rack-level admission control (Section 4.4).
+//
+// "This allocation is guaranteed by the cloud provider via admission control
+// to avoid rack-level memory overcommitment."  GS_alloc_ext may only promise
+// full allocations if, at VM admission time, the provider checked that every
+// admitted VM's reserved memory fits the rack's aggregate memory (local RAM
+// of awake servers plus delegable zombie memory), with a configurable safety
+// margin.  This module is that check.
+#ifndef ZOMBIELAND_SRC_CLOUD_ADMISSION_H_
+#define ZOMBIELAND_SRC_CLOUD_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/hv/vm.h"
+
+namespace zombie::cloud {
+
+struct AdmissionConfig {
+  // Fraction of the rack's total memory admissible as guaranteed
+  // reservations (the rest absorbs kernel overheads, controller state and
+  // delegation floors).
+  double memory_headroom = 0.85;
+  // vCPU overcommit factor (CPU is time-shareable; memory is not).
+  double cpu_overcommit = 2.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {}) : config_(config) {}
+
+  const AdmissionConfig& config() const { return config_; }
+
+  // Registers rack capacity (sum over all servers, awake or not — zombie
+  // memory still serves reservations; S3/S4/S5 memory does not and should be
+  // unregistered while retired).
+  void AddCapacity(Bytes memory, std::uint32_t cpus) {
+    total_memory_ += memory;
+    total_cpus_ += cpus;
+  }
+  void RemoveCapacity(Bytes memory, std::uint32_t cpus) {
+    total_memory_ = memory > total_memory_ ? 0 : total_memory_ - memory;
+    total_cpus_ = cpus > total_cpus_ ? 0 : total_cpus_ - cpus;
+  }
+
+  // Admits or rejects a VM's booking.  Admitted bookings count against the
+  // rack until released.
+  Status Admit(const hv::VmSpec& vm);
+  Status Release(hv::VmId vm);
+  bool IsAdmitted(hv::VmId vm) const { return admitted_.contains(vm); }
+
+  Bytes admitted_memory() const { return admitted_memory_; }
+  std::uint32_t admitted_cpus() const { return admitted_cpus_; }
+  Bytes MemoryBudget() const {
+    return static_cast<Bytes>(config_.memory_headroom * static_cast<double>(total_memory_));
+  }
+  double CpuBudget() const {
+    return config_.cpu_overcommit * static_cast<double>(total_cpus_);
+  }
+
+ private:
+  AdmissionConfig config_;
+  Bytes total_memory_ = 0;
+  std::uint32_t total_cpus_ = 0;
+  Bytes admitted_memory_ = 0;
+  std::uint32_t admitted_cpus_ = 0;
+  std::map<hv::VmId, hv::VmSpec> admitted_;
+};
+
+}  // namespace zombie::cloud
+
+#endif  // ZOMBIELAND_SRC_CLOUD_ADMISSION_H_

@@ -1,0 +1,80 @@
+#include "src/cloud/oasis.h"
+
+#include <algorithm>
+
+namespace zombie::cloud {
+
+OasisPlan OasisPlanner::Plan(const std::vector<Server*>& hosts,
+                             const std::map<hv::VmId, double>& vm_cpu_util) const {
+  OasisPlan plan;
+
+  std::vector<Server*> underused;
+  std::vector<Server*> others;
+  for (Server* host : hosts) {
+    if (host->machine().state() != acpi::SleepState::kS0) {
+      continue;
+    }
+    if (host->CpuUtilization() < config_.underload_cpu_threshold && !host->vms().empty()) {
+      underused.push_back(host);
+    } else {
+      others.push_back(host);
+    }
+  }
+
+  std::map<remotemem::ServerId, Bytes> planned_memory;
+  std::map<remotemem::ServerId, std::uint32_t> planned_cpus;
+
+  auto fits = [&](const Server& target, const hv::VmSpec& vm, Bytes memory_needed) {
+    return target.UsedCpus() + planned_cpus[target.id()] + vm.vcpus <= target.capacity().cpus &&
+           target.FreeLocalMemory() >= planned_memory[target.id()] + memory_needed;
+  };
+
+  for (Server* source : underused) {
+    bool all_handled = true;
+    std::vector<MigrationOrder> full;
+    std::vector<PartialMigration> partial;
+    for (const auto& [vm_id, vm] : source->vms()) {
+      auto util_it = vm_cpu_util.find(vm_id);
+      const double util = util_it == vm_cpu_util.end() ? 1.0 : util_it->second;
+      const bool idle = util < config_.idle_vm_cpu_threshold;
+      // Idle VMs move partially: only the WSS lands on the target; the cold
+      // remainder parks on a memory server.  Busy VMs move in full.
+      const Bytes memory_needed = idle ? vm.working_set : vm.reserved_memory;
+      Server* target = nullptr;
+      for (Server* candidate : others) {
+        if (candidate != source && fits(*candidate, vm, memory_needed)) {
+          target = candidate;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        all_handled = false;
+        break;
+      }
+      planned_memory[target->id()] += memory_needed;
+      planned_cpus[target->id()] += vm.vcpus;
+      if (idle) {
+        partial.push_back({vm_id, source->id(), target->id(), vm.working_set,
+                           vm.reserved_memory - vm.working_set});
+      } else {
+        full.push_back({vm_id, source->id(), target->id()});
+      }
+    }
+    if (all_handled) {
+      plan.full_migrations.insert(plan.full_migrations.end(), full.begin(), full.end());
+      plan.partial_migrations.insert(plan.partial_migrations.end(), partial.begin(),
+                                     partial.end());
+      plan.hosts_to_suspend.push_back(source->id());
+      for (const auto& p : partial) {
+        plan.total_cold_parked += p.cold_parked;
+      }
+    }
+  }
+
+  plan.memory_servers_needed = static_cast<std::size_t>(
+      (plan.total_cold_parked + config_.memory_server_capacity - 1) /
+      config_.memory_server_capacity);
+  return plan;
+}
+
+}  // namespace zombie::cloud

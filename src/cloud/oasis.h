@@ -1,0 +1,66 @@
+// The Oasis baseline (Section 6.6.2).
+//
+// Oasis-style hybrid consolidation, as the paper summarises it: after the
+// consolidation plan runs, every underused server (CPU below a threshold,
+// 20% here) has its idle VMs (CPU below 1%) *partially* migrated — only the
+// working set moves to another server; the remaining cold memory is
+// relocated to a dedicated low-power memory server (assumed to draw ~40% of
+// a regular server), and the source is suspended.
+#ifndef ZOMBIELAND_SRC_CLOUD_OASIS_H_
+#define ZOMBIELAND_SRC_CLOUD_OASIS_H_
+
+#include <vector>
+
+#include "src/cloud/consolidation.h"
+#include "src/cloud/server.h"
+#include "src/common/units.h"
+#include "src/hv/vm.h"
+
+namespace zombie::cloud {
+
+struct OasisConfig {
+  double underload_cpu_threshold = 0.20;
+  double idle_vm_cpu_threshold = 0.01;
+  // Draw of a dedicated memory server, as a fraction of a regular server's
+  // full power ("we assume that an Oasis memory server consumes about 40%
+  // of a regular server's total energy consumption").
+  double memory_server_power_fraction = 0.40;
+  // Capacity of one memory server, in bytes of parked cold memory.
+  Bytes memory_server_capacity = 64 * kGiB;
+};
+
+struct PartialMigration {
+  hv::VmId vm = 0;
+  remotemem::ServerId from = remotemem::kNilServer;
+  remotemem::ServerId to = remotemem::kNilServer;  // WSS destination
+  Bytes wss_moved = 0;
+  Bytes cold_parked = 0;  // bytes parked on a memory server
+};
+
+struct OasisPlan {
+  std::vector<MigrationOrder> full_migrations;  // busy VMs off underused hosts
+  std::vector<PartialMigration> partial_migrations;
+  std::vector<remotemem::ServerId> hosts_to_suspend;
+  // Memory servers needed for the parked cold memory.
+  std::size_t memory_servers_needed = 0;
+  Bytes total_cold_parked = 0;
+};
+
+class OasisPlanner {
+ public:
+  explicit OasisPlanner(OasisConfig config = {}) : config_(config) {}
+
+  const OasisConfig& config() const { return config_; }
+
+  // `vm_cpu_util` gives each VM's measured CPU utilisation in [0,1] (from
+  // the trace); VMs absent from the map count as busy.
+  OasisPlan Plan(const std::vector<Server*>& hosts,
+                 const std::map<hv::VmId, double>& vm_cpu_util) const;
+
+ private:
+  OasisConfig config_;
+};
+
+}  // namespace zombie::cloud
+
+#endif  // ZOMBIELAND_SRC_CLOUD_OASIS_H_

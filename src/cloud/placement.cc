@@ -1,0 +1,64 @@
+#include "src/cloud/placement.h"
+
+#include <algorithm>
+
+namespace zombie::cloud {
+
+bool NovaScheduler::Qualifies(const Server& host, const hv::VmSpec& vm) const {
+  if (host.machine().state() != acpi::SleepState::kS0) {
+    return false;  // suspended hosts never pass the filter
+  }
+  if (host.UsedCpus() + vm.vcpus > host.capacity().cpus) {
+    return false;
+  }
+  const Bytes needed_local =
+      static_cast<Bytes>(config_.local_memory_floor * static_cast<double>(vm.reserved_memory));
+  if (host.FreeLocalMemory() < needed_local) {
+    return false;
+  }
+  // The non-local remainder must be coverable by the remote pool.
+  const Bytes local = std::min<Bytes>(host.FreeLocalMemory(), vm.reserved_memory);
+  const Bytes remote_needed = vm.reserved_memory - local;
+  return remote_needed == 0 || remote_needed <= config_.remote_pool_available;
+}
+
+std::vector<Server*> NovaScheduler::Filter(const std::vector<Server*>& hosts,
+                                           const hv::VmSpec& vm) const {
+  std::vector<Server*> out;
+  for (Server* host : hosts) {
+    if (host != nullptr && Qualifies(*host, vm)) {
+      out.push_back(host);
+    }
+  }
+  return out;
+}
+
+std::vector<Server*> NovaScheduler::Weigh(std::vector<Server*> candidates) const {
+  const bool stack = config_.strategy == PlacementStrategy::kStack;
+  std::stable_sort(candidates.begin(), candidates.end(), [stack](Server* a, Server* b) {
+    const double ua = a->CpuUtilization();
+    const double ub = b->CpuUtilization();
+    if (ua != ub) {
+      // Stack: most utilised first.  Spread: least utilised first.
+      return stack ? ua > ub : ua < ub;
+    }
+    return a->id() < b->id();
+  });
+  return candidates;
+}
+
+std::optional<PlacementDecision> NovaScheduler::Place(const std::vector<Server*>& hosts,
+                                                      const hv::VmSpec& vm) const {
+  std::vector<Server*> ranked = Weigh(Filter(hosts, vm));
+  if (ranked.empty()) {
+    return std::nullopt;
+  }
+  Server* chosen = ranked.front();
+  PlacementDecision d;
+  d.host = chosen->id();
+  d.local_bytes = std::min<Bytes>(chosen->FreeLocalMemory(), vm.reserved_memory);
+  d.remote_bytes = vm.reserved_memory - d.local_bytes;
+  return d;
+}
+
+}  // namespace zombie::cloud

@@ -1,0 +1,221 @@
+#include "src/cloud/rack.h"
+
+#include <algorithm>
+
+namespace zombie::cloud {
+
+Rack::Rack(RackConfig config)
+    : config_(config),
+      fabric_(config.fabric),
+      verbs_(&fabric_),
+      controller_(std::make_unique<remotemem::GlobalMemoryController>(
+          remotemem::ControllerConfig{config.buff_size, /*allow_escalation=*/true})),
+      agents_(this) {
+  controller_->set_mirror(&secondary_);
+  controller_->set_agents(&agents_);
+}
+
+Server& Rack::AddServer(std::string hostname, acpi::MachineProfile profile,
+                        ServerCapacity capacity, bool sz_capable) {
+  const remotemem::ServerId id = next_id_++;
+  auto server = std::make_unique<Server>(id, std::move(hostname), std::move(profile), capacity,
+                                         sz_capable);
+  Server* raw = server.get();
+
+  rdma::NodePort port;
+  port.name = raw->hostname();
+  port.can_initiate = [raw] {
+    return acpi::CpuPowered(raw->machine().ospm().current_state());
+  };
+  port.memory_accessible = [raw] { return raw->machine().ServesRemoteMemory(); };
+  port.wake_armed = [raw] { return acpi::WakeCapable(raw->machine().state()); };
+  port.on_wake_packet = [this, raw]() -> Duration {
+    auto latency = WakeServer(raw->id());
+    return latency.ok() ? latency.value() : 0;
+  };
+  raw->set_node(fabric_.Attach(std::move(port)));
+
+  controller_->RegisterServer(id);
+  managers_.emplace(id, std::make_unique<remotemem::RemoteMemoryManager>(
+                            id, &verbs_, raw->node(), controller_.get()));
+
+  servers_.push_back(std::move(server));
+  return *raw;
+}
+
+Server* Rack::FindServer(remotemem::ServerId id) {
+  for (auto& s : servers_) {
+    if (s->id() == id) {
+      return s.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Rack::PushToZombie(remotemem::ServerId id) {
+  Server* server = FindServer(id);
+  if (server == nullptr) {
+    return Status(ErrorCode::kNotFound, "unknown server");
+  }
+  if (!server->vms().empty()) {
+    return Status(ErrorCode::kFailedPrecondition, "server still hosts VMs");
+  }
+  if (!server->machine().sz_capable()) {
+    return Status(ErrorCode::kFailedPrecondition, "board is not Sz-capable");
+  }
+
+  // Install the pre-zombie hook: delegation happens *inside* the Fig. 6
+  // suspend path, when OSPM signals the remote-mem-mgr.
+  remotemem::RemoteMemoryManager* mgr = managers_.at(id).get();
+  const Bytes lendable = static_cast<Bytes>(
+      config_.delegate_fraction * static_cast<double>(server->FreeLocalMemory()));
+  Status delegation_status = Status::Ok();
+  server->machine().ospm().set_pre_zombie_hook([this, mgr, lendable, server,
+                                                &delegation_status] {
+    auto delegated = mgr->DelegateOnZombie(lendable, config_.materialize_memory);
+    if (delegated.ok()) {
+      server->set_lent_memory(delegated.value() * config_.buff_size);
+    } else {
+      delegation_status = delegated.status();
+    }
+  });
+
+  Status suspend = server->machine().Suspend(acpi::SleepState::kSz);
+  server->machine().ospm().set_pre_zombie_hook(nullptr);
+  if (!suspend.ok()) {
+    return suspend;
+  }
+  if (!delegation_status.ok()) {
+    return delegation_status;
+  }
+  server->set_role(Role::kZombie);
+  return Status::Ok();
+}
+
+Status Rack::PushToSleep(remotemem::ServerId id, acpi::SleepState state) {
+  Server* server = FindServer(id);
+  if (server == nullptr) {
+    return Status(ErrorCode::kNotFound, "unknown server");
+  }
+  if (!server->vms().empty()) {
+    return Status(ErrorCode::kFailedPrecondition, "server still hosts VMs");
+  }
+  return server->machine().Suspend(state);
+}
+
+Result<Duration> Rack::WakeServer(remotemem::ServerId id) {
+  Server* server = FindServer(id);
+  if (server == nullptr) {
+    return Status(ErrorCode::kNotFound, "unknown server");
+  }
+  const Duration latency = server->machine().WakeOnLan();
+  // Reclaim everything the server had lent.
+  if (server->lent_memory() > 0) {
+    auto reclaimed = managers_.at(id)->ReclaimOnWake(server->lent_memory());
+    if (!reclaimed.ok()) {
+      return reclaimed.status();
+    }
+    server->set_lent_memory(0);
+  }
+  server->set_role(Role::kActive);
+  return latency;
+}
+
+std::size_t Rack::DeepSleepSurplusZombies(Bytes keep_free_bytes) {
+  std::size_t slept = 0;
+  for (remotemem::ServerId id : controller_->SurplusZombies(keep_free_bytes)) {
+    Server* server = FindServer(id);
+    if (server == nullptr) {
+      continue;
+    }
+    if (!controller_->RetireZombie(id).ok()) {
+      continue;
+    }
+    // The zombie's regions are gone from the pool; wake it briefly (the
+    // firmware path) and push it straight into S3.  Its manager drops the
+    // now-retired delegation bookkeeping.
+    server->machine().WakeOnLan();
+    managers_.at(id)->ForgetDelegations();
+    server->set_lent_memory(0);
+    if (server->machine().Suspend(acpi::SleepState::kS3).ok()) {
+      server->set_role(Role::kActive);
+      ++slept;
+    }
+  }
+  return slept;
+}
+
+void Rack::FailPrimaryController() { primary_alive_ = false; }
+
+void Rack::PumpHeartbeat() {
+  if (primary_alive_) {
+    secondary_.ObserveHeartbeat(controller_->BumpHeartbeat());
+  }
+  if (secondary_.MonitorTick()) {
+    // Failover: promote the replica and rewire.
+    controller_ = secondary_.Promote(
+        remotemem::ControllerConfig{config_.buff_size, /*allow_escalation=*/true});
+    controller_->set_agents(&agents_);
+    // Note: a fresh tertiary mirror would be appointed here; the rack keeps
+    // running with the promoted primary.
+    primary_alive_ = true;
+    // Re-point every manager at the promoted controller.  Extents and
+    // delegations survive — the replica carried the same buffer state.
+    for (auto& [id, mgr] : managers_) {
+      mgr->set_controller(controller_.get());
+    }
+  }
+}
+
+double Rack::TotalPowerPercent() const {
+  if (servers_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& s : servers_) {
+    sum += s->machine().PowerPercentNow();
+  }
+  return sum / static_cast<double>(servers_.size());
+}
+
+double Rack::TotalPowerWatts() const {
+  double sum = 0.0;
+  for (const auto& s : servers_) {
+    sum += MwToWatts(s->machine().PowerNow());
+  }
+  return sum;
+}
+
+Status Rack::Agents::ReclaimFromUser(remotemem::ServerId user,
+                                     const std::vector<remotemem::BufferId>& buffers) {
+  auto it = rack_->managers_.find(user);
+  if (it == rack_->managers_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown user server");
+  }
+  it->second->OnReclaimNotice(buffers);
+  return Status::Ok();
+}
+
+Bytes Rack::Agents::RequestActiveDelegation(remotemem::ServerId host, Bytes wanted) {
+  Server* server = rack_->FindServer(host);
+  if (server == nullptr || server->machine().state() != acpi::SleepState::kS0) {
+    return 0;
+  }
+  // Lend whatever slack exists beyond a safety floor of 25% of capacity.
+  const Bytes floor = server->capacity().memory / 4;
+  const Bytes free = server->FreeLocalMemory();
+  if (free <= floor) {
+    return 0;
+  }
+  const Bytes lendable = std::min(wanted, free - floor);
+  auto delegated =
+      rack_->managers_.at(host)->DelegateActive(lendable, rack_->config_.materialize_memory);
+  if (!delegated.ok()) {
+    return 0;
+  }
+  const Bytes lent = delegated.value() * rack_->config_.buff_size;
+  server->set_lent_memory(server->lent_memory() + lent);
+  return lent;
+}
+
+}  // namespace zombie::cloud

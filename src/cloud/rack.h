@@ -1,0 +1,108 @@
+// The disaggregated rack of Fig. 7: servers + Infiniband fabric + global and
+// secondary memory controllers + per-server remote-memory managers, wired
+// to the OSPM zombie hooks.
+#ifndef ZOMBIELAND_SRC_CLOUD_RACK_H_
+#define ZOMBIELAND_SRC_CLOUD_RACK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/server.h"
+#include "src/common/result.h"
+#include "src/rdma/fabric.h"
+#include "src/rdma/rpc.h"
+#include "src/rdma/verbs.h"
+#include "src/remotemem/global_controller.h"
+#include "src/remotemem/memory_manager.h"
+#include "src/remotemem/secondary_controller.h"
+
+namespace zombie::cloud {
+
+struct RackConfig {
+  Bytes buff_size = remotemem::kDefaultBuffSize;
+  // Fraction of a server's free memory delegated when it goes zombie (the
+  // rest covers kernel/firmware state kept in RAM).
+  double delegate_fraction = 0.9;
+  // Register real (materialized) memory regions; disable for large-scale
+  // accounting-only simulation.
+  bool materialize_memory = false;
+  rdma::FabricParams fabric;
+};
+
+class Rack {
+ public:
+  explicit Rack(RackConfig config = {});
+
+  // Adds a server; the rack attaches it to the fabric, registers it with the
+  // controller, spawns its remote-mem-mgr and installs the OSPM hooks.
+  Server& AddServer(std::string hostname, acpi::MachineProfile profile,
+                    ServerCapacity capacity, bool sz_capable = true);
+
+  Server* FindServer(remotemem::ServerId id);
+  const std::vector<std::unique_ptr<Server>>& servers() const { return servers_; }
+
+  remotemem::GlobalMemoryController& controller() { return *controller_; }
+  remotemem::SecondaryController& secondary() { return secondary_; }
+  remotemem::RemoteMemoryManager& manager(remotemem::ServerId id) { return *managers_.at(id); }
+  rdma::Verbs& verbs() { return verbs_; }
+  rdma::Fabric& fabric() { return fabric_; }
+
+  // ---- Power orchestration ------------------------------------------------
+  // Pushes a server into Sz: its manager delegates memory, then OSPM runs
+  // the Fig. 6 path.  Fails if the server still hosts VMs.
+  Status PushToZombie(remotemem::ServerId id);
+  // Suspends without lending (plain S3; the Section 4.4 deep-sleep case for
+  // surplus zombies).
+  Status PushToSleep(remotemem::ServerId id, acpi::SleepState state);
+  // Wakes a server and reclaims its lent memory.  Returns wake latency.
+  Result<Duration> WakeServer(remotemem::ServerId id);
+
+  // Section 4.4 surplus policy: push fully-idle zombies beyond
+  // `keep_free_bytes` of pool slack into plain S3 (their memory leaves the
+  // pool).  Returns how many servers were deep-slept.
+  std::size_t DeepSleepSurplusZombies(Bytes keep_free_bytes);
+
+  // Controller failover: simulate primary death and promote the secondary.
+  void FailPrimaryController();
+  // Brings a silenced (but not yet replaced) primary back — models a
+  // transient hiccup recovering before the failover threshold.
+  void RevivePrimaryController() { primary_alive_ = true; }
+  bool primary_alive() const { return primary_alive_; }
+
+  // Heartbeat pump (normally driven by an event queue).
+  void PumpHeartbeat();
+
+  // Rack-wide instantaneous power, percent of the sum of max powers.
+  double TotalPowerPercent() const;
+  double TotalPowerWatts() const;
+
+ private:
+  // AgentDirectory implementation routing controller calls to managers.
+  class Agents final : public remotemem::AgentDirectory {
+   public:
+    explicit Agents(Rack* rack) : rack_(rack) {}
+    Status ReclaimFromUser(remotemem::ServerId user,
+                           const std::vector<remotemem::BufferId>& buffers) override;
+    Bytes RequestActiveDelegation(remotemem::ServerId host, Bytes wanted) override;
+
+   private:
+    Rack* rack_;
+  };
+
+  RackConfig config_;
+  rdma::Fabric fabric_;
+  rdma::Verbs verbs_;
+  std::unique_ptr<remotemem::GlobalMemoryController> controller_;
+  remotemem::SecondaryController secondary_;
+  Agents agents_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::map<remotemem::ServerId, std::unique_ptr<remotemem::RemoteMemoryManager>> managers_;
+  remotemem::ServerId next_id_ = 1;
+  bool primary_alive_ = true;
+};
+
+}  // namespace zombie::cloud
+
+#endif  // ZOMBIELAND_SRC_CLOUD_RACK_H_

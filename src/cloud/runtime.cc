@@ -1,0 +1,57 @@
+#include "src/cloud/runtime.h"
+
+namespace zombie::cloud {
+
+RackRuntime::RackRuntime(Rack* rack, EventQueue* queue, RuntimeConfig config)
+    : rack_(rack), queue_(queue), config_(config) {}
+
+void RackRuntime::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ScheduleHeartbeat();
+  ScheduleConsolidation();
+  ScheduleSwapRefresh();
+}
+
+void RackRuntime::Stop() { running_ = false; }
+
+void RackRuntime::ScheduleHeartbeat() {
+  queue_->ScheduleAfter(config_.heartbeat_period, [this] {
+    if (!running_) {
+      return;
+    }
+    rack_->PumpHeartbeat();
+    ++heartbeats_;
+    ScheduleHeartbeat();
+  });
+}
+
+void RackRuntime::ScheduleConsolidation() {
+  queue_->ScheduleAfter(config_.consolidation_period, [this] {
+    if (!running_) {
+      return;
+    }
+    if (consolidation_hook_) {
+      consolidation_hook_();
+    }
+    ++consolidations_;
+    ScheduleConsolidation();
+  });
+}
+
+void RackRuntime::ScheduleSwapRefresh() {
+  queue_->ScheduleAfter(config_.swap_refresh_period, [this] {
+    if (!running_) {
+      return;
+    }
+    if (swap_refresh_hook_) {
+      swap_refresh_hook_();
+    }
+    ++swap_refreshes_;
+    ScheduleSwapRefresh();
+  });
+}
+
+}  // namespace zombie::cloud

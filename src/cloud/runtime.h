@@ -1,0 +1,63 @@
+// Event-driven rack runtime: drives the periodic processes the paper
+// describes against the discrete-event queue — controller heartbeats
+// (Section 4.2), the secondary's monitor, hourly swap-allocation refresh
+// ("This function is periodically called (i.e. every 1 hour)"), and
+// consolidation rounds.
+#ifndef ZOMBIELAND_SRC_CLOUD_RUNTIME_H_
+#define ZOMBIELAND_SRC_CLOUD_RUNTIME_H_
+
+#include <functional>
+
+#include "src/cloud/rack.h"
+#include "src/common/event_queue.h"
+
+namespace zombie::cloud {
+
+struct RuntimeConfig {
+  Duration heartbeat_period = 100 * kMillisecond;
+  Duration consolidation_period = 1 * kHour;
+  Duration swap_refresh_period = 1 * kHour;
+};
+
+class RackRuntime {
+ public:
+  RackRuntime(Rack* rack, EventQueue* queue, RuntimeConfig config = {});
+
+  // Starts the periodic processes (idempotent).
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  // Hooks invoked on the respective ticks (the consolidation hook typically
+  // plans + executes a NeatPlanner round; the swap hook re-runs
+  // GS_alloc_swap for VMs wanting more fast swap).
+  void set_consolidation_hook(std::function<void()> hook) {
+    consolidation_hook_ = std::move(hook);
+  }
+  void set_swap_refresh_hook(std::function<void()> hook) {
+    swap_refresh_hook_ = std::move(hook);
+  }
+
+  std::uint64_t heartbeats_sent() const { return heartbeats_; }
+  std::uint64_t consolidation_rounds() const { return consolidations_; }
+  std::uint64_t swap_refreshes() const { return swap_refreshes_; }
+
+ private:
+  void ScheduleHeartbeat();
+  void ScheduleConsolidation();
+  void ScheduleSwapRefresh();
+
+  Rack* rack_;
+  EventQueue* queue_;
+  RuntimeConfig config_;
+  bool running_ = false;
+  std::function<void()> consolidation_hook_;
+  std::function<void()> swap_refresh_hook_;
+  std::uint64_t heartbeats_ = 0;
+  std::uint64_t consolidations_ = 0;
+  std::uint64_t swap_refreshes_ = 0;
+};
+
+}  // namespace zombie::cloud
+
+#endif  // ZOMBIELAND_SRC_CLOUD_RUNTIME_H_

@@ -1,0 +1,88 @@
+#include "src/cloud/server.h"
+
+#include <algorithm>
+
+namespace zombie::cloud {
+
+std::string_view RoleName(Role r) {
+  switch (r) {
+    case Role::kGlobalController:
+      return "global-mem-ctr";
+    case Role::kSecondaryController:
+      return "secondary-ctr";
+    case Role::kUser:
+      return "user";
+    case Role::kZombie:
+      return "zombie";
+    case Role::kActive:
+      return "active";
+  }
+  return "?";
+}
+
+Server::Server(remotemem::ServerId id, std::string hostname, acpi::MachineProfile profile,
+               ServerCapacity capacity, bool sz_capable)
+    : id_(id),
+      machine_(std::move(hostname), std::move(profile), sz_capable),
+      capacity_(capacity) {}
+
+Status Server::HostVm(const hv::VmSpec& vm, Bytes local_bytes) {
+  if (vms_.contains(vm.id)) {
+    return Status(ErrorCode::kConflict, "VM already hosted here");
+  }
+  if (local_bytes > vm.reserved_memory) {
+    return Status(ErrorCode::kInvalidArgument, "local share exceeds reserved memory");
+  }
+  if (UsedCpus() + vm.vcpus > capacity_.cpus) {
+    return Status(ErrorCode::kOutOfMemory, "no vCPU capacity");
+  }
+  if (UsedLocalMemory() + local_bytes > capacity_.memory - lent_memory_) {
+    return Status(ErrorCode::kOutOfMemory, "no local memory capacity");
+  }
+  vms_.emplace(vm.id, vm);
+  vm_local_bytes_.emplace(vm.id, local_bytes);
+  return Status::Ok();
+}
+
+Status Server::DropVm(hv::VmId vm) {
+  if (vms_.erase(vm) == 0) {
+    return Status(ErrorCode::kNotFound, "VM not hosted here");
+  }
+  vm_local_bytes_.erase(vm);
+  return Status::Ok();
+}
+
+Bytes Server::LocalBytesOf(hv::VmId vm) const {
+  auto it = vm_local_bytes_.find(vm);
+  return it == vm_local_bytes_.end() ? 0 : it->second;
+}
+
+std::uint32_t Server::UsedCpus() const {
+  std::uint32_t used = 0;
+  for (const auto& [id, vm] : vms_) {
+    used += vm.vcpus;
+  }
+  return used;
+}
+
+Bytes Server::UsedLocalMemory() const {
+  Bytes used = 0;
+  for (const auto& [id, bytes] : vm_local_bytes_) {
+    used += bytes;
+  }
+  return used;
+}
+
+Bytes Server::FreeLocalMemory() const {
+  const Bytes used = UsedLocalMemory() + lent_memory_;
+  return used >= capacity_.memory ? 0 : capacity_.memory - used;
+}
+
+double Server::CpuUtilization() const {
+  if (capacity_.cpus == 0) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(UsedCpus()) / static_cast<double>(capacity_.cpus));
+}
+
+}  // namespace zombie::cloud

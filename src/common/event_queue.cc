@@ -1,0 +1,71 @@
+#include "src/common/event_queue.h"
+
+namespace zombie {
+
+EventQueue::EventId EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  if (when < clock_.now()) {
+    when = clock_.now();
+  }
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Only genuinely pending events can be cancelled: already-run, unknown
+  // and doubly-cancelled ids are all rejected, keeping counts exact.
+  if (!pending_ids_.erase(id)) {
+    return false;
+  }
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::PopAndRun() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;  // skip cancelled event
+    }
+    clock_.AdvanceTo(ev.when);
+    pending_ids_.erase(ev.id);
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::Run() {
+  std::size_t n = 0;
+  while (PopAndRun()) {
+    ++n;
+  }
+  return n;
+}
+
+std::size_t EventQueue::RunUntil(SimTime deadline) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      heap_.pop();  // drop cancelled entries without consuming the deadline
+      continue;
+    }
+    if (top.when > deadline) {
+      break;
+    }
+    if (PopAndRun()) {
+      ++n;
+    }
+  }
+  if (clock_.now() < deadline) {
+    clock_.AdvanceTo(deadline);
+  }
+  return n;
+}
+
+bool EventQueue::Step() { return PopAndRun(); }
+
+}  // namespace zombie

@@ -1,0 +1,35 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace zombie {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const std::string& tag, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), tag.c_str(), message.c_str());
+}
+
+}  // namespace zombie

@@ -1,0 +1,39 @@
+#include "src/common/result.h"
+
+namespace zombie {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kConflict:
+      return "CONFLICT";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace zombie

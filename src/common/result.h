@@ -1,0 +1,88 @@
+// A small Result<T> / Status type used for fallible operations across the
+// zombieland library (C++20 has no std::expected yet).
+#ifndef ZOMBIELAND_SRC_COMMON_RESULT_H_
+#define ZOMBIELAND_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zombie {
+
+// Error codes shared by the rack-level protocol and the hypervisor layer.
+enum class ErrorCode {
+  kOk = 0,
+  kOutOfMemory,        // no remote buffers available
+  kNotFound,           // unknown buffer / server / VM id
+  kInvalidArgument,
+  kUnavailable,        // peer suspended / controller down
+  kConflict,           // e.g. reclaim racing an allocation
+  kTimeout,
+  kFailedPrecondition, // operation illegal in the current power state
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+// A status: either OK or an error code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T>: a value or a Status error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+  }
+  Result(ErrorCode code, std::string message) : data_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : std::get<Status>(data_).code(); }
+
+  const T& value_or(const T& fallback) const { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIELAND_SRC_COMMON_RESULT_H_

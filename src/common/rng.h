@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation (splitmix64 + xoshiro256**).
+//
+// Every stochastic component of the simulation (workload generators, trace
+// synthesis) takes an explicit seed so experiments are exactly reproducible.
+#ifndef ZOMBIELAND_SRC_COMMON_RNG_H_
+#define ZOMBIELAND_SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace zombie {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free bounded generation (slight bias
+    // is irrelevant at simulation scales).
+    const unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Bernoulli draw.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean) {
+    assert(mean > 0);
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Pareto-ish heavy tail: min * (1-u)^(-1/alpha), capped by the caller.
+  double NextPareto(double minimum, double alpha) {
+    assert(minimum > 0 && alpha > 0);
+    double u = NextDouble();
+    if (u >= 1.0) {
+      u = 1.0 - 0x1.0p-53;
+    }
+    return minimum * std::pow(1.0 - u, -1.0 / alpha);
+  }
+
+  // Zipf-like rank draw over [0, n) using the rejection-inversion shortcut
+  // (approximate but fast and deterministic).  theta in (0, 1) typical.
+  std::uint64_t NextZipf(std::uint64_t n, double theta) {
+    assert(n > 0);
+    // Standard power-law inversion: floor(n * u^(1/(1-theta))) biases low
+    // ranks; adequate for locality modelling.
+    const double u = NextDouble();
+    const double exponent = 1.0 / (1.0 - theta);
+    auto rank = static_cast<std::uint64_t>(static_cast<double>(n) * std::pow(u, exponent));
+    return rank >= n ? n - 1 : rank;
+  }
+
+  // Derives an independent child stream (stable function of parent state).
+  Rng Fork() { return Rng(Next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIELAND_SRC_COMMON_RNG_H_

@@ -1,0 +1,62 @@
+// Simulated clocks.
+//
+// Two flavours are used throughout zombieland:
+//  * SimClock       — the global discrete-event simulation time (owned by the
+//                     EventQueue; read-only elsewhere).
+//  * CostAccumulator — a per-workload "virtual stopwatch" that adds up the
+//                     simulated cost of memory accesses, page faults, RDMA
+//                     transfers etc.  Used by the workload runner so an
+//                     experiment's "execution time" is a deterministic sum.
+#ifndef ZOMBIELAND_SRC_COMMON_SIM_CLOCK_H_
+#define ZOMBIELAND_SRC_COMMON_SIM_CLOCK_H_
+
+#include <cassert>
+
+#include "src/common/units.h"
+
+namespace zombie {
+
+// Monotonic simulated clock.  Only the event queue advances it.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+
+  // Advances the clock; time never moves backwards.
+  void AdvanceTo(SimTime t) {
+    assert(t >= now_ && "simulated time must be monotonic");
+    now_ = t;
+  }
+  void Advance(Duration d) {
+    assert(d >= 0);
+    now_ += d;
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+// Accumulates simulated cost.  Cheap value type.
+class CostAccumulator {
+ public:
+  void AddNs(Duration d) {
+    assert(d >= 0);
+    total_ += d;
+  }
+  void AddCycles(Cycles c) { AddNs(CyclesToDuration(c)); }
+
+  Duration total_ns() const { return total_; }
+  double total_seconds() const { return ToSeconds(total_); }
+
+  void Reset() { total_ = 0; }
+
+ private:
+  Duration total_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIELAND_SRC_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,84 @@
+// Online statistics and fixed-bucket histograms used by the benchmark
+// harnesses and the DC simulator's utilisation accounting.
+#ifndef ZOMBIELAND_SRC_COMMON_STATS_H_
+#define ZOMBIELAND_SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace zombie {
+
+// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const { return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1); }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  void Merge(const RunningStats& other);
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores samples and answers percentile queries (used for latency reporting).
+class Percentiles {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+
+  // p in [0, 100].
+  double Percentile(double p);
+  double Median() { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp into
+// the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bucket_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+  // Simple ASCII rendering for bench output.
+  std::string Render(std::size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIELAND_SRC_COMMON_STATS_H_

@@ -1,0 +1,76 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace zombie {
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) {
+    total += w + 2;
+  }
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TextTable::Print() const {
+  const std::string s = Render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Penalty(double percent) {
+  if (!std::isfinite(percent) || percent > 1e6) {
+    return "inf";
+  }
+  if (percent >= 1000.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fk%%", percent / 1000.0);
+    return buf;
+  }
+  char buf[32];
+  if (percent >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f%%", percent);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%%", percent);
+  }
+  return buf;
+}
+
+}  // namespace zombie

@@ -1,0 +1,35 @@
+// Tiny fixed-column text-table printer used by the bench harnesses so every
+// experiment prints rows shaped like the paper's tables/figures.
+#ifndef ZOMBIELAND_SRC_COMMON_TABLE_H_
+#define ZOMBIELAND_SRC_COMMON_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace zombie {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders with column widths fitted to contents.
+  std::string Render() const;
+  // Renders and writes to stdout.
+  void Print() const;
+
+  // Formats a double with the given precision ("12.34").
+  static std::string Num(double v, int precision = 2);
+  // Formats a penalty percentage like the paper: "8%", "9k%", "inf".
+  static std::string Penalty(double percent);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIELAND_SRC_COMMON_TABLE_H_

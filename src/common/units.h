@@ -1,0 +1,84 @@
+// Strong unit helpers shared by every zombieland module.
+//
+// All simulated time is kept in nanoseconds (SimTime), all energy in
+// millijoules, all power in milliwatts.  Integer arithmetic keeps the
+// discrete-event simulation exactly reproducible across platforms.
+#ifndef ZOMBIELAND_SRC_COMMON_UNITS_H_
+#define ZOMBIELAND_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace zombie {
+
+// ---------------------------------------------------------------------------
+// Time.
+// ---------------------------------------------------------------------------
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+// A duration in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+constexpr Duration kDay = 24 * kHour;
+
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / kSecond; }
+constexpr Duration FromSeconds(double s) { return static_cast<Duration>(s * kSecond); }
+
+// ---------------------------------------------------------------------------
+// Memory sizes.  All sizes are bytes unless the name says otherwise.
+// ---------------------------------------------------------------------------
+
+using Bytes = std::uint64_t;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+// The paper's unit of paging: a 4 KiB page ("Each entry represents a 4KB
+// memory page", Section 6.1).
+constexpr Bytes kPageSize = 4 * kKiB;
+
+constexpr std::uint64_t PagesOf(Bytes bytes) { return bytes / kPageSize; }
+constexpr Bytes PagesToBytes(std::uint64_t pages) { return pages * kPageSize; }
+
+// ---------------------------------------------------------------------------
+// Energy / power.  Integer milli-units so accumulation stays exact.
+// ---------------------------------------------------------------------------
+
+// Milliwatts.
+using PowerMw = std::int64_t;
+// Millijoules.
+using EnergyMj = std::int64_t;
+
+constexpr PowerMw WattsToMw(double watts) { return static_cast<PowerMw>(watts * 1000.0); }
+constexpr double MwToWatts(PowerMw mw) { return static_cast<double>(mw) / 1000.0; }
+
+// Energy accumulated by drawing `power` for `duration`.
+constexpr EnergyMj EnergyOf(PowerMw power, Duration duration) {
+  // mW * ns = 1e-12 J; convert to mJ (1e-3 J) by dividing by 1e9 = kSecond.
+  return power * duration / kSecond;
+}
+
+constexpr double MjToJoules(EnergyMj mj) { return static_cast<double>(mj) / 1000.0; }
+
+// ---------------------------------------------------------------------------
+// CPU cycles (used by the replacement-policy cost accounting, Fig. 8 bottom).
+// ---------------------------------------------------------------------------
+
+using Cycles = std::int64_t;
+
+// The simulated hosts run at 3 GHz: 3 cycles per nanosecond.
+constexpr Cycles kCyclesPerNs = 3;
+
+constexpr Duration CyclesToDuration(Cycles c) { return c / kCyclesPerNs; }
+constexpr Cycles DurationToCycles(Duration d) { return d * kCyclesPerNs; }
+
+}  // namespace zombie
+
+#endif  // ZOMBIELAND_SRC_COMMON_UNITS_H_

@@ -1,0 +1,78 @@
+// Where evicted pages go: the backend behind hypervisor paging (RAM Ext) or
+// behind a guest-visible swap device (Explicit SD).
+#ifndef ZOMBIELAND_SRC_HV_BACKEND_H_
+#define ZOMBIELAND_SRC_HV_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/hv/page_table.h"
+#include "src/hv/params.h"
+#include "src/remotemem/memory_manager.h"
+
+namespace zombie::hv {
+
+class PageBackend {
+ public:
+  virtual ~PageBackend() = default;
+
+  // Stores / loads one 4 KiB page.  Returns the simulated foreground cost.
+  virtual Result<Duration> StorePage(PageIndex page) = 0;
+  virtual Result<Duration> LoadPage(PageIndex page) = 0;
+
+  virtual std::string name() const = 0;
+  // Pages this backend can hold; kNoLimit for device-backed swap.
+  virtual std::uint64_t capacity_pages() const = 0;
+
+  static constexpr std::uint64_t kNoLimit = ~0ULL;
+};
+
+// Remote memory over RDMA (a RemoteExtent granted by the global controller).
+class RemoteBackend final : public PageBackend {
+ public:
+  explicit RemoteBackend(remotemem::RemoteExtent* extent) : extent_(extent) {}
+
+  Result<Duration> StorePage(PageIndex page) override {
+    return extent_->WritePage(page, {});
+  }
+  Result<Duration> LoadPage(PageIndex page) override { return extent_->ReadPage(page, {}); }
+
+  std::string name() const override { return "remote-ram"; }
+  std::uint64_t capacity_pages() const override { return extent_->capacity_pages(); }
+
+  remotemem::RemoteExtent* extent() { return extent_; }
+
+ private:
+  remotemem::RemoteExtent* extent_;
+};
+
+// A local block device (SSD / HDD) used as swap.
+class DeviceBackend final : public PageBackend {
+ public:
+  DeviceBackend(std::string device_name, DeviceLatency latency)
+      : name_(std::move(device_name)), latency_(latency) {}
+
+  Result<Duration> StorePage(PageIndex) override { return latency_.write; }
+  Result<Duration> LoadPage(PageIndex) override { return latency_.read; }
+
+  std::string name() const override { return name_; }
+  std::uint64_t capacity_pages() const override { return kNoLimit; }
+
+ private:
+  std::string name_;
+  DeviceLatency latency_;
+};
+
+// Convenience constructors for the Table-2 devices.
+inline std::unique_ptr<DeviceBackend> MakeLocalSsdBackend() {
+  return std::make_unique<DeviceBackend>("local-ssd", kLocalSsd);
+}
+inline std::unique_ptr<DeviceBackend> MakeLocalHddBackend() {
+  return std::make_unique<DeviceBackend>("local-hdd", kLocalHdd);
+}
+
+}  // namespace zombie::hv
+
+#endif  // ZOMBIELAND_SRC_HV_BACKEND_H_

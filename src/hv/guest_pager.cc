@@ -1,0 +1,102 @@
+#include "src/hv/guest_pager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace zombie::hv {
+
+GuestPager::GuestPager(std::uint64_t guest_pages, std::uint64_t visible_ram_pages,
+                       PageBackend* device, GuestSwapConfig config)
+    : table_(guest_pages),
+      usable_frames_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::floor(static_cast<double>(visible_ram_pages) *
+                            (1.0 - config.ram_reserve_fraction))))),
+      free_frames_(usable_frames_),
+      policy_(MakePolicy(PolicyKind::kClock, config.paging)),
+      device_(device),
+      config_(config) {}
+
+Result<Duration> GuestPager::EvictOne() {
+  const VictimChoice choice = policy_->PickVictim(table_);
+  stats_.policy_cycles += choice.cycles;
+  Duration cost = CyclesToDuration(choice.cycles);
+
+  PageTableEntry& victim = table_.at(choice.page);
+  assert(victim.present);
+
+  // Count the writebacks this eviction causes, including the amplification
+  // of guest-side behaviour (proactive kswapd flushes of nearby pages).
+  double writes = victim.dirty ? 1.0 : 0.0;
+  if (victim.dirty) {
+    writes += config_.traffic_amplification - 1.0;
+  }
+  amplification_debt_ += writes;
+  while (amplification_debt_ >= 1.0) {
+    auto store = device_->StorePage(choice.page);
+    if (!store.ok()) {
+      return store;
+    }
+    cost += store.value() + config_.split_driver.request_overhead;
+    ++stats_.writebacks;
+    amplification_debt_ -= 1.0;
+  }
+  victim.dirty = false;
+  victim.present = false;
+  victim.swapped = true;
+  victim.frame = kNoFrame;
+  ++free_frames_;
+  ++stats_.evictions;
+  return cost;
+}
+
+Result<Duration> GuestPager::Access(PageIndex page, bool is_write) {
+  if (page >= table_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "access beyond guest footprint");
+  }
+  ++stats_.accesses;
+  if (++accesses_since_clear_ >= config_.paging.accessed_clear_period) {
+    table_.ClearAccessedBits();
+    accesses_since_clear_ = 0;
+  }
+
+  PageTableEntry& entry = table_.at(page);
+  Duration cost = config_.paging.local_access;
+
+  if (!entry.present) {
+    ++stats_.faults;
+    cost += config_.paging.fault_trap;
+    if (free_frames_ == 0) {
+      auto evicted = EvictOne();
+      if (!evicted.ok()) {
+        return evicted;
+      }
+      cost += evicted.value();
+    }
+    if (entry.swapped) {
+      auto load = device_->LoadPage(page);
+      if (!load.ok()) {
+        return load;
+      }
+      cost += load.value() + config_.split_driver.request_overhead;
+      entry.swapped = false;
+      ++stats_.major_faults;
+    }
+    --free_frames_;
+    entry.present = true;
+    entry.touched = true;
+    entry.frame = usable_frames_ - free_frames_ - 1;
+    cost += config_.paging.map_frame;
+    policy_->OnPageIn(page);
+  }
+
+  entry.accessed = true;
+  if (is_write) {
+    entry.dirty = true;
+  }
+  stats_.total_cost += cost;
+  return cost;
+}
+
+}  // namespace zombie::hv

@@ -1,0 +1,60 @@
+// Guest pseudo-physical page table, as the modified KVM sees it.
+//
+// "VMs are given pseudo-physical frames and the hypervisor manages their
+// association with host-physical (machine) frames" (Section 4.5).  Each
+// entry tracks presence, the accessed/dirty bits the replacement policies
+// consume, and — when swapped out — whether the page lives remotely.
+#ifndef ZOMBIELAND_SRC_HV_PAGE_TABLE_H_
+#define ZOMBIELAND_SRC_HV_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace zombie::hv {
+
+using PageIndex = std::uint64_t;
+using FrameIndex = std::uint64_t;
+inline constexpr FrameIndex kNoFrame = ~0ULL;
+
+struct PageTableEntry {
+  bool present = false;    // mapped to a machine frame
+  bool accessed = false;   // hardware A-bit
+  bool dirty = false;      // hardware D-bit (needs writeback on eviction)
+  bool swapped = false;    // content lives in the backend (remote / device)
+  bool touched = false;    // ever faulted in (first touch is a zero-fill)
+  FrameIndex frame = kNoFrame;
+};
+
+class GuestPageTable {
+ public:
+  explicit GuestPageTable(std::uint64_t pages) : entries_(pages) {}
+
+  std::uint64_t size() const { return entries_.size(); }
+
+  PageTableEntry& at(PageIndex p) { return entries_[p]; }
+  const PageTableEntry& at(PageIndex p) const { return entries_[p]; }
+
+  // Clears every accessed bit (the periodic scan).
+  void ClearAccessedBits() {
+    for (auto& e : entries_) {
+      e.accessed = false;
+    }
+  }
+
+  std::uint64_t CountPresent() const {
+    std::uint64_t n = 0;
+    for (const auto& e : entries_) {
+      n += e.present ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<PageTableEntry> entries_;
+};
+
+}  // namespace zombie::hv
+
+#endif  // ZOMBIELAND_SRC_HV_PAGE_TABLE_H_

@@ -1,0 +1,101 @@
+#include "src/hv/pager.h"
+
+#include <cassert>
+
+namespace zombie::hv {
+
+HostPager::HostPager(std::uint64_t guest_pages, std::uint64_t local_frames,
+                     std::unique_ptr<ReplacementPolicy> policy, PageBackend* backend,
+                     PagingParams params)
+    : table_(guest_pages),
+      local_frames_(local_frames),
+      free_frames_(local_frames),
+      policy_(std::move(policy)),
+      backend_(backend),
+      params_(params) {
+  assert(local_frames_ > 0 && "pager needs at least one machine frame");
+}
+
+Result<Duration> HostPager::EvictOne() {
+  const VictimChoice choice = policy_->PickVictim(table_);
+  stats_.policy_cycles += choice.cycles;
+  Duration cost = CyclesToDuration(choice.cycles);
+
+  PageTableEntry& victim = table_.at(choice.page);
+  assert(victim.present);
+  if (victim.dirty) {
+    // Transfer the content of the local frame to the backend.
+    auto store = backend_->StorePage(choice.page);
+    if (!store.ok()) {
+      return store;
+    }
+    cost += store.value();
+    victim.dirty = false;
+    ++stats_.writebacks;
+  }
+  victim.present = false;
+  victim.swapped = true;  // content now lives in the backend (or was clean
+                          // there already)
+  victim.frame = kNoFrame;
+  ++free_frames_;
+  ++stats_.evictions;
+  return cost;
+}
+
+Result<Duration> HostPager::Access(PageIndex page, bool is_write) {
+  if (page >= table_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "access beyond the VM's reserved memory");
+  }
+  ++stats_.accesses;
+  if (++accesses_since_clear_ >= params_.accessed_clear_period) {
+    // The periodic A-bit scan (background, not charged to this access).
+    table_.ClearAccessedBits();
+    accesses_since_clear_ = 0;
+  }
+
+  PageTableEntry& entry = table_.at(page);
+  Duration cost = params_.local_access;
+
+  if (!entry.present) {
+    // Page fault.
+    ++stats_.faults;
+    cost += params_.fault_trap;
+
+    if (free_frames_ == 0) {
+      auto evict_cost = EvictOne();
+      if (!evict_cost.ok()) {
+        return evict_cost;
+      }
+      cost += evict_cost.value();
+    }
+    assert(free_frames_ > 0);
+
+    if (entry.swapped) {
+      // Reload the page from the backend into the fresh local frame.
+      auto load = backend_->LoadPage(page);
+      if (!load.ok()) {
+        return load;
+      }
+      cost += load.value();
+      entry.swapped = false;
+      ++stats_.major_faults;
+    }
+    // else: first touch — zero-fill, no backend traffic.
+
+    --free_frames_;
+    entry.present = true;
+    entry.touched = true;
+    entry.frame = local_frames_ - free_frames_ - 1;  // synthetic frame id
+    cost += params_.map_frame;
+    policy_->OnPageIn(page);
+  }
+
+  entry.accessed = true;
+  if (is_write) {
+    entry.dirty = true;
+  }
+  stats_.total_cost += cost;
+  return cost;
+}
+
+}  // namespace zombie::hv

@@ -1,0 +1,82 @@
+// The modified KVM page-fault handler (Section 4.5) — hypervisor paging
+// with remote physical memory (RAM Ext).
+//
+// "When a page fault is caused by a VM attempt to modify a guest page table,
+// if a physical frame is available (free), the handler follows the
+// traditional code execution path.  Otherwise, it frees a physical frame to
+// satisfy the page fault, using a page replacement policy. [...] When the
+// page fault is caused by the non-presence of a page, we first check whether
+// it is a page sent to a remote memory.  If this is the case, a local page
+// is allocated as above and the remote page is reloaded in the local page."
+#ifndef ZOMBIELAND_SRC_HV_PAGER_H_
+#define ZOMBIELAND_SRC_HV_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/hv/backend.h"
+#include "src/hv/page_table.h"
+#include "src/hv/params.h"
+#include "src/hv/replacement.h"
+
+namespace zombie::hv {
+
+struct PagerStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;          // all page faults
+  std::uint64_t major_faults = 0;    // faults that reloaded from the backend
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;      // evictions of dirty pages (backend stores)
+  Cycles policy_cycles = 0;          // total cycles inside PickVictim
+  Duration total_cost = 0;           // simulated time of all accesses
+
+  double FaultRate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(faults) / static_cast<double>(accesses);
+  }
+  Cycles PolicyCyclesPerFault() const {
+    return faults == 0 ? 0 : policy_cycles / static_cast<Cycles>(faults);
+  }
+};
+
+// One VM's paging state under the hypervisor.
+class HostPager {
+ public:
+  // `guest_pages`  — the VM's reserved memory (VMMemSize), in pages.
+  // `local_frames` — machine frames the host dedicates (LocalMemSize).
+  // `backend`      — where excess pages go (remote extent, device, ...).
+  HostPager(std::uint64_t guest_pages, std::uint64_t local_frames,
+            std::unique_ptr<ReplacementPolicy> policy, PageBackend* backend,
+            PagingParams params = {});
+
+  // One guest access to `page`.  Returns the simulated cost of the access
+  // including any fault handling, and accumulates it into stats().
+  Result<Duration> Access(PageIndex page, bool is_write);
+
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats{}; }
+
+  const GuestPageTable& table() const { return table_; }
+  std::uint64_t local_frames() const { return local_frames_; }
+  std::uint64_t free_frames() const { return free_frames_; }
+  ReplacementPolicy& policy() { return *policy_; }
+  const PagingParams& params() const { return params_; }
+
+ private:
+  // Frees one machine frame via the replacement policy.  Returns its cost.
+  Result<Duration> EvictOne();
+
+  GuestPageTable table_;
+  std::uint64_t local_frames_;
+  std::uint64_t free_frames_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  PageBackend* backend_;
+  PagingParams params_;
+  PagerStats stats_;
+  std::uint64_t accesses_since_clear_ = 0;
+};
+
+}  // namespace zombie::hv
+
+#endif  // ZOMBIELAND_SRC_HV_PAGER_H_

@@ -1,0 +1,90 @@
+#include "src/hv/replacement.h"
+
+#include <cassert>
+
+namespace zombie::hv {
+
+std::string_view PolicyKindName(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kFifo:
+      return "FIFO";
+    case PolicyKind::kClock:
+      return "Clock";
+    case PolicyKind::kMixed:
+      return "Mixed";
+  }
+  return "?";
+}
+
+VictimChoice FifoPolicy::PickVictim(GuestPageTable& table) {
+  (void)table;
+  assert(!fifo_.empty());
+  // The page which generated the oldest page fault.
+  auto it = fifo_.begin();
+  const PageIndex victim = *it;
+  Remove(it);
+  return {victim, params_.policy_fixed_cycles + params_.fifo_pop_cycles};
+}
+
+VictimChoice ClockPolicy::PickVictim(GuestPageTable& table) {
+  assert(!fifo_.empty());
+  Cycles cycles = params_.policy_fixed_cycles;
+  // First page (from the head) whose A-bit is zero.  Bits are only checked;
+  // clearing happens in the pager's periodic scan.
+  for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+    cycles += params_.list_node_cycles + params_.accessed_check_cycles;
+    const PageTableEntry& entry = table.at(*it);
+    if (!entry.accessed) {
+      const PageIndex victim = *it;
+      Remove(it);
+      return {victim, cycles};
+    }
+  }
+  // Everything referenced since the last periodic clear: FIFO fallback.
+  auto head = fifo_.begin();
+  cycles += params_.fifo_pop_cycles;
+  const PageIndex victim = *head;
+  Remove(head);
+  return {victim, cycles};
+}
+
+VictimChoice MixedPolicy::PickVictim(GuestPageTable& table) {
+  assert(!fifo_.empty());
+  Cycles cycles = params_.policy_fixed_cycles;
+  // Clock (second chance) applied to at most the first `depth_` elements:
+  // a referenced head page is cleared and re-enqueued at the tail; the
+  // first unreferenced head is evicted.
+  for (std::size_t scanned = 0; scanned < depth_ && fifo_.size() > 1; ++scanned) {
+    cycles += params_.list_node_cycles + params_.accessed_check_cycles;
+    auto head = fifo_.begin();
+    PageTableEntry& entry = table.at(*head);
+    if (!entry.accessed) {
+      const PageIndex victim = *head;
+      Remove(head);
+      return {victim, cycles};
+    }
+    entry.accessed = false;
+    fifo_.splice(fifo_.end(), fifo_, head);  // second chance: move to tail
+  }
+  // Budget exhausted (or single page): FIFO on the rest of the list.
+  auto head = fifo_.begin();
+  cycles += params_.fifo_pop_cycles;
+  const PageIndex victim = *head;
+  Remove(head);
+  return {victim, cycles};
+}
+
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind, const PagingParams& params,
+                                              std::size_t mixed_depth) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>(params);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>(params);
+    case PolicyKind::kMixed:
+      return std::make_unique<MixedPolicy>(params, mixed_depth);
+  }
+  return nullptr;
+}
+
+}  // namespace zombie::hv

@@ -1,0 +1,128 @@
+// Page replacement policies for hypervisor paging (Section 6.2).
+//
+// Three policies, exactly as the paper describes them:
+//  * FIFO  — victims are picked in page-fault order (oldest fault first).
+//  * Clock — walk the FIFO list, pick the first page with A-bit == 0,
+//            clearing A-bits along the way (second chance).
+//  * Mixed — apply Clock to the first x elements of the FIFO list; if every
+//            one of them was recently accessed, fall back to FIFO on the
+//            rest.  Bounds the scan cost while keeping scan resistance.
+//
+// Each victim selection reports the CPU cycles it consumed, which is what
+// the Fig. 8 (bottom) series measures.
+#ifndef ZOMBIELAND_SRC_HV_REPLACEMENT_H_
+#define ZOMBIELAND_SRC_HV_REPLACEMENT_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/units.h"
+#include "src/hv/page_table.h"
+#include "src/hv/params.h"
+
+namespace zombie::hv {
+
+enum class PolicyKind : std::uint8_t { kFifo = 0, kClock = 1, kMixed = 2 };
+
+std::string_view PolicyKindName(PolicyKind k);
+
+struct VictimChoice {
+  PageIndex page = 0;
+  Cycles cycles = 0;  // time spent inside the policy for this fault
+};
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+
+  // A page just faulted in: append it to the policy's bookkeeping.
+  virtual void OnPageIn(PageIndex page) = 0;
+  // A resident page was evicted/freed outside the policy's own choice.
+  virtual void OnPageGone(PageIndex page) = 0;
+
+  // Chooses a victim among resident pages.  `table` provides A-bits.
+  // Precondition: at least one page is resident (tracked).
+  virtual VictimChoice PickVictim(GuestPageTable& table) = 0;
+
+  virtual std::size_t tracked() const = 0;
+};
+
+// Factory.  `mixed_depth` is the paper's x (default 5).
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind, const PagingParams& params,
+                                              std::size_t mixed_depth = 5);
+
+// ---------------------------------------------------------------------------
+// Implementations (exposed for unit tests).
+// ---------------------------------------------------------------------------
+
+// Shared FIFO-list plumbing: a list in fault order plus O(1) erase.
+class FifoListBase : public ReplacementPolicy {
+ public:
+  explicit FifoListBase(const PagingParams& params) : params_(params) {}
+
+  void OnPageIn(PageIndex page) override {
+    fifo_.push_back(page);
+    where_[page] = std::prev(fifo_.end());
+  }
+  void OnPageGone(PageIndex page) override {
+    auto it = where_.find(page);
+    if (it != where_.end()) {
+      fifo_.erase(it->second);
+      where_.erase(it);
+    }
+  }
+  std::size_t tracked() const override { return fifo_.size(); }
+
+ protected:
+  void Remove(std::list<PageIndex>::iterator it) {
+    where_.erase(*it);
+    fifo_.erase(it);
+  }
+
+  PagingParams params_;
+  std::list<PageIndex> fifo_;
+  std::unordered_map<PageIndex, std::list<PageIndex>::iterator> where_;
+};
+
+class FifoPolicy final : public FifoListBase {
+ public:
+  using FifoListBase::FifoListBase;
+  PolicyKind kind() const override { return PolicyKind::kFifo; }
+  VictimChoice PickVictim(GuestPageTable& table) override;
+};
+
+// Clock, exactly as Section 6.2 describes it: "The hypervisor iterates
+// through the FIFO list and chooses the first page whose 'accessed' bit is
+// zero.  The 'accessed' bit of all pages is periodically cleared."  The scan
+// restarts from the list head on every fault and only *checks* bits (aging
+// comes from the periodic clear), so its cost grows with the run of
+// recently-used pages that accumulates at the head — the Fig. 8 (bottom)
+// effect.  If the whole list is referenced, the head falls (FIFO fallback).
+class ClockPolicy final : public FifoListBase {
+ public:
+  using FifoListBase::FifoListBase;
+  PolicyKind kind() const override { return PolicyKind::kClock; }
+  VictimChoice PickVictim(GuestPageTable& table) override;
+};
+
+class MixedPolicy final : public FifoListBase {
+ public:
+  MixedPolicy(const PagingParams& params, std::size_t depth)
+      : FifoListBase(params), depth_(depth) {}
+  PolicyKind kind() const override { return PolicyKind::kMixed; }
+  VictimChoice PickVictim(GuestPageTable& table) override;
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t depth_;
+};
+
+}  // namespace zombie::hv
+
+#endif  // ZOMBIELAND_SRC_HV_REPLACEMENT_H_

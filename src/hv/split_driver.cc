@@ -1,0 +1,127 @@
+#include "src/hv/split_driver.h"
+
+namespace zombie::hv {
+
+SwapDeviceBackend::SwapDeviceBackend(remotemem::RemoteMemoryManager* mgr, Bytes swap_bytes,
+                                     SplitDriverParams params,
+                                     remotemem::LocalStoreParams mirror)
+    : mgr_(mgr), swap_bytes_(swap_bytes), params_(params), mirror_(mirror) {}
+
+Result<Bytes> SwapDeviceBackend::RefreshRemoteAllocation() {
+  if (extent_ == nullptr) {
+    auto extent = mgr_->AllocSwap(swap_bytes_, mirror_);
+    if (!extent.ok()) {
+      return extent.status();
+    }
+    extent_ = extent.value();
+    return extent_->capacity();
+  }
+  // Growing path: fold a fresh best-effort allocation into the extent.
+  if (extent_->capacity() < swap_bytes_) {
+    (void)mgr_->GrowSwapExtent(extent_, swap_bytes_ - extent_->capacity());
+  }
+  return extent_->capacity();
+}
+
+Bytes SwapDeviceBackend::remote_capacity() const {
+  return extent_ == nullptr ? 0 : extent_->capacity();
+}
+
+Result<BlockCompletion> SwapDeviceBackend::Submit(const BlockRequest& request) {
+  if (extent_ == nullptr) {
+    auto refreshed = RefreshRemoteAllocation();
+    if (!refreshed.ok()) {
+      return refreshed.status();
+    }
+  }
+  BlockCompletion completion;
+  completion.id = request.id;
+  // Ring crossing both ways.
+  Duration cost = params_.request_overhead;
+  ++stats_.ring_round_trips;
+
+  if (request.page >= extent_->capacity_pages()) {
+    // Beyond the best-effort remote capacity: the device's residual slots
+    // live purely on local storage (the slower path).
+    if (request.op == BlockRequest::Op::kWrite) {
+      cost += mirror_.write_latency;
+      ++stats_.writes;
+    } else {
+      cost += mirror_.read_latency;
+      ++stats_.reads;
+      ++stats_.mirror_hits;
+      completion.served_from_mirror = true;
+    }
+    completion.device_time = cost;
+    return completion;
+  }
+
+  if (request.op == BlockRequest::Op::kWrite) {
+    auto written = extent_->WritePage(request.page, {});
+    if (!written.ok()) {
+      return written.status();
+    }
+    cost += written.value();
+    stats_.remote_bytes += kPageSize;
+    ++stats_.writes;
+  } else {
+    const auto mirror_reads_before = extent_->mirror_reads();
+    auto read = extent_->ReadPage(request.page, {});
+    if (!read.ok()) {
+      return read.status();
+    }
+    cost += read.value();
+    ++stats_.reads;
+    if (extent_->mirror_reads() > mirror_reads_before) {
+      ++stats_.mirror_hits;
+      completion.served_from_mirror = true;
+    } else {
+      stats_.remote_bytes += kPageSize;
+    }
+  }
+  completion.device_time = cost;
+  return completion;
+}
+
+std::size_t SwapDeviceBackend::Poll(std::size_t budget) {
+  std::size_t processed = 0;
+  while (processed < budget && !ring_.empty()) {
+    const BlockRequest request = ring_.front();
+    ring_.pop_front();
+    auto completion = Submit(request);
+    if (completion.ok()) {
+      completions_.push_back(completion.value());
+    } else {
+      completions_.push_back({request.id, 0, /*success=*/false, false});
+    }
+    ++processed;
+  }
+  return processed;
+}
+
+bool SwapDeviceBackend::PopCompletion(BlockCompletion* out) {
+  if (completions_.empty()) {
+    return false;
+  }
+  *out = completions_.front();
+  completions_.pop_front();
+  return true;
+}
+
+Result<Duration> SplitDriverPageBackend::StorePage(PageIndex page) {
+  auto completion = device_->Submit({BlockRequest::Op::kWrite, page, 0});
+  if (!completion.ok()) {
+    return completion.status();
+  }
+  return completion.value().device_time;
+}
+
+Result<Duration> SplitDriverPageBackend::LoadPage(PageIndex page) {
+  auto completion = device_->Submit({BlockRequest::Op::kRead, page, 0});
+  if (!completion.ok()) {
+    return completion.status();
+  }
+  return completion.value().device_time;
+}
+
+}  // namespace zombie::hv

@@ -1,0 +1,105 @@
+// The split-driver (frontend/backend) block device behind Explicit SD
+// (Section 4.5, following the 'Banana' double-split model the paper cites).
+//
+// The guest's frontend posts block requests into a shared ring; the host
+// backend pops them, routes swap-outs to the remote-mem-mgr's swap extent
+// (allocating lazily, best-effort) and *asynchronously* mirrors every write
+// to local storage: "It also asynchronously swaps to local storage for
+// fault tolerance.  When the global-mem-ctr reclaims this memory, the pages
+// are still available on local storage and remote-mem-mgr uses this slower
+// path to serve page requests."
+#ifndef ZOMBIELAND_SRC_HV_SPLIT_DRIVER_H_
+#define ZOMBIELAND_SRC_HV_SPLIT_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/hv/backend.h"
+#include "src/hv/page_table.h"
+#include "src/hv/params.h"
+#include "src/remotemem/memory_manager.h"
+
+namespace zombie::hv {
+
+// A block request as it crosses the virtio ring.
+struct BlockRequest {
+  enum class Op : std::uint8_t { kRead, kWrite } op = Op::kWrite;
+  PageIndex page = 0;    // swap slot, in pages
+  std::uint64_t id = 0;  // completion correlation
+};
+
+struct BlockCompletion {
+  std::uint64_t id = 0;
+  Duration device_time = 0;  // simulated time inside the backend
+  bool success = true;
+  bool served_from_mirror = false;
+};
+
+struct SplitDriverStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t mirror_hits = 0;   // reads served by the local mirror
+  std::uint64_t ring_round_trips = 0;
+  Bytes remote_bytes = 0;
+};
+
+// The host-side backend of the swap device.  One instance per VM swap disk.
+class SwapDeviceBackend {
+ public:
+  // `mgr` supplies the remote swap extent (GS_alloc_swap, best-effort).
+  // `swap_bytes` is the device size the guest sees (x in Section 6.4).
+  SwapDeviceBackend(remotemem::RemoteMemoryManager* mgr, Bytes swap_bytes,
+                    SplitDriverParams params = {},
+                    remotemem::LocalStoreParams mirror = {});
+
+  // Lazily obtains (or grows) the remote extent.  Called on first use and
+  // again by the hourly refresh ("periodically called ... in order to take
+  // advantage of unused remote buffers").  Returns bytes now available.
+  Result<Bytes> RefreshRemoteAllocation();
+
+  // Synchronous submit path used by the pager models: one request through
+  // the ring, returns the completion.
+  Result<BlockCompletion> Submit(const BlockRequest& request);
+
+  // Ring interface (asynchronous flavour, used by tests that model the
+  // frontend explicitly).
+  void Post(const BlockRequest& request) { ring_.push_back(request); }
+  // Processes up to `budget` posted requests; completions are queued.
+  std::size_t Poll(std::size_t budget);
+  bool PopCompletion(BlockCompletion* out);
+
+  Bytes remote_capacity() const;
+  const SplitDriverStats& stats() const { return stats_; }
+
+ private:
+  remotemem::RemoteMemoryManager* mgr_;
+  Bytes swap_bytes_;
+  SplitDriverParams params_;
+  remotemem::LocalStoreParams mirror_;
+  remotemem::RemoteExtent* extent_ = nullptr;  // owned by the manager
+  std::deque<BlockRequest> ring_;
+  std::deque<BlockCompletion> completions_;
+  SplitDriverStats stats_;
+};
+
+// Adapts the split-driver backend to the PageBackend interface so the guest
+// pager can swap through it (this is the full Explicit SD data path:
+// guest pager -> virtio ring -> backend -> RDMA/mirror).
+class SplitDriverPageBackend final : public PageBackend {
+ public:
+  explicit SplitDriverPageBackend(SwapDeviceBackend* device) : device_(device) {}
+
+  Result<Duration> StorePage(PageIndex page) override;
+  Result<Duration> LoadPage(PageIndex page) override;
+  std::string name() const override { return "explicit-sd"; }
+  std::uint64_t capacity_pages() const override { return kNoLimit; }
+
+ private:
+  SwapDeviceBackend* device_;
+};
+
+}  // namespace zombie::hv
+
+#endif  // ZOMBIELAND_SRC_HV_SPLIT_DRIVER_H_

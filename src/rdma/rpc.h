@@ -1,0 +1,117 @@
+// RPC over RDMA (Section 4.1).
+//
+// "The communication framework implements RPC over RDMA.  In our
+// implementation, the clients poll for the RPC results as RDMA inbound
+// operations are cheaper than outbound operations."
+//
+// Model: the client WRITEs a request into the server's request ring, the
+// server daemon (a polling loop, only possible on an S0 node) executes the
+// handler and WRITEs the response into the client's response slot; the
+// client polls that slot.  Costs follow that message pattern.
+#ifndef ZOMBIELAND_SRC_RDMA_RPC_H_
+#define ZOMBIELAND_SRC_RDMA_RPC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/rdma/fabric.h"
+#include "src/rdma/verbs.h"
+
+namespace zombie::rdma {
+
+// Wire payloads are byte vectors; the rack protocol serialises into them.
+using Payload = std::vector<std::byte>;
+
+struct RpcCost {
+  Duration client = 0;  // time charged to the caller
+  Duration server = 0;  // time charged to the server daemon
+};
+
+// Server side: registered method handlers plus a polled request ring.
+class RpcServer {
+ public:
+  using Handler = std::function<Result<Payload>(const Payload&)>;
+
+  RpcServer(Verbs* verbs, NodeId node) : verbs_(verbs), node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  void RegisterMethod(const std::string& method, Handler handler) {
+    handlers_[method] = std::move(handler);
+  }
+  bool HasMethod(const std::string& method) const { return handlers_.contains(method); }
+
+  // Executes one request (called by the RpcRouter).  Returns handler output.
+  Result<Payload> Dispatch(const std::string& method, const Payload& request);
+
+  // Average daemon polling interval: a request written into the ring waits
+  // this long on average before the daemon notices it.
+  Duration poll_interval() const { return poll_interval_; }
+  void set_poll_interval(Duration d) { poll_interval_ = d; }
+
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  Verbs* verbs_;
+  NodeId node_;
+  std::unordered_map<std::string, Handler> handlers_;
+  Duration poll_interval_ = 5 * kMicrosecond;
+  std::uint64_t dispatched_ = 0;
+};
+
+// Routes calls between clients and servers on the same fabric and prices the
+// request/response message pattern.
+class RpcRouter {
+ public:
+  explicit RpcRouter(Verbs* verbs) : verbs_(verbs) {}
+
+  void AddServer(RpcServer* server) { servers_[server->node()] = server; }
+  void RemoveServer(NodeId node) { servers_.erase(node); }
+  bool HasServer(NodeId node) const { return servers_.contains(node); }
+
+  // Synchronous call: client `from` invokes `method` on the server at `to`.
+  // On success returns the response payload; `cost` (optional) receives the
+  // priced client/server time.
+  Result<Payload> Call(NodeId from, NodeId to, const std::string& method,
+                       const Payload& request, RpcCost* cost = nullptr);
+
+ private:
+  Verbs* verbs_;
+  std::unordered_map<NodeId, RpcServer*> servers_;
+};
+
+// Simple length-prefixed serialisation helpers for the rack protocol.
+class PayloadWriter {
+ public:
+  void PutU64(std::uint64_t v);
+  void PutU32(std::uint32_t v);
+  void PutString(const std::string& s);
+  Payload Take() { return std::move(buf_); }
+
+ private:
+  Payload buf_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const Payload& payload) : buf_(payload) {}
+
+  Result<std::uint64_t> GetU64();
+  Result<std::uint32_t> GetU32();
+  Result<std::string> GetString();
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  const Payload& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace zombie::rdma
+
+#endif  // ZOMBIELAND_SRC_RDMA_RPC_H_

@@ -1,0 +1,131 @@
+#include "src/rdma/verbs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace zombie::rdma {
+
+std::size_t CompletionQueue::Poll(std::span<Completion> out) {
+  std::size_t n = 0;
+  while (n < out.size() && !entries_.empty()) {
+    out[n++] = entries_.front();
+    entries_.pop_front();
+  }
+  return n;
+}
+
+Result<RKey> Verbs::RegisterRegion(NodeId owner, Bytes size, MrAccess access) {
+  if (size == 0) {
+    return Status(ErrorCode::kInvalidArgument, "cannot register empty region");
+  }
+  if (!fabric_->NodeMemoryAccessible(owner)) {
+    return Status(ErrorCode::kUnavailable, "owner memory not accessible for registration");
+  }
+  const RKey rkey = next_rkey_++;
+  regions_.emplace(rkey, std::make_unique<MemoryRegion>(rkey, owner, size, access));
+  return rkey;
+}
+
+Status Verbs::DeregisterRegion(RKey rkey) {
+  return regions_.erase(rkey) > 0
+             ? Status::Ok()
+             : Status(ErrorCode::kNotFound, "unknown rkey");
+}
+
+MemoryRegion* Verbs::FindRegion(RKey rkey) {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+const MemoryRegion* Verbs::FindRegion(RKey rkey) const {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+Result<Duration> Verbs::CheckOneSided(NodeId initiator, const MemoryRegion& mr, Bytes offset,
+                                      Bytes len, bool is_write) const {
+  if (offset + len > mr.size()) {
+    return Status(ErrorCode::kInvalidArgument, "one-sided op out of region bounds");
+  }
+  if (is_write && !mr.access().remote_write) {
+    return Status(ErrorCode::kFailedPrecondition, "region not remote-writable");
+  }
+  if (!is_write && !mr.access().remote_read) {
+    return Status(ErrorCode::kFailedPrecondition, "region not remote-readable");
+  }
+  return fabric_->PriceOneSided(initiator, mr.owner(), len);
+}
+
+Result<Duration> Verbs::Read(NodeId initiator, RKey rkey, Bytes remote_offset,
+                             std::span<std::byte> dst, CompletionQueue* cq,
+                             std::uint64_t wr_id) {
+  MemoryRegion* mr = FindRegion(rkey);
+  if (mr == nullptr) {
+    return Status(ErrorCode::kNotFound, "unknown rkey");
+  }
+  auto cost = CheckOneSided(initiator, *mr, remote_offset, dst.size(), /*is_write=*/false);
+  if (!cost.ok()) {
+    return cost;
+  }
+  if (mr->materialized()) {
+    std::memcpy(dst.data(), mr->bytes().data() + remote_offset, dst.size());
+  }
+  fabric_->NoteTransfer(dst.size());
+  if (cq != nullptr) {
+    cq->Push({Completion::Op::kRead, wr_id, dst.size(), cost.value(), true});
+  }
+  return cost;
+}
+
+Result<Duration> Verbs::Write(NodeId initiator, RKey rkey, Bytes remote_offset,
+                              std::span<const std::byte> src, CompletionQueue* cq,
+                              std::uint64_t wr_id) {
+  MemoryRegion* mr = FindRegion(rkey);
+  if (mr == nullptr) {
+    return Status(ErrorCode::kNotFound, "unknown rkey");
+  }
+  auto cost = CheckOneSided(initiator, *mr, remote_offset, src.size(), /*is_write=*/true);
+  if (!cost.ok()) {
+    return cost;
+  }
+  if (mr->materialized()) {
+    std::memcpy(mr->bytes().data() + remote_offset, src.data(), src.size());
+  }
+  fabric_->NoteTransfer(src.size());
+  if (cq != nullptr) {
+    cq->Push({Completion::Op::kWrite, wr_id, src.size(), cost.value(), true});
+  }
+  return cost;
+}
+
+Result<Duration> Verbs::Send(NodeId initiator, NodeId target, std::vector<std::byte> payload,
+                             CompletionQueue* cq, std::uint64_t wr_id) {
+  auto cost = fabric_->PriceTwoSided(initiator, target, payload.size());
+  if (!cost.ok()) {
+    return cost;
+  }
+  const Bytes size = payload.size();
+  rx_queues_[target].push_back(std::move(payload));
+  fabric_->NoteTransfer(size);
+  if (cq != nullptr) {
+    cq->Push({Completion::Op::kSend, wr_id, size, cost.value(), true});
+  }
+  return cost;
+}
+
+Result<std::vector<std::byte>> Verbs::Recv(NodeId node) {
+  auto it = rx_queues_.find(node);
+  if (it == rx_queues_.end() || it->second.empty()) {
+    return Status(ErrorCode::kNotFound, "no pending message");
+  }
+  std::vector<std::byte> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+bool Verbs::HasPending(NodeId node) const {
+  auto it = rx_queues_.find(node);
+  return it != rx_queues_.end() && !it->second.empty();
+}
+
+}  // namespace zombie::rdma

@@ -1,0 +1,162 @@
+#include "src/remotemem/buffer_db.h"
+
+#include <algorithm>
+
+namespace zombie::remotemem {
+
+std::string_view BufferTypeName(BufferType t) {
+  return t == BufferType::kZombie ? "zombie" : "active";
+}
+
+Status BufferDb::Insert(const BufferRecord& record) {
+  if (record.id == kInvalidBuffer) {
+    return Status(ErrorCode::kInvalidArgument, "buffer id 0 is reserved");
+  }
+  auto [it, inserted] = records_.emplace(record.id, record);
+  (void)it;
+  if (!inserted) {
+    return Status(ErrorCode::kConflict, "duplicate buffer id");
+  }
+  return Status::Ok();
+}
+
+Status BufferDb::Erase(BufferId id) {
+  return records_.erase(id) > 0 ? Status::Ok()
+                                : Status(ErrorCode::kNotFound, "unknown buffer id");
+}
+
+std::optional<BufferRecord> BufferDb::Find(BufferId id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Status BufferDb::Assign(BufferId id, ServerId user) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown buffer id");
+  }
+  if (it->second.user != kNilServer) {
+    return Status(ErrorCode::kConflict, "buffer already allocated");
+  }
+  it->second.user = user;
+  return Status::Ok();
+}
+
+Status BufferDb::Release(BufferId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown buffer id");
+  }
+  it->second.user = kNilServer;
+  return Status::Ok();
+}
+
+void BufferDb::RetypeHost(ServerId host, BufferType type) {
+  for (auto& [id, rec] : records_) {
+    if (rec.host == host) {
+      rec.type = type;
+    }
+  }
+}
+
+std::vector<BufferRecord> BufferDb::FreeBuffers(std::optional<BufferType> type) const {
+  std::vector<BufferRecord> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.user == kNilServer && (!type.has_value() || rec.type == *type)) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<BufferRecord> BufferDb::BuffersOfHost(ServerId host) const {
+  std::vector<BufferRecord> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.host == host) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<BufferRecord> BufferDb::BuffersUsedBy(ServerId user) const {
+  std::vector<BufferRecord> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.user == user) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<BufferRecord> BufferDb::ReclaimOrderForHost(ServerId host) const {
+  std::vector<BufferRecord> all = BuffersOfHost(host);
+  std::stable_sort(all.begin(), all.end(), [](const BufferRecord& a, const BufferRecord& b) {
+    const bool a_free = a.user == kNilServer;
+    const bool b_free = b.user == kNilServer;
+    if (a_free != b_free) {
+      return a_free;  // free buffers first
+    }
+    return a.id < b.id;
+  });
+  return all;
+}
+
+std::size_t BufferDb::free_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.user == kNilServer) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Bytes BufferDb::FreeBytes() const {
+  Bytes total = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.user == kNilServer) {
+      total += rec.size;
+    }
+  }
+  return total;
+}
+
+Bytes BufferDb::TotalBytes() const {
+  Bytes total = 0;
+  for (const auto& [id, rec] : records_) {
+    total += rec.size;
+  }
+  return total;
+}
+
+std::size_t BufferDb::AllocatedCountOfHost(ServerId host) const {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.host == host && rec.user != kNilServer) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<BufferRecord> BufferDb::Snapshot() const {
+  std::vector<BufferRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void BufferDb::Load(const std::vector<BufferRecord>& records) {
+  records_.clear();
+  for (const auto& rec : records) {
+    records_.emplace(rec.id, rec);
+  }
+}
+
+}  // namespace zombie::remotemem

@@ -1,0 +1,62 @@
+// The global controller's in-memory database of remote buffers.
+//
+// Supports the allocation-priority queries of Section 4.4: free zombie
+// buffers first, then free active buffers, then buffers to reclaim from
+// users.  Fully deterministic iteration (ordered by BufferId).
+#ifndef ZOMBIELAND_SRC_REMOTEMEM_BUFFER_DB_H_
+#define ZOMBIELAND_SRC_REMOTEMEM_BUFFER_DB_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/remotemem/types.h"
+
+namespace zombie::remotemem {
+
+class BufferDb {
+ public:
+  // Inserts a record; id must be fresh.
+  Status Insert(const BufferRecord& record);
+  Status Erase(BufferId id);
+  std::optional<BufferRecord> Find(BufferId id) const;
+
+  // Marks a free buffer as used by `user`.
+  Status Assign(BufferId id, ServerId user);
+  // Returns a buffer to the free pool.
+  Status Release(BufferId id);
+  // Flips the type of all buffers of `host` (zombie <-> active) when the
+  // host changes power state without reclaiming.
+  void RetypeHost(ServerId host, BufferType type);
+
+  // Queries (all results ordered by id).
+  std::vector<BufferRecord> FreeBuffers(std::optional<BufferType> type = std::nullopt) const;
+  std::vector<BufferRecord> BuffersOfHost(ServerId host) const;
+  std::vector<BufferRecord> BuffersUsedBy(ServerId user) const;
+  // Free buffers of `host` first, then used ones — the reclaim order of
+  // Section 4.3 ("It first uses unallocated buffers and then chooses
+  // buffers allocated to other servers").
+  std::vector<BufferRecord> ReclaimOrderForHost(ServerId host) const;
+
+  std::size_t size() const { return records_.size(); }
+  std::size_t free_count() const;
+  Bytes FreeBytes() const;
+  Bytes TotalBytes() const;
+
+  // Number of *allocated* buffers served by `host` (the LRU-zombie metric:
+  // Neat prefers waking the zombie with the fewest shared buffers).
+  std::size_t AllocatedCountOfHost(ServerId host) const;
+
+  // Snapshot / replace, used by controller mirroring.
+  std::vector<BufferRecord> Snapshot() const;
+  void Load(const std::vector<BufferRecord>& records);
+
+ private:
+  std::map<BufferId, BufferRecord> records_;
+};
+
+}  // namespace zombie::remotemem
+
+#endif  // ZOMBIELAND_SRC_REMOTEMEM_BUFFER_DB_H_

@@ -1,0 +1,299 @@
+#include "src/remotemem/global_controller.h"
+
+#include <algorithm>
+
+namespace zombie::remotemem {
+
+GlobalMemoryController::GlobalMemoryController(ControllerConfig config)
+    : config_(config) {}
+
+void GlobalMemoryController::RegisterServer(ServerId server) {
+  // "Initially all servers are designated active, and state is updated as
+  // they are pushed to Sz" (Section 4.2).
+  server_is_zombie_.emplace(server, false);
+  // Registration is mirrored so a promoted secondary knows every server.
+  Mirror({MirrorOp::Kind::kServerState, {}, kInvalidBuffer, server, BufferType::kZombie,
+          false});
+}
+
+void GlobalMemoryController::Restore(const std::vector<BufferRecord>& records,
+                                     const std::map<ServerId, bool>& server_states) {
+  db_.Load(records);
+  server_is_zombie_ = server_states;
+  BufferId max_id = 0;
+  for (const auto& rec : records) {
+    max_id = std::max(max_id, rec.id);
+  }
+  next_buffer_id_ = max_id + 1;
+}
+
+bool GlobalMemoryController::IsZombie(ServerId server) const {
+  auto it = server_is_zombie_.find(server);
+  return it != server_is_zombie_.end() && it->second;
+}
+
+std::vector<ServerId> GlobalMemoryController::ZombieList() const {
+  std::vector<ServerId> out;
+  for (const auto& [id, is_zombie] : server_is_zombie_) {
+    if (is_zombie) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void GlobalMemoryController::Mirror(const MirrorOp& op) {
+  if (mirror_ != nullptr) {
+    mirror_->ApplyMirrored(op);
+  }
+}
+
+Result<std::vector<BufferId>> GlobalMemoryController::InsertGrants(
+    ServerId host, const std::vector<BufferGrant>& buffers, BufferType type) {
+  if (!server_is_zombie_.contains(host)) {
+    return Status(ErrorCode::kNotFound, "unregistered host");
+  }
+  std::vector<BufferId> ids;
+  ids.reserve(buffers.size());
+  Bytes offset = 0;
+  for (const auto& grant : buffers) {
+    if (grant.size != config_.buff_size) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "buffer size violates rack-uniform BUFF_SIZE");
+    }
+    BufferRecord rec;
+    rec.id = next_buffer_id_++;
+    rec.offset = offset;
+    offset += grant.size;
+    rec.size = grant.size;
+    rec.type = type;
+    rec.host = host;
+    rec.user = kNilServer;
+    rec.rkey = grant.rkey;
+    Status st = db_.Insert(rec);
+    if (!st.ok()) {
+      return st;
+    }
+    Mirror({MirrorOp::Kind::kInsert, rec, rec.id, host, type, false});
+    ids.push_back(rec.id);
+  }
+  return ids;
+}
+
+Result<std::vector<BufferId>> GlobalMemoryController::GsGotoZombie(
+    ServerId host, const std::vector<BufferGrant>& buffers) {
+  auto it = server_is_zombie_.find(host);
+  if (it == server_is_zombie_.end()) {
+    return Status(ErrorCode::kNotFound, "unregistered host");
+  }
+  // Any slack the host was lending while active becomes zombie memory.
+  db_.RetypeHost(host, BufferType::kZombie);
+  Mirror({MirrorOp::Kind::kRetypeHost, {}, kInvalidBuffer, host, BufferType::kZombie, false});
+  auto ids = InsertGrants(host, buffers, BufferType::kZombie);
+  if (!ids.ok()) {
+    return ids;
+  }
+  it->second = true;
+  Mirror({MirrorOp::Kind::kServerState, {}, kInvalidBuffer, host, BufferType::kZombie, true});
+  return ids;
+}
+
+Result<std::vector<BufferId>> GlobalMemoryController::DelegateActiveBuffers(
+    ServerId host, const std::vector<BufferGrant>& buffers) {
+  if (IsZombie(host)) {
+    return Status(ErrorCode::kFailedPrecondition, "zombie host cannot lend as active");
+  }
+  return InsertGrants(host, buffers, BufferType::kActive);
+}
+
+Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
+                                                                std::size_t nb_buffers) {
+  auto it = server_is_zombie_.find(host);
+  if (it == server_is_zombie_.end()) {
+    return Status(ErrorCode::kNotFound, "unregistered host");
+  }
+  const std::vector<BufferRecord> candidates = db_.ReclaimOrderForHost(host);
+  if (candidates.size() < nb_buffers) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "host asked to reclaim more buffers than it delegated");
+  }
+  std::vector<BufferId> reclaimed;
+  reclaimed.reserve(nb_buffers);
+  // Batch the US_reclaim notifications per user server.
+  std::map<ServerId, std::vector<BufferId>> per_user;
+  for (std::size_t i = 0; i < nb_buffers; ++i) {
+    const BufferRecord& rec = candidates[i];
+    if (rec.user != kNilServer) {
+      per_user[rec.user].push_back(rec.id);
+    }
+    reclaimed.push_back(rec.id);
+  }
+  if (agents_ != nullptr) {
+    for (const auto& [user, ids] : per_user) {
+      // US_reclaim "only informs the corresponding remote-mem-mgrs that
+      // buff_IDs are no longer available" — the user migrates its backup
+      // copies, we don't wait for it.
+      (void)agents_->ReclaimFromUser(user, ids);
+    }
+  }
+  for (BufferId id : reclaimed) {
+    (void)db_.Erase(id);
+    Mirror({MirrorOp::Kind::kErase, {}, id, host, BufferType::kZombie, false});
+  }
+  // A host reclaiming memory is waking up.
+  it->second = false;
+  Mirror({MirrorOp::Kind::kServerState, {}, kInvalidBuffer, host, BufferType::kZombie, false});
+  return reclaimed;
+}
+
+std::vector<BufferGrant> GlobalMemoryController::TakeFreeBuffers(ServerId user,
+                                                                 std::size_t want) {
+  std::vector<BufferGrant> grants;
+  // Zombie buffers have strict priority over active ones.  Within a type,
+  // buffers are taken round-robin across hosts: "the memSize allocation is
+  // backed by memory from multiple remote servers.  This approach minimizes
+  // the performance impact caused by a remote server failure."
+  for (BufferType type : {BufferType::kZombie, BufferType::kActive}) {
+    if (grants.size() >= want) {
+      break;
+    }
+    std::map<ServerId, std::vector<BufferRecord>> per_host;
+    for (const BufferRecord& rec : db_.FreeBuffers(type)) {
+      per_host[rec.host].push_back(rec);
+    }
+    std::map<ServerId, std::size_t> cursor;
+    bool took_any = true;
+    while (grants.size() < want && took_any) {
+      took_any = false;
+      for (auto& [host, records] : per_host) {
+        if (grants.size() >= want) {
+          break;
+        }
+        std::size_t& pos = cursor[host];
+        if (pos >= records.size()) {
+          continue;
+        }
+        const BufferRecord& rec = records[pos++];
+        (void)db_.Assign(rec.id, user);
+        Mirror({MirrorOp::Kind::kAssign, {}, rec.id, user, rec.type, false});
+        grants.push_back({rec.id, rec.rkey, rec.size, rec.host, rec.type});
+        took_any = true;
+      }
+    }
+  }
+  return grants;
+}
+
+Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocExt(ServerId user,
+                                                                    Bytes mem_size) {
+  if (!server_is_zombie_.contains(user)) {
+    return Status(ErrorCode::kNotFound, "unregistered user server");
+  }
+  // nb x BUFF_SIZE == memSize, rounded up to whole buffers.
+  const std::size_t want =
+      static_cast<std::size_t>((mem_size + config_.buff_size - 1) / config_.buff_size);
+  std::vector<BufferGrant> grants = TakeFreeBuffers(user, want);
+  if (grants.size() < want && config_.allow_escalation && agents_ != nullptr) {
+    // AS_get_free_mem(): ask active servers to lend slack.
+    const Bytes missing = (want - grants.size()) * config_.buff_size;
+    for (const auto& [server, is_zombie] : server_is_zombie_) {
+      if (grants.size() >= want) {
+        break;
+      }
+      if (is_zombie || server == user) {
+        continue;
+      }
+      (void)agents_->RequestActiveDelegation(server, missing);
+      auto more = TakeFreeBuffers(user, want - grants.size());
+      grants.insert(grants.end(), more.begin(), more.end());
+    }
+  }
+  if (grants.size() < want) {
+    // Admission control should have prevented this: undo and fail.
+    for (const auto& g : grants) {
+      (void)db_.Release(g.id);
+      Mirror({MirrorOp::Kind::kRelease, {}, g.id, user, g.type, false});
+    }
+    return Status(ErrorCode::kOutOfMemory, "rack cannot satisfy guaranteed RAM-Ext allocation");
+  }
+  return grants;
+}
+
+Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocSwap(ServerId user,
+                                                                     Bytes mem_size) {
+  if (!server_is_zombie_.contains(user)) {
+    return Status(ErrorCode::kNotFound, "unregistered user server");
+  }
+  // Best effort: nb x BUFF_SIZE <= memSize, never escalates.
+  const std::size_t want = static_cast<std::size_t>(mem_size / config_.buff_size);
+  return TakeFreeBuffers(user, want);
+}
+
+Status GlobalMemoryController::GsRelease(ServerId user, const std::vector<BufferId>& buffers) {
+  for (BufferId id : buffers) {
+    auto rec = db_.Find(id);
+    if (!rec.has_value()) {
+      continue;  // already reclaimed by its host — nothing to release
+    }
+    if (rec->user != user) {
+      return Status(ErrorCode::kNotFound, "buffer not held by user");
+    }
+    (void)db_.Release(id);
+    Mirror({MirrorOp::Kind::kRelease, {}, id, user, rec->type, false});
+  }
+  return Status::Ok();
+}
+
+std::vector<ServerId> GlobalMemoryController::SurplusZombies(Bytes keep_free_bytes) const {
+  std::vector<ServerId> surplus;
+  Bytes free_pool = db_.FreeBytes();
+  for (const auto& [server, is_zombie] : server_is_zombie_) {
+    if (!is_zombie || db_.AllocatedCountOfHost(server) > 0) {
+      continue;
+    }
+    Bytes hosted = 0;
+    for (const auto& rec : db_.BuffersOfHost(server)) {
+      hosted += rec.size;
+    }
+    if (free_pool >= hosted && free_pool - hosted >= keep_free_bytes) {
+      surplus.push_back(server);
+      free_pool -= hosted;
+    }
+  }
+  return surplus;
+}
+
+Status GlobalMemoryController::RetireZombie(ServerId host) {
+  if (!IsZombie(host)) {
+    return Status(ErrorCode::kFailedPrecondition, "host is not a zombie");
+  }
+  if (db_.AllocatedCountOfHost(host) > 0) {
+    return Status(ErrorCode::kConflict, "zombie still serves allocated buffers");
+  }
+  for (const auto& rec : db_.BuffersOfHost(host)) {
+    (void)db_.Erase(rec.id);
+    Mirror({MirrorOp::Kind::kErase, {}, rec.id, host, BufferType::kZombie, false});
+  }
+  return Status::Ok();
+}
+
+Result<ServerId> GlobalMemoryController::GsGetLruZombie() const {
+  ServerId best = kNilServer;
+  std::size_t best_count = 0;
+  for (const auto& [server, is_zombie] : server_is_zombie_) {
+    if (!is_zombie) {
+      continue;
+    }
+    const std::size_t count = db_.AllocatedCountOfHost(server);
+    if (best == kNilServer || count < best_count) {
+      best = server;
+      best_count = count;
+    }
+  }
+  if (best == kNilServer) {
+    return Status(ErrorCode::kNotFound, "no zombie servers in the rack");
+  }
+  return best;
+}
+
+}  // namespace zombie::remotemem

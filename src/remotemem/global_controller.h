@@ -1,0 +1,159 @@
+// The Global Memory Controller (global-mem-ctr, Section 4).
+//
+// Manages the rack-wide zombie memory pool: tracks delegated buffers in an
+// in-memory database, serves allocation requests (RAM-Extension guaranteed,
+// swap best-effort), reclaims buffers for waking zombies, and mirrors every
+// mutating operation to the secondary controller.
+//
+// Allocation priority (Section 4.4): "Memory from zombie servers have always
+// higher priority than memory from active servers.  Thereby, global-mem-ctr
+// first attempts to allocate the requested memory from available free
+// buffers.  Next, it tries to get more remote memory from active and user
+// servers with the AS_get_free_mem() and US_reclaim(buff_IDs) calls."
+#ifndef ZOMBIELAND_SRC_REMOTEMEM_GLOBAL_CONTROLLER_H_
+#define ZOMBIELAND_SRC_REMOTEMEM_GLOBAL_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/remotemem/buffer_db.h"
+#include "src/remotemem/types.h"
+
+namespace zombie::remotemem {
+
+// A mutating operation, as mirrored to the secondary controller.
+struct MirrorOp {
+  enum class Kind : std::uint8_t {
+    kInsert,
+    kErase,
+    kAssign,
+    kRelease,
+    kRetypeHost,
+    kServerState,
+  } kind;
+  BufferRecord record;       // kInsert
+  BufferId buffer = kInvalidBuffer;  // kErase/kAssign/kRelease
+  ServerId server = kNilServer;      // kAssign(user)/kRetypeHost/kServerState
+  BufferType type = BufferType::kZombie;  // kRetypeHost
+  bool is_zombie = false;                 // kServerState
+};
+
+// Receives mirrored operations (implemented by SecondaryController).
+class MirrorSink {
+ public:
+  virtual ~MirrorSink() = default;
+  virtual void ApplyMirrored(const MirrorOp& op) = 0;
+};
+
+// How the controller reaches the per-server agents for reclaim / slack
+// queries.  The rack layer implements this over RPC-over-RDMA; unit tests
+// implement it directly.
+class AgentDirectory {
+ public:
+  virtual ~AgentDirectory() = default;
+  // US_reclaim: informs `user`'s remote-mem-mgr that `buffers` are no longer
+  // available; the mgr migrates its backup copies elsewhere.
+  virtual Status ReclaimFromUser(ServerId user, const std::vector<BufferId>& buffers) = 0;
+  // AS_get_free_mem: asks an active server how much slack it can lend, and
+  // to delegate it (the agent responds by calling DelegateBuffers).
+  virtual Bytes RequestActiveDelegation(ServerId host, Bytes wanted) = 0;
+};
+
+struct ControllerConfig {
+  Bytes buff_size = kDefaultBuffSize;
+  // When true, GsAllocExt escalates to AS_get_free_mem / US_reclaim before
+  // failing; GsAllocSwap never escalates (best-effort only).
+  bool allow_escalation = true;
+};
+
+class GlobalMemoryController {
+ public:
+  explicit GlobalMemoryController(ControllerConfig config = {});
+
+  void set_mirror(MirrorSink* sink) { mirror_ = sink; }
+  void set_agents(AgentDirectory* agents) { agents_ = agents; }
+  const ControllerConfig& config() const { return config_; }
+
+  // ---- Server lifecycle -------------------------------------------------
+  // Registers a server as active (initial state; Section 4.2).
+  void RegisterServer(ServerId server);
+  // Rebuilds full state from a replica (failover path, Section 4).
+  void Restore(const std::vector<BufferRecord>& records,
+               const std::map<ServerId, bool>& server_states);
+  bool IsZombie(ServerId server) const;
+  std::vector<ServerId> ZombieList() const;
+
+  // GS_goto_zombie(buffers): the host is about to enter Sz and lends the
+  // given buffers.  Buffers previously lent while active flip to zombie
+  // type.  Returns the controller-assigned ids, in input order.
+  Result<std::vector<BufferId>> GsGotoZombie(ServerId host,
+                                             const std::vector<BufferGrant>& buffers);
+
+  // Active-server delegation (slack lending while in S0).
+  Result<std::vector<BufferId>> DelegateActiveBuffers(ServerId host,
+                                                      const std::vector<BufferGrant>& buffers);
+
+  // GS_reclaim(nbBuffers): a waking host takes back `nb` of its buffers.
+  // Unallocated buffers go first; then allocated ones are reclaimed from
+  // their users via US_reclaim.  Returns the reclaimed buffer ids.
+  Result<std::vector<BufferId>> GsReclaim(ServerId host, std::size_t nb_buffers);
+
+  // ---- Allocation (Section 4.4) -----------------------------------------
+  // RAM-Extension allocation: must fully satisfy memSize (admission control
+  // guarantees rack capacity); escalates to active/user servers if needed.
+  Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size);
+  // Swap allocation: best effort, may return less than memSize.
+  Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size);
+  // Releases buffers a user no longer needs.
+  Status GsRelease(ServerId user, const std::vector<BufferId>& buffers);
+
+  // GS_get_lru_zombie(): the zombie with the fewest allocated buffers
+  // (Section 5.2) — the cheapest one to wake.
+  Result<ServerId> GsGetLruZombie() const;
+
+  // Section 4.4 surplus policy: "If the global-mem-ctr holds huge amounts of
+  // free memory (e.g. more than the total memory of a rack server), the
+  // cloud manager may decide to transition zombie servers to S3 for further
+  // reducing the energy consumption."  Returns zombies that are entirely
+  // free (no allocated buffer) and whose departure still leaves at least
+  // `keep_free_bytes` of free pool — candidates for a deeper sleep.
+  std::vector<ServerId> SurplusZombies(Bytes keep_free_bytes) const;
+  // Drops all (free) buffers of `host` from the pool as it transitions to a
+  // state where its memory is unreachable (S3/S4).  Fails if any buffer of
+  // the host is still allocated.
+  Status RetireZombie(ServerId host);
+
+  // ---- Introspection -----------------------------------------------------
+  const BufferDb& db() const { return db_; }
+  Bytes FreeRemoteBytes() const { return db_.FreeBytes(); }
+  std::size_t ServerCount() const { return server_is_zombie_.size(); }
+
+  // Heartbeat payload for the secondary's monitor.
+  std::uint64_t heartbeat_seq() const { return heartbeat_seq_; }
+  std::uint64_t BumpHeartbeat() { return ++heartbeat_seq_; }
+
+ private:
+  Result<std::vector<BufferId>> InsertGrants(ServerId host,
+                                             const std::vector<BufferGrant>& buffers,
+                                             BufferType type);
+  void Mirror(const MirrorOp& op);
+  // Core allocator: takes free buffers in priority order (zombie first).
+  std::vector<BufferGrant> TakeFreeBuffers(ServerId user, std::size_t want);
+
+  ControllerConfig config_;
+  BufferDb db_;
+  std::map<ServerId, bool> server_is_zombie_;
+  MirrorSink* mirror_ = nullptr;
+  AgentDirectory* agents_ = nullptr;
+  BufferId next_buffer_id_ = 1;
+  std::uint64_t heartbeat_seq_ = 0;
+};
+
+}  // namespace zombie::remotemem
+
+#endif  // ZOMBIELAND_SRC_REMOTEMEM_GLOBAL_CONTROLLER_H_

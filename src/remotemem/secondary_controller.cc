@@ -1,0 +1,64 @@
+#include "src/remotemem/secondary_controller.h"
+
+namespace zombie::remotemem {
+
+void SecondaryController::ApplyMirrored(const MirrorOp& op) {
+  ++mirrored_ops_;
+  switch (op.kind) {
+    case MirrorOp::Kind::kInsert:
+      (void)replica_.Insert(op.record);
+      server_is_zombie_.try_emplace(op.record.host, false);
+      break;
+    case MirrorOp::Kind::kErase:
+      (void)replica_.Erase(op.buffer);
+      break;
+    case MirrorOp::Kind::kAssign:
+      (void)replica_.Assign(op.buffer, op.server);
+      break;
+    case MirrorOp::Kind::kRelease:
+      (void)replica_.Release(op.buffer);
+      break;
+    case MirrorOp::Kind::kRetypeHost:
+      replica_.RetypeHost(op.server, op.type);
+      break;
+    case MirrorOp::Kind::kServerState:
+      server_is_zombie_[op.server] = op.is_zombie;
+      break;
+  }
+}
+
+bool SecondaryController::IsZombieReplica(ServerId server) const {
+  auto it = server_is_zombie_.find(server);
+  return it != server_is_zombie_.end() && it->second;
+}
+
+void SecondaryController::ObserveHeartbeat(std::uint64_t seq) {
+  if (seq > last_seen_seq_) {
+    last_seen_seq_ = seq;
+  }
+}
+
+bool SecondaryController::MonitorTick() {
+  if (failed_over_) {
+    return false;
+  }
+  if (last_seen_seq_ > seq_at_last_tick_) {
+    consecutive_misses_ = 0;
+  } else {
+    ++consecutive_misses_;
+  }
+  seq_at_last_tick_ = last_seen_seq_;
+  if (consecutive_misses_ >= config_.missed_beats_for_failover) {
+    failed_over_ = true;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<GlobalMemoryController> SecondaryController::Promote(ControllerConfig config) {
+  auto controller = std::make_unique<GlobalMemoryController>(config);
+  controller->Restore(replica_.Snapshot(), server_is_zombie_);
+  return controller;
+}
+
+}  // namespace zombie::remotemem

@@ -1,0 +1,55 @@
+// Shared identifiers and buffer descriptors of the rack-level remote-memory
+// protocol (Section 4.3: "Each remote buffer is characterized by an
+// identifier, offset, size, its type (active/zombie), the host serving the
+// buffer, and the server currently using this buffer").
+#ifndef ZOMBIELAND_SRC_REMOTEMEM_TYPES_H_
+#define ZOMBIELAND_SRC_REMOTEMEM_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/units.h"
+#include "src/rdma/verbs.h"
+
+namespace zombie::remotemem {
+
+using ServerId = std::uint32_t;
+inline constexpr ServerId kNilServer = 0;
+
+using BufferId = std::uint64_t;
+inline constexpr BufferId kInvalidBuffer = 0;
+
+// Rack-uniform remote buffer granularity ("Their size (noted BUFF_SIZE) is
+// uniform across the entire rack").  Default 64 MiB; configurable rack-wide.
+inline constexpr Bytes kDefaultBuffSize = 64 * kMiB;
+
+enum class BufferType : std::uint8_t {
+  kZombie = 0,  // served by a server in Sz
+  kActive = 1,  // served by an S0 server's slack memory
+};
+
+std::string_view BufferTypeName(BufferType t);
+
+// A buffer as tracked by the global controller's in-memory database.
+struct BufferRecord {
+  BufferId id = kInvalidBuffer;
+  Bytes offset = 0;            // offset within the host's delegated range
+  Bytes size = 0;              // == rack BUFF_SIZE
+  BufferType type = BufferType::kZombie;
+  ServerId host = kNilServer;  // server whose DRAM backs the buffer
+  ServerId user = kNilServer;  // server currently using it (nil = free)
+  rdma::RKey rkey = rdma::kInvalidRKey;  // RDMA handle for one-sided access
+};
+
+// What an allocation hands to a user server.
+struct BufferGrant {
+  BufferId id = kInvalidBuffer;
+  rdma::RKey rkey = rdma::kInvalidRKey;
+  Bytes size = 0;
+  ServerId host = kNilServer;
+  BufferType type = BufferType::kZombie;
+};
+
+}  // namespace zombie::remotemem
+
+#endif  // ZOMBIELAND_SRC_REMOTEMEM_TYPES_H_

@@ -1,0 +1,374 @@
+#include "src/remotemem/wire.h"
+
+namespace zombie::remotemem {
+
+using rdma::Payload;
+using rdma::PayloadReader;
+using rdma::PayloadWriter;
+
+void EncodeGrant(PayloadWriter& writer, const BufferGrant& grant) {
+  writer.PutU64(grant.id);
+  writer.PutU64(grant.rkey);
+  writer.PutU64(grant.size);
+  writer.PutU32(grant.host);
+  writer.PutU32(static_cast<std::uint32_t>(grant.type));
+}
+
+Result<BufferGrant> DecodeGrant(PayloadReader& reader) {
+  BufferGrant grant;
+  auto id = reader.GetU64();
+  if (!id.ok()) {
+    return id.status();
+  }
+  grant.id = id.value();
+  auto rkey = reader.GetU64();
+  if (!rkey.ok()) {
+    return rkey.status();
+  }
+  grant.rkey = rkey.value();
+  auto size = reader.GetU64();
+  if (!size.ok()) {
+    return size.status();
+  }
+  grant.size = size.value();
+  auto host = reader.GetU32();
+  if (!host.ok()) {
+    return host.status();
+  }
+  grant.host = host.value();
+  auto type = reader.GetU32();
+  if (!type.ok()) {
+    return type.status();
+  }
+  if (type.value() > 1) {
+    return Status(ErrorCode::kInvalidArgument, "bad buffer type on the wire");
+  }
+  grant.type = static_cast<BufferType>(type.value());
+  return grant;
+}
+
+void EncodeStatus(PayloadWriter& writer, const Status& status) {
+  writer.PutU32(static_cast<std::uint32_t>(status.code()));
+  writer.PutString(status.message());
+}
+
+Status DecodeStatus(PayloadReader& reader) {
+  auto code = reader.GetU32();
+  if (!code.ok()) {
+    return code.status();
+  }
+  auto message = reader.GetString();
+  if (!message.ok()) {
+    return message.status();
+  }
+  if (code.value() > static_cast<std::uint32_t>(ErrorCode::kFailedPrecondition)) {
+    return Status(ErrorCode::kInvalidArgument, "bad status code on the wire");
+  }
+  return Status(static_cast<ErrorCode>(code.value()), message.value());
+}
+
+namespace {
+
+// Responses are (status, body...).  Handlers return OK + body or an encoded
+// error status; the client decodes the status first.
+Payload OkHeader() {
+  PayloadWriter writer;
+  EncodeStatus(writer, Status::Ok());
+  return writer.Take();
+}
+
+Payload ErrorResponse(const Status& status) {
+  PayloadWriter writer;
+  EncodeStatus(writer, status);
+  return writer.Take();
+}
+
+}  // namespace
+
+ControllerEndpoint::ControllerEndpoint(GlobalMemoryController* controller,
+                                       rdma::RpcServer* server)
+    : controller_(controller) {
+  server->RegisterMethod(kMethodGotoZombie, [this](const Payload& request) -> Result<Payload> {
+    PayloadReader reader(request);
+    auto host = reader.GetU32();
+    auto count = reader.GetU32();
+    if (!host.ok() || !count.ok()) {
+      return Status(ErrorCode::kInvalidArgument, "malformed GS_goto_zombie");
+    }
+    std::vector<BufferGrant> grants;
+    grants.reserve(count.value());
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      auto grant = DecodeGrant(reader);
+      if (!grant.ok()) {
+        return grant.status();
+      }
+      grants.push_back(grant.value());
+    }
+    auto ids = controller_->GsGotoZombie(host.value(), grants);
+    if (!ids.ok()) {
+      return ErrorResponse(ids.status());
+    }
+    PayloadWriter writer;
+    EncodeStatus(writer, Status::Ok());
+    writer.PutU32(static_cast<std::uint32_t>(ids.value().size()));
+    for (BufferId id : ids.value()) {
+      writer.PutU64(id);
+    }
+    return writer.Take();
+  });
+
+  server->RegisterMethod(kMethodReclaim, [this](const Payload& request) -> Result<Payload> {
+    PayloadReader reader(request);
+    auto host = reader.GetU32();
+    auto nb = reader.GetU64();
+    if (!host.ok() || !nb.ok()) {
+      return Status(ErrorCode::kInvalidArgument, "malformed GS_reclaim");
+    }
+    auto ids = controller_->GsReclaim(host.value(), static_cast<std::size_t>(nb.value()));
+    if (!ids.ok()) {
+      return ErrorResponse(ids.status());
+    }
+    PayloadWriter writer;
+    EncodeStatus(writer, Status::Ok());
+    writer.PutU32(static_cast<std::uint32_t>(ids.value().size()));
+    for (BufferId id : ids.value()) {
+      writer.PutU64(id);
+    }
+    return writer.Take();
+  });
+
+  auto alloc_handler = [this](const Payload& request, bool guaranteed) -> Result<Payload> {
+    PayloadReader reader(request);
+    auto user = reader.GetU32();
+    auto size = reader.GetU64();
+    if (!user.ok() || !size.ok()) {
+      return Status(ErrorCode::kInvalidArgument, "malformed GS_alloc");
+    }
+    auto grants = guaranteed ? controller_->GsAllocExt(user.value(), size.value())
+                             : controller_->GsAllocSwap(user.value(), size.value());
+    if (!grants.ok()) {
+      return ErrorResponse(grants.status());
+    }
+    PayloadWriter writer;
+    EncodeStatus(writer, Status::Ok());
+    writer.PutU32(static_cast<std::uint32_t>(grants.value().size()));
+    for (const auto& grant : grants.value()) {
+      EncodeGrant(writer, grant);
+    }
+    return writer.Take();
+  };
+  server->RegisterMethod(kMethodAllocExt, [alloc_handler](const Payload& request) {
+    return alloc_handler(request, /*guaranteed=*/true);
+  });
+  server->RegisterMethod(kMethodAllocSwap, [alloc_handler](const Payload& request) {
+    return alloc_handler(request, /*guaranteed=*/false);
+  });
+
+  server->RegisterMethod(kMethodRelease, [this](const Payload& request) -> Result<Payload> {
+    PayloadReader reader(request);
+    auto user = reader.GetU32();
+    auto count = reader.GetU32();
+    if (!user.ok() || !count.ok()) {
+      return Status(ErrorCode::kInvalidArgument, "malformed GS_release");
+    }
+    std::vector<BufferId> ids;
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      auto id = reader.GetU64();
+      if (!id.ok()) {
+        return id.status();
+      }
+      ids.push_back(id.value());
+    }
+    return ErrorResponse(controller_->GsRelease(user.value(), ids));
+  });
+
+  server->RegisterMethod(kMethodGetLruZombie,
+                         [this](const Payload&) -> Result<Payload> {
+    auto lru = controller_->GsGetLruZombie();
+    if (!lru.ok()) {
+      return ErrorResponse(lru.status());
+    }
+    PayloadWriter writer;
+    EncodeStatus(writer, Status::Ok());
+    writer.PutU32(lru.value());
+    return writer.Take();
+  });
+
+  server->RegisterMethod(kMethodHeartbeat, [this](const Payload&) -> Result<Payload> {
+    PayloadWriter writer;
+    EncodeStatus(writer, Status::Ok());
+    writer.PutU64(controller_->BumpHeartbeat());
+    return writer.Take();
+  });
+}
+
+Result<Payload> ControllerClient::Call(const std::string& method, const Payload& request) {
+  return router_->Call(self_, controller_node_, method, request, &last_cost_);
+}
+
+namespace {
+
+// Decodes the (status, ...) response header; returns the reader positioned
+// at the body on success.
+Status DecodeHeader(PayloadReader& reader) { return DecodeStatus(reader); }
+
+}  // namespace
+
+Result<std::vector<BufferId>> ControllerClient::GotoZombie(
+    ServerId host, const std::vector<BufferGrant>& buffers) {
+  PayloadWriter writer;
+  writer.PutU32(host);
+  writer.PutU32(static_cast<std::uint32_t>(buffers.size()));
+  for (const auto& grant : buffers) {
+    EncodeGrant(writer, grant);
+  }
+  auto response = Call(kMethodGotoZombie, writer.Take());
+  if (!response.ok()) {
+    return response.status();
+  }
+  PayloadReader reader(response.value());
+  Status status = DecodeHeader(reader);
+  if (!status.ok()) {
+    return status;
+  }
+  auto count = reader.GetU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  std::vector<BufferId> ids;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto id = reader.GetU64();
+    if (!id.ok()) {
+      return id.status();
+    }
+    ids.push_back(id.value());
+  }
+  return ids;
+}
+
+Result<std::vector<BufferId>> ControllerClient::Reclaim(ServerId host,
+                                                        std::uint64_t nb_buffers) {
+  PayloadWriter writer;
+  writer.PutU32(host);
+  writer.PutU64(nb_buffers);
+  auto response = Call(kMethodReclaim, writer.Take());
+  if (!response.ok()) {
+    return response.status();
+  }
+  PayloadReader reader(response.value());
+  Status status = DecodeHeader(reader);
+  if (!status.ok()) {
+    return status;
+  }
+  auto count = reader.GetU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  std::vector<BufferId> ids;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto id = reader.GetU64();
+    if (!id.ok()) {
+      return id.status();
+    }
+    ids.push_back(id.value());
+  }
+  return ids;
+}
+
+namespace {
+
+Result<std::vector<BufferGrant>> DecodeGrantList(const Payload& response) {
+  PayloadReader reader(response);
+  Status status = DecodeHeader(reader);
+  if (!status.ok()) {
+    return status;
+  }
+  auto count = reader.GetU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  std::vector<BufferGrant> grants;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto grant = DecodeGrant(reader);
+    if (!grant.ok()) {
+      return grant.status();
+    }
+    grants.push_back(grant.value());
+  }
+  return grants;
+}
+
+}  // namespace
+
+Result<std::vector<BufferGrant>> ControllerClient::AllocExt(ServerId user, Bytes mem_size) {
+  PayloadWriter writer;
+  writer.PutU32(user);
+  writer.PutU64(mem_size);
+  auto response = Call(kMethodAllocExt, writer.Take());
+  if (!response.ok()) {
+    return response.status();
+  }
+  return DecodeGrantList(response.value());
+}
+
+Result<std::vector<BufferGrant>> ControllerClient::AllocSwap(ServerId user, Bytes mem_size) {
+  PayloadWriter writer;
+  writer.PutU32(user);
+  writer.PutU64(mem_size);
+  auto response = Call(kMethodAllocSwap, writer.Take());
+  if (!response.ok()) {
+    return response.status();
+  }
+  return DecodeGrantList(response.value());
+}
+
+Status ControllerClient::Release(ServerId user, const std::vector<BufferId>& buffers) {
+  PayloadWriter writer;
+  writer.PutU32(user);
+  writer.PutU32(static_cast<std::uint32_t>(buffers.size()));
+  for (BufferId id : buffers) {
+    writer.PutU64(id);
+  }
+  auto response = Call(kMethodRelease, writer.Take());
+  if (!response.ok()) {
+    return response.status();
+  }
+  PayloadReader reader(response.value());
+  return DecodeHeader(reader);
+}
+
+Result<ServerId> ControllerClient::GetLruZombie() {
+  auto response = Call(kMethodGetLruZombie, {});
+  if (!response.ok()) {
+    return response.status();
+  }
+  PayloadReader reader(response.value());
+  Status status = DecodeHeader(reader);
+  if (!status.ok()) {
+    return status;
+  }
+  auto id = reader.GetU32();
+  if (!id.ok()) {
+    return id.status();
+  }
+  return id.value();
+}
+
+Result<std::uint64_t> ControllerClient::Heartbeat() {
+  auto response = Call(kMethodHeartbeat, {});
+  if (!response.ok()) {
+    return response.status();
+  }
+  PayloadReader reader(response.value());
+  Status status = DecodeHeader(reader);
+  if (!status.ok()) {
+    return status;
+  }
+  auto seq = reader.GetU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  return seq.value();
+}
+
+}  // namespace zombie::remotemem

@@ -1,0 +1,119 @@
+#include "src/sim/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace zombie::sim {
+
+void WriteTraceCsv(const Trace& trace, std::ostream& out) {
+  out << kTraceCsvHeader << '\n';
+  char line[160];
+  for (const auto& task : trace.tasks) {
+    std::snprintf(line, sizeof(line), "%llu,%lld,%lld,%.6f,%.6f,%.6f",
+                  static_cast<unsigned long long>(task.id),
+                  static_cast<long long>(task.start / kMicrosecond),
+                  static_cast<long long>(task.end / kMicrosecond), task.booked_cpu,
+                  task.booked_mem, task.cpu_usage_ratio);
+    out << line << '\n';
+  }
+}
+
+Status WriteTraceCsvFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status(ErrorCode::kUnavailable, "cannot open " + path + " for writing");
+  }
+  WriteTraceCsv(trace, out);
+  return out.good() ? Status::Ok()
+                    : Status(ErrorCode::kUnavailable, "write failed: " + path);
+}
+
+namespace {
+
+Result<std::vector<std::string>> SplitFields(const std::string& line, int line_no) {
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    fields.push_back(field);
+  }
+  if (fields.size() != 6) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "line " + std::to_string(line_no) + ": expected 6 fields, got " +
+                      std::to_string(fields.size()));
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<Trace> ReadTraceCsv(std::istream& in, std::size_t servers, Duration horizon) {
+  Trace trace;
+  trace.config.servers = servers;
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(in, line)) {
+    return Status(ErrorCode::kInvalidArgument, "empty trace stream");
+  }
+  ++line_no;
+  // Tolerate a trailing \r from CRLF files.
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.pop_back();
+  }
+  if (line != kTraceCsvHeader) {
+    return Status(ErrorCode::kInvalidArgument, "unexpected CSV header: " + line);
+  }
+
+  SimTime last_end = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    auto fields = SplitFields(line, line_no);
+    if (!fields.ok()) {
+      return fields.status();
+    }
+    TraceTask task;
+    try {
+      task.id = std::stoull(fields.value()[0]);
+      task.start = std::stoll(fields.value()[1]) * kMicrosecond;
+      task.end = std::stoll(fields.value()[2]) * kMicrosecond;
+      task.booked_cpu = std::stod(fields.value()[3]);
+      task.booked_mem = std::stod(fields.value()[4]);
+      task.cpu_usage_ratio = std::stod(fields.value()[5]);
+    } catch (const std::exception&) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "line " + std::to_string(line_no) + ": unparsable numeric field");
+    }
+    if (task.end <= task.start || task.booked_cpu <= 0.0 || task.booked_cpu > 1.0 ||
+        task.booked_mem <= 0.0 || task.booked_mem > 1.0 || task.cpu_usage_ratio < 0.0 ||
+        task.cpu_usage_ratio > 1.0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "line " + std::to_string(line_no) + ": field out of range");
+    }
+    last_end = std::max(last_end, task.end);
+    trace.tasks.push_back(task);
+  }
+  trace.config.tasks = trace.tasks.size();
+  trace.config.horizon = horizon > 0 ? horizon : last_end;
+  return trace;
+}
+
+Result<Trace> ReadTraceCsvFile(const std::string& path, std::size_t servers,
+                               Duration horizon) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  return ReadTraceCsv(in, servers, horizon);
+}
+
+}  // namespace zombie::sim

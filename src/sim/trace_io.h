@@ -1,0 +1,35 @@
+// Trace serialisation: CSV import/export compatible with the column subset
+// the paper uses from the Google cluster traces (task id, start, end, booked
+// CPU/memory, mean usage ratio).  Lets users replay real traces through the
+// Fig. 10 harness instead of the synthetic generator.
+#ifndef ZOMBIELAND_SRC_SIM_TRACE_IO_H_
+#define ZOMBIELAND_SRC_SIM_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/sim/trace.h"
+
+namespace zombie::sim {
+
+// CSV header written/expected:
+//   task_id,start_us,end_us,booked_cpu,booked_mem,cpu_usage_ratio
+// Times are microseconds since trace start; bookings are server fractions.
+inline constexpr char kTraceCsvHeader[] =
+    "task_id,start_us,end_us,booked_cpu,booked_mem,cpu_usage_ratio";
+
+// Writes the trace (header + one line per task).
+void WriteTraceCsv(const Trace& trace, std::ostream& out);
+Status WriteTraceCsvFile(const Trace& trace, const std::string& path);
+
+// Parses a CSV stream.  `servers`/`horizon` configure the replay; horizon 0
+// derives it from the last task end.  Malformed lines abort with their line
+// number in the error message.
+Result<Trace> ReadTraceCsv(std::istream& in, std::size_t servers, Duration horizon = 0);
+Result<Trace> ReadTraceCsvFile(const std::string& path, std::size_t servers,
+                               Duration horizon = 0);
+
+}  // namespace zombie::sim
+
+#endif  // ZOMBIELAND_SRC_SIM_TRACE_IO_H_

@@ -1,0 +1,52 @@
+#include "src/workloads/access_pattern.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zombie::workloads {
+
+AccessPattern::AccessPattern(std::uint64_t footprint_pages, PatternParams params,
+                             std::uint64_t seed)
+    : footprint_(footprint_pages), params_(std::move(params)), rng_(seed) {
+  assert(footprint_ > 0);
+  double cum = 0.0;
+  for (const ScanTier& tier : params_.tiers) {
+    auto pages = static_cast<std::uint64_t>(tier.fraction * static_cast<double>(footprint_));
+    pages = std::clamp<std::uint64_t>(pages, 1, footprint_);
+    tier_pages_.push_back(pages);
+    tier_cursors_.push_back(0);
+    cum += tier.weight;
+    tier_cumweight_.push_back(cum);
+  }
+  scan_total_weight_ = cum;
+}
+
+PageAccess AccessPattern::Next() {
+  PageAccess access;
+  access.is_write = rng_.NextBool(params_.write_ratio);
+
+  const double u = rng_.NextDouble();
+  if (u < scan_total_weight_) {
+    // Pick the tier by cumulative weight.
+    const auto it = std::lower_bound(tier_cumweight_.begin(), tier_cumweight_.end(), u);
+    const auto tier = static_cast<std::size_t>(it - tier_cumweight_.begin());
+    if (params_.tiers[tier].random_within) {
+      access.page = rng_.NextBelow(tier_pages_[tier]);
+    } else {
+      access.page = tier_cursors_[tier];
+      tier_cursors_[tier] = (tier_cursors_[tier] + 1) % tier_pages_[tier];
+    }
+    return access;
+  }
+  if (u < scan_total_weight_ + params_.zipf_weight) {
+    // Zipf rank mapped through a hash so the hot head is spread over the
+    // footprint rather than aliasing the scan tiers' prefix.
+    const std::uint64_t rank = rng_.NextZipf(footprint_, params_.zipf_theta);
+    access.page = (rank * 2654435761ULL) % footprint_;
+    return access;
+  }
+  access.page = rng_.NextBelow(footprint_);
+  return access;
+}
+
+}  // namespace zombie::workloads

@@ -1,0 +1,74 @@
+// Page-access stream generators.
+//
+// Each application is modelled as a mixture of *nested scan tiers* plus an
+// optional Zipf component and a uniform tail over the whole footprint:
+//
+//  * A scan tier cyclically sweeps the first `fraction` of the footprint.
+//    Tiers are nested (they share their prefix), which mimics real working
+//    sets: a hot core touched constantly, warmer rings touched periodically,
+//    and cold data swept rarely.  A cyclic sweep is the worst case for
+//    LRU-family policies the moment its region stops fitting in RAM — that
+//    produces the sharp penalty cliffs of Table 1.
+//  * The Zipf component models skewed point accesses (caches, indexes).
+//  * The uniform tail models cold misses that never become resident.
+#ifndef ZOMBIELAND_SRC_WORKLOADS_ACCESS_PATTERN_H_
+#define ZOMBIELAND_SRC_WORKLOADS_ACCESS_PATTERN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/hv/page_table.h"
+
+namespace zombie::workloads {
+
+struct PageAccess {
+  hv::PageIndex page = 0;
+  bool is_write = false;
+};
+
+// One scan tier over [0, fraction * footprint).
+struct ScanTier {
+  double fraction = 0.5;  // of the footprint
+  double weight = 0.5;    // probability an access comes from this tier
+  // Cyclic tiers sweep sequentially (the LRU worst case: the sharp Table-1
+  // cliff).  Random tiers draw uniformly within their region — recurring
+  // capacity misses with a smooth decay as local memory grows.
+  bool random_within = false;
+};
+
+struct PatternParams {
+  std::vector<ScanTier> tiers;
+
+  // Zipf component over the whole footprint (rank 0 hottest, hash-spread).
+  double zipf_theta = 0.9;
+  double zipf_weight = 0.0;
+
+  // Uniform tail weight = 1 - sum(tier weights) - zipf_weight.
+
+  double write_ratio = 0.3;  // fraction of accesses that are writes
+};
+
+class AccessPattern {
+ public:
+  AccessPattern(std::uint64_t footprint_pages, PatternParams params, std::uint64_t seed);
+
+  PageAccess Next();
+
+  std::uint64_t footprint_pages() const { return footprint_; }
+  const PatternParams& params() const { return params_; }
+
+ private:
+  std::uint64_t footprint_;
+  PatternParams params_;
+  Rng rng_;
+  std::vector<std::uint64_t> tier_pages_;    // region size per tier
+  std::vector<std::uint64_t> tier_cursors_;  // sweep position per tier
+  std::vector<double> tier_cumweight_;       // cumulative selection weights
+  double scan_total_weight_ = 0.0;
+};
+
+}  // namespace zombie::workloads
+
+#endif  // ZOMBIELAND_SRC_WORKLOADS_ACCESS_PATTERN_H_

@@ -1,0 +1,88 @@
+#include "src/workloads/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zombie::workloads {
+
+double PenaltyPercent(const RunResult& run, const RunResult& baseline) {
+  if (baseline.sim_time <= 0) {
+    return 0.0;
+  }
+  const double extra = static_cast<double>(run.sim_time - baseline.sim_time);
+  return 100.0 * extra / static_cast<double>(baseline.sim_time);
+}
+
+namespace {
+
+std::uint64_t LocalFrames(const AppProfile& profile, double local_fraction) {
+  const auto frames = static_cast<std::uint64_t>(
+      std::floor(local_fraction * static_cast<double>(PagesOf(profile.reserved_memory))));
+  return std::max<std::uint64_t>(frames, 1);
+}
+
+}  // namespace
+
+RunResult WorkloadRunner::RunLocalOnly(const AppProfile& profile) {
+  // Enough frames for the whole footprint: only first-touch faults occur.
+  hv::DeviceBackend null_device("null", {});
+  hv::HostPager pager(profile.footprint_pages(), profile.footprint_pages(),
+                      hv::MakePolicy(options_.policy, options_.paging, options_.mixed_depth),
+                      &null_device, options_.paging);
+  AccessPattern pattern(profile.footprint_pages(), profile.pattern, options_.seed);
+  Duration total = 0;
+  for (std::uint64_t i = 0; i < profile.accesses; ++i) {
+    const PageAccess access = pattern.Next();
+    auto cost = pager.Access(access.page, access.is_write);
+    total += cost.ok() ? cost.value() : 0;
+    total += profile.compute_per_access;
+  }
+  RunResult result;
+  result.sim_time = total;
+  result.pager = pager.stats();
+  result.config = "local-only";
+  return result;
+}
+
+RunResult WorkloadRunner::RunRamExt(const AppProfile& profile, double local_fraction,
+                                    hv::PageBackend* backend) {
+  hv::HostPager pager(profile.footprint_pages(), LocalFrames(profile, local_fraction),
+                      hv::MakePolicy(options_.policy, options_.paging, options_.mixed_depth),
+                      backend, options_.paging);
+  AccessPattern pattern(profile.footprint_pages(), profile.pattern, options_.seed);
+  Duration total = 0;
+  for (std::uint64_t i = 0; i < profile.accesses; ++i) {
+    const PageAccess access = pattern.Next();
+    auto cost = pager.Access(access.page, access.is_write);
+    total += cost.ok() ? cost.value() : 0;
+    total += profile.compute_per_access;
+  }
+  RunResult result;
+  result.sim_time = total;
+  result.pager = pager.stats();
+  result.config = "ram-ext";
+  return result;
+}
+
+RunResult WorkloadRunner::RunExplicitSd(const AppProfile& profile, double local_fraction,
+                                        hv::PageBackend* device) {
+  hv::GuestSwapConfig config = options_.guest_swap;
+  config.paging = options_.paging;
+  hv::GuestPager pager(profile.footprint_pages(), LocalFrames(profile, local_fraction), device,
+                       config);
+  AccessPattern pattern(profile.footprint_pages(), profile.pattern, options_.seed);
+  Duration total = 0;
+  for (std::uint64_t i = 0; i < profile.accesses; ++i) {
+    const PageAccess access = pattern.Next();
+    auto cost = pager.Access(access.page, access.is_write);
+    total += cost.ok() ? cost.value() : 0;
+    total += profile.compute_per_access;
+  }
+  RunResult result;
+  result.sim_time = total;
+  result.pager = pager.stats();
+  result.config = "explicit-sd:" + device->name();
+  return result;
+}
+
+}  // namespace zombie::workloads

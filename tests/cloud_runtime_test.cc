@@ -1,0 +1,161 @@
+// Tests for admission control (Section 4.4 guarantee) and the event-driven
+// rack runtime (heartbeats, consolidation, hourly swap refresh).
+#include <gtest/gtest.h>
+
+#include "src/cloud/admission.h"
+#include "src/cloud/rack.h"
+#include "src/cloud/runtime.h"
+#include "src/common/event_queue.h"
+
+namespace zombie::cloud {
+namespace {
+
+hv::VmSpec MakeVm(hv::VmId id, Bytes reserved, std::uint32_t cpus) {
+  hv::VmSpec vm;
+  vm.id = id;
+  vm.reserved_memory = reserved;
+  vm.working_set = reserved / 2;
+  vm.vcpus = cpus;
+  return vm;
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+TEST(Admission, AdmitsWithinBudget) {
+  AdmissionController admission;
+  admission.AddCapacity(64 * kGiB, 32);
+  EXPECT_EQ(admission.MemoryBudget(), static_cast<Bytes>(0.85 * 64 * kGiB));
+  EXPECT_TRUE(admission.Admit(MakeVm(1, 16 * kGiB, 8)).ok());
+  EXPECT_TRUE(admission.Admit(MakeVm(2, 16 * kGiB, 8)).ok());
+  EXPECT_TRUE(admission.IsAdmitted(1));
+  EXPECT_EQ(admission.admitted_memory(), 32 * kGiB);
+}
+
+TEST(Admission, RejectsMemoryOvercommit) {
+  AdmissionController admission;
+  admission.AddCapacity(32 * kGiB, 32);
+  EXPECT_TRUE(admission.Admit(MakeVm(1, 24 * kGiB, 4)).ok());
+  // 24 + 8 > 0.85 * 32 = 27.2 GiB: must reject to keep GS_alloc_ext honest.
+  auto st = admission.Admit(MakeVm(2, 8 * kGiB, 4));
+  EXPECT_EQ(st.code(), ErrorCode::kOutOfMemory);
+  EXPECT_FALSE(admission.IsAdmitted(2));
+}
+
+TEST(Admission, CpuOvercommitAllowedUpToFactor) {
+  AdmissionController admission;
+  admission.AddCapacity(640 * kGiB, 8);
+  // 2x overcommit on 8 cpus: 16 vCPUs admissible.
+  EXPECT_TRUE(admission.Admit(MakeVm(1, 1 * kGiB, 8)).ok());
+  EXPECT_TRUE(admission.Admit(MakeVm(2, 1 * kGiB, 8)).ok());
+  EXPECT_EQ(admission.Admit(MakeVm(3, 1 * kGiB, 1)).code(), ErrorCode::kOutOfMemory);
+}
+
+TEST(Admission, ReleaseReturnsBudget) {
+  AdmissionController admission;
+  admission.AddCapacity(32 * kGiB, 16);
+  ASSERT_TRUE(admission.Admit(MakeVm(1, 24 * kGiB, 4)).ok());
+  EXPECT_FALSE(admission.Admit(MakeVm(2, 24 * kGiB, 4)).ok());
+  EXPECT_TRUE(admission.Release(1).ok());
+  EXPECT_TRUE(admission.Admit(MakeVm(2, 24 * kGiB, 4)).ok());
+  EXPECT_EQ(admission.Release(1).code(), ErrorCode::kNotFound);
+}
+
+TEST(Admission, DuplicateAndEmptyRejected) {
+  AdmissionController admission;
+  admission.AddCapacity(32 * kGiB, 16);
+  ASSERT_TRUE(admission.Admit(MakeVm(1, 1 * kGiB, 1)).ok());
+  EXPECT_EQ(admission.Admit(MakeVm(1, 1 * kGiB, 1)).code(), ErrorCode::kConflict);
+  EXPECT_EQ(admission.Admit(MakeVm(2, 0, 1)).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Admission, RetiredServerShrinksBudget) {
+  AdmissionController admission;
+  admission.AddCapacity(32 * kGiB, 16);
+  admission.RemoveCapacity(16 * kGiB, 8);
+  EXPECT_EQ(admission.MemoryBudget(), static_cast<Bytes>(0.85 * 16 * kGiB));
+}
+
+// ---------------------------------------------------------------------------
+// RackRuntime over the event queue.
+// ---------------------------------------------------------------------------
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() {
+    config_.buff_size = 4 * kMiB;
+    config_.materialize_memory = false;
+    rack_ = std::make_unique<Rack>(config_);
+    auto profile = acpi::MachineProfile::HpCompaqElite8300();
+    rack_->AddServer("a", profile, {8, 16 * kGiB});
+    rack_->AddServer("b", profile, {8, 16 * kGiB});
+  }
+
+  RackConfig config_;
+  std::unique_ptr<Rack> rack_;
+  EventQueue queue_;
+};
+
+TEST_F(RuntimeTest, HeartbeatsFlowOnSchedule) {
+  RackRuntime runtime(rack_.get(), &queue_);
+  runtime.Start();
+  queue_.RunUntil(1 * kSecond);
+  // 100 ms period -> 10 beats in a second.
+  EXPECT_EQ(runtime.heartbeats_sent(), 10u);
+  EXPECT_FALSE(rack_->secondary().failed_over());
+}
+
+TEST_F(RuntimeTest, SilentPrimaryFailsOverWithinThreeBeats) {
+  RackRuntime runtime(rack_.get(), &queue_);
+  runtime.Start();
+  queue_.RunUntil(500 * kMillisecond);
+  rack_->FailPrimaryController();
+  // Within three heartbeat periods the monitor triggers failover, after
+  // which the (promoted) primary resumes beating.
+  queue_.RunUntil(900 * kMillisecond);
+  EXPECT_TRUE(rack_->primary_alive());
+  EXPECT_TRUE(rack_->secondary().failed_over());
+}
+
+TEST_F(RuntimeTest, PeriodicHooksFire) {
+  RuntimeConfig rc;
+  rc.consolidation_period = 10 * kMinute;
+  rc.swap_refresh_period = 1 * kHour;
+  RackRuntime runtime(rack_.get(), &queue_, rc);
+  int consolidations = 0;
+  int refreshes = 0;
+  runtime.set_consolidation_hook([&] { ++consolidations; });
+  runtime.set_swap_refresh_hook([&] { ++refreshes; });
+  runtime.Start();
+  queue_.RunUntil(2 * kHour);
+  EXPECT_EQ(consolidations, 12);
+  EXPECT_EQ(refreshes, 2);
+  EXPECT_EQ(runtime.consolidation_rounds(), 12u);
+  EXPECT_EQ(runtime.swap_refreshes(), 2u);
+}
+
+TEST_F(RuntimeTest, StopHaltsAllProcesses) {
+  RackRuntime runtime(rack_.get(), &queue_);
+  runtime.Start();
+  queue_.RunUntil(300 * kMillisecond);
+  const auto beats = runtime.heartbeats_sent();
+  runtime.Stop();
+  queue_.RunUntil(2 * kSecond);
+  EXPECT_EQ(runtime.heartbeats_sent(), beats);
+  // Restartable.
+  runtime.Start();
+  queue_.RunUntil(3 * kSecond);
+  EXPECT_GT(runtime.heartbeats_sent(), beats);
+}
+
+TEST_F(RuntimeTest, StartIsIdempotent) {
+  RackRuntime runtime(rack_.get(), &queue_);
+  runtime.Start();
+  runtime.Start();  // no double scheduling
+  queue_.RunUntil(1 * kSecond);
+  EXPECT_EQ(runtime.heartbeats_sent(), 10u);
+}
+
+}  // namespace
+}  // namespace zombie::cloud

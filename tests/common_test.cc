@@ -1,0 +1,337 @@
+// Unit tests for the common substrate: units, result, clock, event queue,
+// rng, stats, table.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/event_queue.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/sim_clock.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace zombie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Units.
+// ---------------------------------------------------------------------------
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(kSecond, 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond + 500 * kMillisecond), 2.5);
+  EXPECT_EQ(FromSeconds(1.5), kSecond + 500 * kMillisecond);
+}
+
+TEST(Units, PageArithmetic) {
+  EXPECT_EQ(PagesOf(1 * kMiB), 256u);
+  EXPECT_EQ(PagesToBytes(256), 1 * kMiB);
+  EXPECT_EQ(PagesOf(kPageSize - 1), 0u);
+}
+
+TEST(Units, EnergyIntegration) {
+  // 100 W for 10 s = 1000 J = 1,000,000 mJ.
+  EXPECT_EQ(EnergyOf(WattsToMw(100.0), 10 * kSecond), 1'000'000);
+  EXPECT_DOUBLE_EQ(MjToJoules(1'000'000), 1000.0);
+}
+
+TEST(Units, CycleConversionRoundTrips) {
+  EXPECT_EQ(CyclesToDuration(kCyclesPerNs * 100), 100);
+  EXPECT_EQ(DurationToCycles(100), 100 * kCyclesPerNs);
+}
+
+// ---------------------------------------------------------------------------
+// Result / Status.
+// ---------------------------------------------------------------------------
+
+TEST(Result, OkCarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(Result, ErrorCarriesStatus) {
+  Result<int> r(ErrorCode::kOutOfMemory, "pool dry");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(r.status().message(), "pool dry");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, StatusToString) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status(ErrorCode::kTimeout, "rpc").ToString(), "TIMEOUT: rpc");
+}
+
+TEST(Result, EveryErrorCodeHasAName) {
+  for (auto code : {ErrorCode::kOk, ErrorCode::kOutOfMemory, ErrorCode::kNotFound,
+                    ErrorCode::kInvalidArgument, ErrorCode::kUnavailable, ErrorCode::kConflict,
+                    ErrorCode::kTimeout, ErrorCode::kFailedPrecondition}) {
+    EXPECT_STRNE(ErrorCodeName(code), "UNKNOWN");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimClock / CostAccumulator.
+// ---------------------------------------------------------------------------
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.Advance(5 * kSecond);
+  clock.AdvanceTo(6 * kSecond);
+  EXPECT_EQ(clock.now(), 6 * kSecond);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(CostAccumulator, SumsCosts) {
+  CostAccumulator acc;
+  acc.AddNs(100);
+  acc.AddCycles(kCyclesPerNs * 50);
+  EXPECT_EQ(acc.total_ns(), 150);
+  acc.Reset();
+  EXPECT_EQ(acc.total_ns(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(100, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 50);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(20, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // double cancel
+  q.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterRunRejected) {
+  EventQueue q;
+  auto id = q.ScheduleAt(10, [] {});
+  q.Run();
+  EXPECT_FALSE(q.Cancel(id));  // already executed: counts stay exact
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockRunUntil) {
+  EventQueue q;
+  int fired = 0;
+  auto early = q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(100, [&] { ++fired; });
+  q.Cancel(early);
+  // The cancelled head must be discarded without pulling the 100-tick event
+  // across the 50-tick deadline.
+  EXPECT_EQ(q.RunUntil(50), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] {
+    ++fired;
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  q.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 15);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.Run();
+  bool ran = false;
+  q.ScheduleAt(10, [&] { ran = true; });  // in the past
+  q.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Rng.
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, ZipfPrefersLowRanks) {
+  Rng rng(4);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(1000, 0.9) < 100) {
+      ++low;  // top 10% of ranks
+    }
+  }
+  // With theta=0.9 the head should receive far more than 10% of draws.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------------
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Percentiles, MedianAndTails) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) {
+    p.Add(i);
+  }
+  EXPECT_NEAR(p.Median(), 50.5, 0.01);
+  EXPECT_NEAR(p.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(p.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(p.Percentile(99), 99.01, 0.011);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(5.5);
+  h.Add(-3.0);   // clamps low
+  h.Add(100.0);  // clamps high
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_FALSE(h.Render().empty());
+}
+
+// ---------------------------------------------------------------------------
+// TextTable.
+// ---------------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"a", "bee"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("a    bee"), std::string::npos);
+  EXPECT_NE(out.find("333  4"), std::string::npos);
+}
+
+TEST(TextTable, PenaltyFormatting) {
+  EXPECT_EQ(TextTable::Penalty(8.0), "8.00%");
+  EXPECT_EQ(TextTable::Penalty(15.6), "15.6%");
+  EXPECT_EQ(TextTable::Penalty(9000.0), "9k%");
+  EXPECT_EQ(TextTable::Penalty(2e7), "inf");
+}
+
+}  // namespace
+}  // namespace zombie

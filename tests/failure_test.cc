@@ -1,0 +1,194 @@
+// Failure-injection tests: controller crashes mid-operation, reclaim racing
+// paging traffic, double failover, zombie death below the fault-tolerance
+// mirror, legacy (non-Sz) boards mixed into the rack, and fabric partitions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cloud/rack.h"
+#include "src/hv/backend.h"
+#include "src/remotemem/memory_manager.h"
+#include "src/workloads/app_models.h"
+#include "src/workloads/runner.h"
+
+namespace zombie {
+namespace {
+
+using cloud::Rack;
+using cloud::RackConfig;
+using cloud::Server;
+
+RackConfig TestRack() {
+  RackConfig config;
+  config.buff_size = 4 * kMiB;
+  config.materialize_memory = false;
+  return config;
+}
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : rack_(TestRack()) {
+    auto profile = acpi::MachineProfile::HpCompaqElite8300();
+    user_ = &rack_.AddServer("user", profile, {8, 16 * kGiB});
+    zombie_ = &rack_.AddServer("zombie", profile, {8, 16 * kGiB});
+    spare_ = &rack_.AddServer("spare", profile, {8, 16 * kGiB});
+  }
+
+  Rack rack_;
+  Server* user_ = nullptr;
+  Server* zombie_ = nullptr;
+  Server* spare_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Controller failure and failover.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailureTest, FailoverPreservesInFlightAllocations) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  auto extent = rack_.manager(user_->id()).AllocExtension(16 * kMiB);
+  ASSERT_TRUE(extent.ok());
+  ASSERT_TRUE(extent.value()->WritePage(3, {}).ok());
+
+  rack_.FailPrimaryController();
+  for (int i = 0; i < 3; ++i) {
+    rack_.PumpHeartbeat();
+  }
+
+  // Data path is unaffected by the control-plane failover: one-sided reads
+  // keep flowing against the zombie.
+  EXPECT_TRUE(extent.value()->ReadPage(3, {}).ok());
+  // The promoted controller still tracks the allocation as ours: releasing
+  // a buffer we hold succeeds, releasing a foreign one fails.
+  auto ids = extent.value()->buffer_ids();
+  EXPECT_TRUE(rack_.controller().GsRelease(user_->id(), {ids[0]}).ok());
+  EXPECT_FALSE(rack_.controller().GsRelease(spare_->id(), {ids[1]}).ok());
+}
+
+TEST_F(FailureTest, HeartbeatFlappingDoesNotFailOver) {
+  const auto* controller_before = &rack_.controller();
+  // Miss two beats (below the threshold of 3), then recover, repeatedly.
+  for (int round = 0; round < 4; ++round) {
+    rack_.FailPrimaryController();  // silences heartbeats
+    rack_.PumpHeartbeat();
+    rack_.PumpHeartbeat();
+    // Primary recovers before the third miss; the next pump delivers a
+    // fresh beat and resets the miss counter.
+    rack_.RevivePrimaryController();
+    rack_.PumpHeartbeat();
+  }
+  EXPECT_EQ(&rack_.controller(), controller_before);
+  EXPECT_FALSE(rack_.secondary().failed_over());
+}
+
+// ---------------------------------------------------------------------------
+// Zombie death / reclaim racing the data path.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailureTest, ReclaimMidWorkloadFallsBackToMirror) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  auto extent = rack_.manager(user_->id()).AllocExtension(8 * kMiB);
+  ASSERT_TRUE(extent.ok());
+  hv::RemoteBackend backend(extent.value());
+
+  // Run half a workload, reclaim the zombie mid-flight, run the rest.
+  // Uniform accesses over the footprint guarantee steady paging traffic.
+  workloads::AppProfile app;
+  app.reserved_memory = 8 * kMiB;
+  app.working_set = 7 * kMiB;
+  app.pattern.tiers = {};  // pure uniform
+  app.pattern.write_ratio = 0.4;
+  app.accesses = 40'000;
+  workloads::WorkloadRunner runner;
+  const auto first_half = runner.RunRamExt(app, 0.5, &backend);
+  EXPECT_GT(first_half.pager.major_faults, 0u);
+
+  ASSERT_TRUE(rack_.WakeServer(zombie_->id()).ok());  // reclaims everything
+
+  const auto second_half = runner.RunRamExt(app, 0.5, &backend);
+  // Still completes — but slower, since reloads now hit the local mirror.
+  EXPECT_GT(second_half.sim_time, first_half.sim_time);
+  EXPECT_GT(extent.value()->mirror_reads(), 0u);
+}
+
+TEST_F(FailureTest, UnwrittenPagesAreLostAfterReclaim) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  auto extent = rack_.manager(user_->id()).AllocExtension(8 * kMiB);
+  ASSERT_TRUE(extent.ok());
+  ASSERT_TRUE(extent.value()->WritePage(0, {}).ok());
+  ASSERT_TRUE(rack_.WakeServer(zombie_->id()).ok());
+  EXPECT_TRUE(extent.value()->ReadPage(0, {}).ok());              // mirrored
+  EXPECT_EQ(extent.value()->ReadPage(1, {}).code(), ErrorCode::kNotFound);  // never written
+}
+
+TEST_F(FailureTest, SuddenZombiePowerLossBlocksDataPath) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  auto extent = rack_.manager(user_->id()).AllocExtension(8 * kMiB);
+  ASSERT_TRUE(extent.ok());
+  ASSERT_TRUE(extent.value()->WritePage(5, {}).ok());
+
+  // Crash: the host drops to S5 without any reclaim protocol.
+  zombie_->machine().ospm().Wake();
+  ASSERT_TRUE(zombie_->machine().Suspend(acpi::SleepState::kS5).ok());
+
+  // One-sided ops now fail (memory rail down)...
+  auto read = extent.value()->ReadPage(5, {});
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), ErrorCode::kUnavailable);
+  // ...until the user marks the buffers dead, after which the mirror serves.
+  extent.value()->OnBuffersReclaimed(extent.value()->buffer_ids());
+  auto mirrored = extent.value()->ReadPage(5, {});
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_GE(mirrored.value(), 25 * kMicrosecond);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy hardware in the rack.
+// ---------------------------------------------------------------------------
+
+TEST(FailureLegacy, NonSzBoardRefusesZombieButWorksOtherwise) {
+  Rack rack(TestRack());
+  auto profile = acpi::MachineProfile::HpCompaqElite8300();
+  rack.AddServer("user", profile, {8, 16 * kGiB});
+  Server& legacy = rack.AddServer("legacy", profile, {8, 16 * kGiB},
+                                  /*sz_capable=*/false);
+  Server& modern = rack.AddServer("modern", profile, {8, 16 * kGiB});
+
+  EXPECT_EQ(rack.PushToZombie(legacy.id()).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(legacy.machine().state(), acpi::SleepState::kS0);
+  // The legacy box can still S3 (no lending) and the modern one zombifies.
+  EXPECT_TRUE(rack.PushToSleep(legacy.id(), acpi::SleepState::kS3).ok());
+  EXPECT_TRUE(rack.PushToZombie(modern.id()).ok());
+  EXPECT_GT(rack.controller().FreeRemoteBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation failures leave no leaks.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailureTest, FailedGuaranteedAllocationRollsBack) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  const Bytes pool = rack_.controller().FreeRemoteBytes();
+  // Ask for more than the rack holds (escalation finds no slack: the spare
+  // keeps its 25% floor, the user too).
+  auto extent = rack_.manager(user_->id()).AllocExtension(64 * kGiB);
+  EXPECT_FALSE(extent.ok());
+  EXPECT_EQ(extent.code(), ErrorCode::kOutOfMemory);
+  // Everything the failed allocation touched was released.
+  EXPECT_GE(rack_.controller().FreeRemoteBytes(), pool);
+  // And a sane allocation still succeeds afterwards.
+  EXPECT_TRUE(rack_.manager(user_->id()).AllocExtension(8 * kMiB).ok());
+}
+
+TEST_F(FailureTest, DelegationFailureLeavesNoRegions) {
+  // A server whose memory is not accessible cannot register regions.
+  ASSERT_TRUE(spare_->machine().Suspend(acpi::SleepState::kS3).ok());
+  auto& mgr = rack_.manager(spare_->id());
+  auto delegated = mgr.DelegateActive(16 * kMiB);
+  EXPECT_FALSE(delegated.ok());
+  EXPECT_TRUE(mgr.delegated().empty());
+  EXPECT_EQ(rack_.controller().FreeRemoteBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace zombie

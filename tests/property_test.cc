@@ -1,0 +1,261 @@
+// Property-based and parameterized sweeps over the core invariants:
+//  * the pager never exceeds its frame budget and conserves pages;
+//  * penalties are monotone in local memory and device speed;
+//  * the buffer DB conserves buffers through random operation sequences;
+//  * the Sz energy estimate respects physical orderings for any plausible
+//    machine;
+//  * migration estimates dominate correctly across the parameter space.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/acpi/energy_model.h"
+#include "src/common/rng.h"
+#include "src/hv/backend.h"
+#include "src/hv/pager.h"
+#include "src/hv/replacement.h"
+#include "src/migration/migration.h"
+#include "src/remotemem/buffer_db.h"
+#include "src/workloads/app_models.h"
+#include "src/workloads/runner.h"
+
+namespace zombie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pager invariants under random access streams, across policies and sizes.
+// ---------------------------------------------------------------------------
+
+class PagerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<hv::PolicyKind, std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(PagerPropertyTest, FrameBudgetAndConservation) {
+  const auto [policy, pages, frames] = GetParam();
+  hv::PagingParams params;
+  hv::DeviceBackend backend("dev", {2000, 2000});
+  hv::HostPager pager(pages, frames, hv::MakePolicy(policy, params), &backend, params);
+  Rng rng(pages * 31 + frames);
+
+  for (int i = 0; i < 20000; ++i) {
+    const auto page = rng.NextBelow(pages);
+    auto cost = pager.Access(page, rng.NextBool(0.4));
+    ASSERT_TRUE(cost.ok());
+    ASSERT_GT(cost.value(), 0);
+  }
+  // Invariant 1: resident pages never exceed the frame budget.
+  EXPECT_LE(pager.table().CountPresent(), frames);
+  // Invariant 2: present + free == budget.
+  EXPECT_EQ(pager.table().CountPresent() + pager.free_frames(), frames);
+  // Invariant 3: every touched page is either resident or swapped, never both.
+  for (hv::PageIndex p = 0; p < pages; ++p) {
+    const auto& entry = pager.table().at(p);
+    EXPECT_FALSE(entry.present && entry.swapped) << "page " << p;
+    if (entry.swapped) {
+      EXPECT_TRUE(entry.touched);
+    }
+  }
+  // Invariant 4: the policy tracks exactly the resident pages.
+  EXPECT_EQ(pager.policy().tracked(), pager.table().CountPresent());
+  // Invariant 5: faults >= major faults; evictions consistent with faults.
+  EXPECT_GE(pager.stats().faults, pager.stats().major_faults);
+  EXPECT_GE(pager.stats().writebacks, 0u);
+  EXPECT_LE(pager.stats().writebacks, pager.stats().evictions);
+}
+
+std::string PagerParamName(
+    const ::testing::TestParamInfo<std::tuple<hv::PolicyKind, std::uint64_t, std::uint64_t>>&
+        info) {
+  return std::string(hv::PolicyKindName(std::get<0>(info.param))) + "_p" +
+         std::to_string(std::get<1>(info.param)) + "_f" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyBySize, PagerPropertyTest,
+    ::testing::Combine(::testing::Values(hv::PolicyKind::kFifo, hv::PolicyKind::kClock,
+                                         hv::PolicyKind::kMixed),
+                       ::testing::Values(64, 257, 1024),   // guest pages
+                       ::testing::Values(8, 63, 256)),     // frames
+    PagerParamName);
+
+// ---------------------------------------------------------------------------
+// Penalty monotonicity sweeps (the Table-1 property, per app).
+// ---------------------------------------------------------------------------
+
+class PenaltyMonotonicityTest : public ::testing::TestWithParam<workloads::App> {};
+
+TEST_P(PenaltyMonotonicityTest, PenaltyFallsAsLocalMemoryGrows) {
+  workloads::AppProfile profile = workloads::ProfileFor(GetParam());
+  profile.accesses = 300'000;  // trimmed for test runtime
+  workloads::WorkloadRunner runner;
+  hv::DeviceBackend remote("remote-ram", {2500, 2500});
+  const auto baseline = runner.RunLocalOnly(profile);
+  double previous = 1e18;
+  for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto run = runner.RunRamExt(profile, fraction, &remote);
+    const double penalty = workloads::PenaltyPercent(run, baseline);
+    EXPECT_LE(penalty, previous * 1.10 + 1.0)
+        << "penalty rose from " << previous << " to " << penalty << " at " << fraction;
+    previous = penalty;
+  }
+}
+
+std::string AppParamName(const ::testing::TestParamInfo<workloads::App>& info) {
+  std::string name(workloads::AppName(info.param));
+  for (char& c : name) {
+    if (c == ' ' || c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PenaltyMonotonicityTest,
+                         ::testing::Values(workloads::App::kMicro,
+                                           workloads::App::kElasticsearch,
+                                           workloads::App::kDataCaching,
+                                           workloads::App::kSparkSql),
+                         AppParamName);
+
+// Device-speed dominance: a strictly slower swap device never wins.
+class DeviceOrderTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeviceOrderTest, SlowerDeviceNeverFaster) {
+  const double fraction = GetParam();
+  workloads::AppProfile profile = workloads::ElasticsearchProfile();
+  profile.accesses = 200'000;
+  workloads::WorkloadRunner runner;
+  hv::DeviceBackend fast("fast", {3 * kMicrosecond, 3 * kMicrosecond});
+  hv::DeviceBackend mid("mid", {90 * kMicrosecond, 70 * kMicrosecond});
+  hv::DeviceBackend slow("slow", {6 * kMillisecond, 4 * kMillisecond});
+  const auto t_fast = runner.RunExplicitSd(profile, fraction, &fast).sim_time;
+  const auto t_mid = runner.RunExplicitSd(profile, fraction, &mid).sim_time;
+  const auto t_slow = runner.RunExplicitSd(profile, fraction, &slow).sim_time;
+  EXPECT_LE(t_fast, t_mid);
+  EXPECT_LE(t_mid, t_slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(LocalFractions, DeviceOrderTest,
+                         ::testing::Values(0.2, 0.4, 0.5, 0.6, 0.8));
+
+// ---------------------------------------------------------------------------
+// Buffer DB conservation under random operation sequences.
+// ---------------------------------------------------------------------------
+
+TEST(BufferDbProperty, RandomOpsConserveBuffers) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    remotemem::BufferDb db;
+    std::map<remotemem::BufferId, bool> alive;  // id -> allocated
+    remotemem::BufferId next_id = 1;
+
+    for (int step = 0; step < 4000; ++step) {
+      const auto op = rng.NextBelow(4);
+      if (op == 0 || alive.empty()) {
+        remotemem::BufferRecord rec;
+        rec.id = next_id++;
+        rec.size = 1 * kMiB;
+        rec.host = static_cast<remotemem::ServerId>(1 + rng.NextBelow(8));
+        ASSERT_TRUE(db.Insert(rec).ok());
+        alive[rec.id] = false;
+      } else {
+        auto it = alive.begin();
+        std::advance(it, static_cast<long>(rng.NextBelow(alive.size())));
+        const auto id = it->first;
+        if (op == 1) {
+          const Status st = db.Assign(id, 99);
+          EXPECT_EQ(st.ok(), !it->second);
+          it->second = true;
+        } else if (op == 2) {
+          EXPECT_TRUE(db.Release(id).ok());
+          it->second = false;
+        } else {
+          EXPECT_TRUE(db.Erase(id).ok());
+          alive.erase(it);
+        }
+      }
+      // Conservation: model and DB agree on counts at every step.
+      ASSERT_EQ(db.size(), alive.size());
+      std::size_t model_free = 0;
+      for (const auto& [id, allocated] : alive) {
+        model_free += allocated ? 0 : 1;
+      }
+      ASSERT_EQ(db.free_count(), model_free);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Energy-model physical orderings for randomly perturbed machines.
+// ---------------------------------------------------------------------------
+
+TEST(EnergyModelProperty, OrderingsHoldForPerturbedMachines) {
+  Rng rng(2024);
+  for (int i = 0; i < 200; ++i) {
+    acpi::ComponentDraws d{};
+    d.platform_standby = rng.NextDouble(0.1, 2.0);
+    d.suspend_logic = rng.NextDouble(0.2, 2.0);
+    d.ram_self_refresh = rng.NextDouble(0.5, 3.0);
+    d.ram_active_idle = d.ram_self_refresh + rng.NextDouble(0.5, 2.0);
+    d.idle_compute = rng.NextDouble(25.0, 45.0);
+    d.ib_wol_s3 = rng.NextDouble(4.0, 8.0);
+    d.ib_wol_s4 = rng.NextDouble(4.0, 8.0);
+    d.ib_idle_extra = rng.NextDouble(4.0, 8.0);
+    d.ib_active_extra = rng.NextDouble(1.0, 3.0);
+    // Active compute fills the rest up to 100%.
+    const double idle_total = d.platform_standby + d.suspend_logic + d.ram_self_refresh +
+                              d.idle_compute + d.ib_idle_extra + d.ib_active_extra;
+    d.active_compute = 100.0 - idle_total;
+    acpi::MachineProfile m("fuzzed", 150.0, d);
+
+    // Physical orderings that must hold for any machine:
+    EXPECT_LT(m.ConfigPercent(acpi::MeasuredConfig::kS4WithoutIb),
+              m.ConfigPercent(acpi::MeasuredConfig::kS3WithoutIb));
+    EXPECT_LT(m.ConfigPercent(acpi::MeasuredConfig::kS3WithoutIb),
+              m.ConfigPercent(acpi::MeasuredConfig::kS0WithoutIb));
+    EXPECT_LT(m.ConfigPercent(acpi::MeasuredConfig::kS0WithoutIb),
+              m.ConfigPercent(acpi::MeasuredConfig::kS0IbOff));
+    EXPECT_LT(m.ConfigPercent(acpi::MeasuredConfig::kS0IbOff),
+              m.ConfigPercent(acpi::MeasuredConfig::kS0IbOn));
+    // Sz sits above S3-with-IB (it powers strictly more) and far below idle.
+    EXPECT_GT(m.SzPercent(), m.ConfigPercent(acpi::MeasuredConfig::kS3WithIb));
+    EXPECT_LT(m.SzPercent(), m.S0Percent(0.0));
+    EXPECT_GT(m.SzModelPercent(), m.SzPercent());
+    // The S0 curve is monotone and pinned at 100% under full load.
+    EXPECT_NEAR(m.S0Percent(1.0), 100.0, 1e-6);
+    EXPECT_LT(m.S0Percent(0.3), m.S0Percent(0.7));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migration dominance across the parameter space.
+// ---------------------------------------------------------------------------
+
+TEST(MigrationProperty, ZombieNeverMovesMoreBytesThanPreCopy) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    hv::VmSpec vm;
+    vm.reserved_memory = (1 + rng.NextBelow(15)) * kGiB;
+    vm.working_set = static_cast<Bytes>(rng.NextDouble(0.1, 0.95) *
+                                        static_cast<double>(vm.reserved_memory));
+    const double local_fraction = rng.NextDouble(0.1, 0.9);
+    const auto buffers = 1 + rng.NextBelow(64);
+    const auto native = migration::PreCopyMigrate(vm);
+    const auto zombie = migration::ZombieMigrate(vm, local_fraction, buffers);
+    EXPECT_LE(zombie.bytes_moved, native.bytes_moved);
+    EXPECT_LE(zombie.downtime, zombie.total_time);
+    EXPECT_LE(native.downtime, native.total_time);
+    // The hot part can never exceed either the WSS or the local share.
+    EXPECT_LE(zombie.bytes_moved, vm.working_set);
+    EXPECT_LE(zombie.bytes_moved,
+              static_cast<Bytes>(local_fraction * static_cast<double>(vm.reserved_memory)) +
+                  kPageSize);
+  }
+}
+
+}  // namespace
+}  // namespace zombie

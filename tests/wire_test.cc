@@ -1,0 +1,210 @@
+// Tests for the GS_* control protocol over RPC-over-RDMA (wire codec,
+// endpoint dispatch, client stubs) and the surplus-zombie retirement policy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/rdma/rpc.h"
+#include "src/rdma/verbs.h"
+#include "src/remotemem/global_controller.h"
+#include "src/remotemem/wire.h"
+
+namespace zombie::remotemem {
+namespace {
+
+constexpr Bytes kBuff = 1 * kMiB;
+
+std::vector<BufferGrant> MakeGrants(std::size_t n, ServerId host) {
+  std::vector<BufferGrant> grants;
+  for (std::size_t i = 0; i < n; ++i) {
+    grants.push_back({kInvalidBuffer, 1000 + i, kBuff, host, BufferType::kZombie});
+  }
+  return grants;
+}
+
+// ---------------------------------------------------------------------------
+// Codec round trips.
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, GrantRoundTrip) {
+  BufferGrant grant{42, 777, kBuff, 9, BufferType::kActive};
+  rdma::PayloadWriter writer;
+  EncodeGrant(writer, grant);
+  const rdma::Payload payload = writer.Take();
+  rdma::PayloadReader reader(payload);
+  auto decoded = DecodeGrant(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().id, 42u);
+  EXPECT_EQ(decoded.value().rkey, 777u);
+  EXPECT_EQ(decoded.value().size, kBuff);
+  EXPECT_EQ(decoded.value().host, 9u);
+  EXPECT_EQ(decoded.value().type, BufferType::kActive);
+}
+
+TEST(WireCodec, GrantTruncatedFails) {
+  BufferGrant grant{1, 2, 3, 4, BufferType::kZombie};
+  rdma::PayloadWriter writer;
+  EncodeGrant(writer, grant);
+  rdma::Payload payload = writer.Take();
+  payload.resize(payload.size() - 3);
+  rdma::PayloadReader reader(payload);
+  EXPECT_FALSE(DecodeGrant(reader).ok());
+}
+
+TEST(WireCodec, StatusRoundTrip) {
+  rdma::PayloadWriter writer;
+  EncodeStatus(writer, Status(ErrorCode::kOutOfMemory, "pool dry"));
+  const rdma::Payload payload = writer.Take();
+  rdma::PayloadReader reader(payload);
+  const Status status = DecodeStatus(reader);
+  EXPECT_EQ(status.code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(status.message(), "pool dry");
+}
+
+TEST(WireCodec, BadStatusCodeRejected) {
+  rdma::PayloadWriter writer;
+  writer.PutU32(250);  // not a valid ErrorCode
+  writer.PutString("");
+  const rdma::Payload payload = writer.Take();
+  rdma::PayloadReader reader(payload);
+  EXPECT_EQ(DecodeStatus(reader).code(), ErrorCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Full client/endpoint stack over the fabric.
+// ---------------------------------------------------------------------------
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest() : verbs_(&fabric_), router_(&verbs_), ctr_(ControllerConfig{kBuff, false}) {
+    ctr_node_ = Attach("ctr");
+    agent_node_ = Attach("agent");
+    server_ = std::make_unique<rdma::RpcServer>(&verbs_, ctr_node_);
+    endpoint_ = std::make_unique<ControllerEndpoint>(&ctr_, server_.get());
+    router_.AddServer(server_.get());
+    client_ = std::make_unique<ControllerClient>(&router_, agent_node_, ctr_node_);
+    ctr_.RegisterServer(kHost);
+    ctr_.RegisterServer(kUser);
+  }
+
+  rdma::NodeId Attach(std::string name) {
+    rdma::NodePort port;
+    port.name = std::move(name);
+    port.can_initiate = [] { return true; };
+    port.memory_accessible = [] { return true; };
+    return fabric_.Attach(std::move(port));
+  }
+
+  static constexpr ServerId kHost = 1;
+  static constexpr ServerId kUser = 2;
+  rdma::Fabric fabric_;
+  rdma::Verbs verbs_;
+  rdma::RpcRouter router_;
+  GlobalMemoryController ctr_;
+  rdma::NodeId ctr_node_ = rdma::kInvalidNode;
+  rdma::NodeId agent_node_ = rdma::kInvalidNode;
+  std::unique_ptr<rdma::RpcServer> server_;
+  std::unique_ptr<ControllerEndpoint> endpoint_;
+  std::unique_ptr<ControllerClient> client_;
+};
+
+TEST_F(WireTest, GotoZombieOverFabric) {
+  auto ids = client_->GotoZombie(kHost, MakeGrants(3, kHost));
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  EXPECT_EQ(ids.value().size(), 3u);
+  EXPECT_TRUE(ctr_.IsZombie(kHost));
+  EXPECT_EQ(ctr_.FreeRemoteBytes(), 3 * kBuff);
+  EXPECT_GT(client_->last_cost().client, 0);
+}
+
+TEST_F(WireTest, AllocAndReleaseOverFabric) {
+  ASSERT_TRUE(client_->GotoZombie(kHost, MakeGrants(3, kHost)).ok());
+  auto grants = client_->AllocExt(kUser, 2 * kBuff);
+  ASSERT_TRUE(grants.ok());
+  ASSERT_EQ(grants.value().size(), 2u);
+  EXPECT_EQ(grants.value()[0].host, kHost);
+  EXPECT_EQ(grants.value()[0].type, BufferType::kZombie);
+  ASSERT_TRUE(client_->Release(kUser, {grants.value()[0].id}).ok());
+  EXPECT_EQ(ctr_.FreeRemoteBytes(), 2 * kBuff);
+}
+
+TEST_F(WireTest, AllocSwapBestEffortOverFabric) {
+  ASSERT_TRUE(client_->GotoZombie(kHost, MakeGrants(1, kHost)).ok());
+  auto grants = client_->AllocSwap(kUser, 10 * kBuff);
+  ASSERT_TRUE(grants.ok());
+  EXPECT_EQ(grants.value().size(), 1u);
+}
+
+TEST_F(WireTest, ErrorsTravelTheWire) {
+  // Guaranteed allocation with an empty pool: the controller's OOM status
+  // must surface through the RPC layer intact.
+  auto grants = client_->AllocExt(kUser, kBuff);
+  ASSERT_FALSE(grants.ok());
+  EXPECT_EQ(grants.code(), ErrorCode::kOutOfMemory);
+}
+
+TEST_F(WireTest, ReclaimOverFabric) {
+  ASSERT_TRUE(client_->GotoZombie(kHost, MakeGrants(2, kHost)).ok());
+  auto reclaimed = client_->Reclaim(kHost, 2);
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_EQ(reclaimed.value().size(), 2u);
+  EXPECT_FALSE(ctr_.IsZombie(kHost));
+  EXPECT_EQ(ctr_.FreeRemoteBytes(), 0u);
+}
+
+TEST_F(WireTest, LruZombieOverFabric) {
+  EXPECT_EQ(client_->GetLruZombie().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(client_->GotoZombie(kHost, MakeGrants(1, kHost)).ok());
+  auto lru = client_->GetLruZombie();
+  ASSERT_TRUE(lru.ok());
+  EXPECT_EQ(lru.value(), kHost);
+}
+
+TEST_F(WireTest, HeartbeatSequencesIncrease) {
+  auto a = client_->Heartbeat();
+  auto b = client_->Heartbeat();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b.value(), a.value());
+}
+
+// ---------------------------------------------------------------------------
+// Surplus-zombie retirement (Section 4.4 deep sleep).
+// ---------------------------------------------------------------------------
+
+TEST(SurplusZombies, OnlyFullyFreeZombiesBeyondSlack) {
+  GlobalMemoryController ctr(ControllerConfig{kBuff, false});
+  for (ServerId s : {1u, 2u, 3u}) {
+    ctr.RegisterServer(s);
+  }
+  ASSERT_TRUE(ctr.GsGotoZombie(1, MakeGrants(4, 1)).ok());
+  ASSERT_TRUE(ctr.GsGotoZombie(2, MakeGrants(4, 2)).ok());
+  // Host 1 serves an allocation; host 2 is fully free.
+  ASSERT_TRUE(ctr.GsAllocExt(3, kBuff).ok());
+
+  // Keeping >= 4 buffers of slack allows retiring host 2 only.
+  const auto surplus = ctr.SurplusZombies(3 * kBuff);
+  ASSERT_EQ(surplus.size(), 1u);
+  EXPECT_EQ(surplus[0], 2u);
+  // Requiring more slack than remains forbids retirement.
+  EXPECT_TRUE(ctr.SurplusZombies(5 * kBuff).empty());
+}
+
+TEST(SurplusZombies, RetireRemovesBuffers) {
+  GlobalMemoryController ctr(ControllerConfig{kBuff, false});
+  ctr.RegisterServer(1);
+  ctr.RegisterServer(2);
+  ASSERT_TRUE(ctr.GsGotoZombie(1, MakeGrants(2, 1)).ok());
+  ASSERT_TRUE(ctr.RetireZombie(1).ok());
+  EXPECT_EQ(ctr.FreeRemoteBytes(), 0u);
+  // Retiring a non-zombie or a serving zombie fails.
+  EXPECT_EQ(ctr.RetireZombie(2).code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(ctr.GsGotoZombie(2, MakeGrants(1, 2)).ok());
+  ASSERT_TRUE(ctr.GsAllocExt(1, kBuff).ok());
+  EXPECT_EQ(ctr.RetireZombie(2).code(), ErrorCode::kConflict);
+}
+
+}  // namespace
+}  // namespace zombie::remotemem

@@ -1,0 +1,126 @@
+// Tests for the Wake-on-LAN fabric path and the cooling (partial-PUE) model
+// plus the DC simulator's new consolidation-cost metrics.
+#include <gtest/gtest.h>
+
+#include "src/cloud/rack.h"
+#include "src/sim/cooling.h"
+#include "src/sim/dc_sim.h"
+#include "src/sim/trace.h"
+
+namespace zombie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wake-on-LAN through the fabric.
+// ---------------------------------------------------------------------------
+
+class WolTest : public ::testing::Test {
+ protected:
+  WolTest() {
+    cloud::RackConfig config;
+    config.buff_size = 4 * kMiB;
+    config.materialize_memory = false;
+    rack_ = std::make_unique<cloud::Rack>(config);
+    auto profile = acpi::MachineProfile::HpCompaqElite8300();
+    waker_ = &rack_->AddServer("waker", profile, {8, 16 * kGiB});
+    sleeper_ = &rack_->AddServer("sleeper", profile, {8, 16 * kGiB});
+  }
+
+  std::unique_ptr<cloud::Rack> rack_;
+  cloud::Server* waker_ = nullptr;
+  cloud::Server* sleeper_ = nullptr;
+};
+
+TEST_F(WolTest, MagicPacketWakesZombie) {
+  ASSERT_TRUE(rack_->PushToZombie(sleeper_->id()).ok());
+  auto cost = rack_->fabric().SendWakePacket(waker_->node(), sleeper_->node());
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_EQ(sleeper_->machine().state(), acpi::SleepState::kS0);
+  // Packet flight is negligible against the Sz exit latency.
+  EXPECT_GE(cost.value(), 4 * kSecond);
+  // Lent memory was reclaimed on wake (the rack's on-wake handler).
+  EXPECT_EQ(sleeper_->lent_memory(), 0u);
+}
+
+TEST_F(WolTest, MagicPacketWakesS3Sleeper) {
+  ASSERT_TRUE(rack_->PushToSleep(sleeper_->id(), acpi::SleepState::kS3).ok());
+  ASSERT_TRUE(rack_->fabric().SendWakePacket(waker_->node(), sleeper_->node()).ok());
+  EXPECT_EQ(sleeper_->machine().state(), acpi::SleepState::kS0);
+}
+
+TEST_F(WolTest, AwakeTargetNotArmed) {
+  auto cost = rack_->fabric().SendWakePacket(waker_->node(), sleeper_->node());
+  EXPECT_FALSE(cost.ok());  // S0: WoL not armed
+  EXPECT_EQ(cost.code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(WolTest, SuspendedInitiatorCannotSendWake) {
+  ASSERT_TRUE(rack_->PushToZombie(sleeper_->id()).ok());
+  ASSERT_TRUE(waker_->machine().Suspend(acpi::SleepState::kS3).ok());
+  auto cost = rack_->fabric().SendWakePacket(waker_->node(), sleeper_->node());
+  EXPECT_EQ(cost.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(sleeper_->machine().state(), acpi::SleepState::kSz);  // still asleep
+}
+
+// ---------------------------------------------------------------------------
+// Cooling model.
+// ---------------------------------------------------------------------------
+
+TEST(Cooling, PueGrowsWithLoad) {
+  // Staged cooling: overhead per IT watt grows with thermal load, so the
+  // lightly-loaded (consolidated) facility cools each remaining watt more
+  // cheaply — the footnote-1 amplification.
+  EXPECT_LT(sim::PueAt(0.0), sim::PueAt(0.5));
+  EXPECT_LT(sim::PueAt(0.5), sim::PueAt(1.0));
+  EXPECT_NEAR(sim::PueAt(1.0), 1.35, 1e-9);
+  EXPECT_NEAR(sim::PueAt(0.0), 1.10, 1e-9);
+  // Clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(sim::PueAt(2.0), sim::PueAt(1.0));
+  EXPECT_DOUBLE_EQ(sim::PueAt(-1.0), sim::PueAt(0.0));
+}
+
+TEST(Cooling, FacilityEnergyScalesWithPue) {
+  const double it = 100.0;
+  EXPECT_NEAR(sim::FacilityEnergy(it, 1.0), 135.0, 1e-9);
+  EXPECT_LT(sim::FacilityEnergy(it, 0.1), sim::FacilityEnergy(it, 0.9));
+}
+
+// ---------------------------------------------------------------------------
+// DC simulator: facility savings and consolidation cost metrics.
+// ---------------------------------------------------------------------------
+
+TEST(DcCooling, FacilitySavingsExceedItSavings) {
+  sim::TraceConfig config;
+  config.seed = 99;
+  config.servers = 40;
+  config.tasks = 600;
+  config.horizon = 12 * kHour;
+  const sim::Trace trace = sim::GenerateTrace(config);
+  const auto results =
+      sim::RunAllPolicies(trace, acpi::MachineProfile::HpCompaqElite8300());
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i].facility_saving_percent, results[i].saving_percent - 0.5)
+        << sim::PolicyName(results[i].policy);
+    EXPECT_GT(results[i].facility_energy_units, results[i].energy_units);
+  }
+  // Baseline facility energy uses the PUE too.
+  EXPECT_GT(results[0].facility_energy_units, results[0].energy_units);
+  EXPECT_NEAR(results[0].facility_saving_percent, 0.0, 1e-9);
+}
+
+TEST(DcCooling, ConsolidationCausesWakeupsNotAlwaysOn) {
+  sim::TraceConfig config;
+  config.seed = 99;
+  config.servers = 40;
+  config.tasks = 600;
+  config.horizon = 12 * kHour;
+  const sim::Trace trace = sim::GenerateTrace(config);
+  const auto profile = acpi::MachineProfile::HpCompaqElite8300();
+  const auto always_on = sim::RunPolicy(trace, sim::Policy::kAlwaysOn, profile);
+  EXPECT_EQ(always_on.wakeups, 0u);
+  const auto zombie = sim::RunPolicy(trace, sim::Policy::kZombieStack, profile);
+  EXPECT_GT(zombie.wakeups, 0u);  // packed tight: arrivals must wake servers
+}
+
+}  // namespace
+}  // namespace zombie
