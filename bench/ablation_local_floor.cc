@@ -31,7 +31,7 @@ int main() {
     App worst_app = App::kMicro;
     for (App app : AllApps()) {
       AppProfile profile = ProfileFor(app);
-      profile.accesses /= 2;  // sweep speed
+      profile.accesses = zombie::bench::SmokeIters(profile.accesses / 2);
       WorkloadRunner runner;
       const auto baseline = runner.RunLocalOnly(profile);
       zombie::bench::Testbed testbed(profile.reserved_memory);

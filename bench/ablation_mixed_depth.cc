@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/hv/backend.h"
 #include "src/workloads/app_models.h"
@@ -21,6 +22,7 @@ int main() {
   std::printf("Workload: Fig. 8 micro-benchmark, 40%% local memory, remote RAM backend.\n\n");
 
   AppProfile profile = Fig8MicroProfile();
+  profile.accesses = zombie::bench::SmokeIters(profile.accesses);
   zombie::hv::DeviceBackend remote("remote-ram",
                                    {2500 * zombie::kNanosecond, 2500 * zombie::kNanosecond});
 

@@ -3,6 +3,9 @@
 #ifndef ZOMBIELAND_BENCH_BENCH_UTIL_H_
 #define ZOMBIELAND_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 
 #include "src/cloud/rack.h"
@@ -10,6 +13,20 @@
 #include "src/remotemem/memory_manager.h"
 
 namespace zombie::bench {
+
+// The `bench_smoke` ctest label runs every bench binary with
+// ZOMBIE_BENCH_SMOKE=1 so the harnesses stay executable without paying for
+// full-size experiments.  Benches shrink their access streams through
+// SmokeIters() when the variable is set.
+inline bool SmokeMode() {
+  const char* env = std::getenv("ZOMBIE_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline std::uint64_t SmokeIters(std::uint64_t full,
+                                std::uint64_t smoke_cap = 20'000) {
+  return SmokeMode() ? std::min(full, smoke_cap) : full;
+}
 
 // The lab testbed of Section 6.1: four HP machines — global controller,
 // secondary controller, one user server, one zombie server — on an IB

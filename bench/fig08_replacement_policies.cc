@@ -25,6 +25,7 @@ int main() {
   std::printf("== Figure 8: FIFO vs Clock vs Mixed (micro-benchmark, RAM Ext) ==\n\n");
 
   AppProfile profile = Fig8MicroProfile();
+  profile.accesses = zombie::bench::SmokeIters(profile.accesses);
   const std::vector<int> locals = {20, 40, 60, 80, 100};
   const std::vector<PolicyKind> policies = {PolicyKind::kFifo, PolicyKind::kClock,
                                             PolicyKind::kMixed};

@@ -29,7 +29,8 @@ int main() {
   // Column-major runs: per app, baseline first, then the sweep.
   std::vector<std::vector<std::string>> cells(locals.size());
   for (App app : AllApps()) {
-    const AppProfile profile = ProfileFor(app);
+    AppProfile profile = ProfileFor(app);
+    profile.accesses = zombie::bench::SmokeIters(profile.accesses);
     WorkloadRunner runner;
     const RunResult baseline = runner.RunLocalOnly(profile);
     for (std::size_t i = 0; i < locals.size(); ++i) {

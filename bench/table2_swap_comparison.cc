@@ -25,7 +25,8 @@ int main() {
 
   const std::vector<int> locals = {20, 40, 50, 60, 80};
   for (App app : AllApps()) {
-    const AppProfile profile = ProfileFor(app);
+    AppProfile profile = ProfileFor(app);
+    profile.accesses = zombie::bench::SmokeIters(profile.accesses);
     WorkloadRunner runner;
     const RunResult baseline = runner.RunLocalOnly(profile);
 

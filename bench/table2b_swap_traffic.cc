@@ -37,7 +37,8 @@ int main() {
 
   TextTable table({"workload", "v1-RE pages", "v2-ESD pages", "extra traffic"});
   for (App app : AllApps()) {
-    const AppProfile profile = ProfileFor(app);
+    AppProfile profile = ProfileFor(app);
+    profile.accesses = zombie::bench::SmokeIters(profile.accesses);
     WorkloadRunner runner;
 
     zombie::bench::Testbed re_bed(profile.reserved_memory);

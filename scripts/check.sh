@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local verification: the tier-1 build+test and an ASan/UBSan pass (both
+# include the bench_smoke label).  Run from anywhere inside the repo.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 only (skip sanitizers)
+#
+# Exit code is nonzero if any stage fails.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+fi
+
+echo "==> [1/2] tier-1: configure + build + ctest (build/)"
+cmake -B build -S .
+cmake --build build -j "${jobs}"
+ctest --test-dir build --output-on-failure -j "${jobs}"
+
+if [[ "${fast}" == "1" ]]; then
+  echo "==> --fast: skipping sanitizer stage"
+  exit 0
+fi
+
+echo "==> [2/2] ASan/UBSan: configure + build + ctest (build-asan/)"
+cmake -B build-asan -S . -DZOMBIE_SANITIZE=ON
+cmake --build build-asan -j "${jobs}"
+ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+
+echo "==> check.sh: all stages passed"

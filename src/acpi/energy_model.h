@@ -16,8 +16,10 @@
 #define ZOMBIELAND_SRC_ACPI_ENERGY_MODEL_H_
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "src/acpi/sleep_state.h"
 #include "src/common/units.h"

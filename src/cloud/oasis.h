@@ -9,6 +9,7 @@
 #ifndef ZOMBIELAND_SRC_CLOUD_OASIS_H_
 #define ZOMBIELAND_SRC_CLOUD_OASIS_H_
 
+#include <map>
 #include <vector>
 
 #include "src/cloud/consolidation.h"

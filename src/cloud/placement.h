@@ -8,6 +8,7 @@
 #ifndef ZOMBIELAND_SRC_CLOUD_PLACEMENT_H_
 #define ZOMBIELAND_SRC_CLOUD_PLACEMENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 

@@ -8,6 +8,7 @@
 #ifndef ZOMBIELAND_SRC_CLOUD_RACK_ENERGY_H_
 #define ZOMBIELAND_SRC_CLOUD_RACK_ENERGY_H_
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 

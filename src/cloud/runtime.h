@@ -6,7 +6,9 @@
 #ifndef ZOMBIELAND_SRC_CLOUD_RUNTIME_H_
 #define ZOMBIELAND_SRC_CLOUD_RUNTIME_H_
 
+#include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "src/cloud/rack.h"
 #include "src/common/event_queue.h"

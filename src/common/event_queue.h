@@ -12,6 +12,7 @@
 #include <functional>
 #include <queue>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/sim_clock.h"

@@ -5,6 +5,7 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace zombie {
 

@@ -3,8 +3,10 @@
 #ifndef ZOMBIELAND_SRC_HV_BACKEND_H_
 #define ZOMBIELAND_SRC_HV_BACKEND_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "src/common/result.h"
 #include "src/common/units.h"

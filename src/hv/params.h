@@ -6,6 +6,8 @@
 #ifndef ZOMBIELAND_SRC_HV_PARAMS_H_
 #define ZOMBIELAND_SRC_HV_PARAMS_H_
 
+#include <cstdint>
+
 #include "src/common/units.h"
 
 namespace zombie::hv {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "src/common/result.h"
 #include "src/common/units.h"

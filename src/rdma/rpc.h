@@ -11,11 +11,13 @@
 #ifndef ZOMBIELAND_SRC_RDMA_RPC_H_
 #define ZOMBIELAND_SRC_RDMA_RPC_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"

@@ -11,6 +11,7 @@
 #ifndef ZOMBIELAND_SRC_REMOTEMEM_MEMORY_MANAGER_H_
 #define ZOMBIELAND_SRC_REMOTEMEM_MEMORY_MANAGER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <span>

@@ -71,12 +71,6 @@ namespace {
 
 // Responses are (status, body...).  Handlers return OK + body or an encoded
 // error status; the client decodes the status first.
-Payload OkHeader() {
-  PayloadWriter writer;
-  EncodeStatus(writer, Status::Ok());
-  return writer.Take();
-}
-
 Payload ErrorResponse(const Status& status) {
   PayloadWriter writer;
   EncodeStatus(writer, status);

@@ -10,6 +10,7 @@
 #ifndef ZOMBIELAND_SRC_REMOTEMEM_WIRE_H_
 #define ZOMBIELAND_SRC_REMOTEMEM_WIRE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -14,6 +14,7 @@
 #ifndef ZOMBIELAND_SRC_WORKLOADS_APP_MODELS_H_
 #define ZOMBIELAND_SRC_WORKLOADS_APP_MODELS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>

@@ -7,6 +7,8 @@
 //  * migration estimates dominate correctly across the parameter space.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -26,6 +28,61 @@ namespace zombie {
 namespace {
 
 // ---------------------------------------------------------------------------
+// Deterministic seeding.  Every Rng in this file derives from one base seed —
+// a fixed constant, overridable with ZOMBIE_TEST_SEED=<n> — mixed with a
+// per-site salt so distinct tests still explore distinct streams.  When a
+// test fails, a ScopedSeedReporter prints the base seed so the failure can be
+// reproduced exactly.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kDefaultTestSeed = 20180423;  // EuroSys'18 week
+
+std::uint64_t BaseSeed() {
+  static const std::uint64_t base = [] {
+    if (const char* env = std::getenv("ZOMBIE_TEST_SEED")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') {
+        return static_cast<std::uint64_t>(parsed);
+      }
+      std::fprintf(stderr, "property_test: ignoring malformed ZOMBIE_TEST_SEED=\"%s\"\n",
+                   env);
+    }
+    return kDefaultTestSeed;
+  }();
+  return base;
+}
+
+std::uint64_t TestSeed(std::uint64_t salt) {
+  // splitmix64-style mix keeps nearby salts decorrelated.
+  std::uint64_t z = BaseSeed() + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Prints the reproduction seed if the enclosing test fails after this object
+// was constructed.
+class ScopedSeedReporter {
+ public:
+  ScopedSeedReporter() : failed_on_entry_(::testing::Test::HasFailure()) {}
+  ScopedSeedReporter(const ScopedSeedReporter&) = delete;
+  ScopedSeedReporter& operator=(const ScopedSeedReporter&) = delete;
+  ~ScopedSeedReporter() {
+    if (!failed_on_entry_ && ::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[  SEED    ] base seed %llu — rerun with ZOMBIE_TEST_SEED=%llu "
+                   "to reproduce\n",
+                   static_cast<unsigned long long>(BaseSeed()),
+                   static_cast<unsigned long long>(BaseSeed()));
+    }
+  }
+
+ private:
+  bool failed_on_entry_;
+};
+
+// ---------------------------------------------------------------------------
 // Pager invariants under random access streams, across policies and sizes.
 // ---------------------------------------------------------------------------
 
@@ -38,7 +95,8 @@ TEST_P(PagerPropertyTest, FrameBudgetAndConservation) {
   hv::PagingParams params;
   hv::DeviceBackend backend("dev", {2000, 2000});
   hv::HostPager pager(pages, frames, hv::MakePolicy(policy, params), &backend, params);
-  Rng rng(pages * 31 + frames);
+  ScopedSeedReporter seed_reporter;
+  Rng rng(TestSeed(pages * 31 + frames));
 
   for (int i = 0; i < 20000; ++i) {
     const auto page = rng.NextBelow(pages);
@@ -147,8 +205,9 @@ INSTANTIATE_TEST_SUITE_P(LocalFractions, DeviceOrderTest,
 // ---------------------------------------------------------------------------
 
 TEST(BufferDbProperty, RandomOpsConserveBuffers) {
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    Rng rng(seed);
+  ScopedSeedReporter seed_reporter;
+  for (std::uint64_t salt = 1; salt <= 5; ++salt) {
+    Rng rng(TestSeed(salt));
     remotemem::BufferDb db;
     std::map<remotemem::BufferId, bool> alive;  // id -> allocated
     remotemem::BufferId next_id = 1;
@@ -194,7 +253,8 @@ TEST(BufferDbProperty, RandomOpsConserveBuffers) {
 // ---------------------------------------------------------------------------
 
 TEST(EnergyModelProperty, OrderingsHoldForPerturbedMachines) {
-  Rng rng(2024);
+  ScopedSeedReporter seed_reporter;
+  Rng rng(TestSeed(2024));
   for (int i = 0; i < 200; ++i) {
     acpi::ComponentDraws d{};
     d.platform_standby = rng.NextDouble(0.1, 2.0);
@@ -236,7 +296,8 @@ TEST(EnergyModelProperty, OrderingsHoldForPerturbedMachines) {
 // ---------------------------------------------------------------------------
 
 TEST(MigrationProperty, ZombieNeverMovesMoreBytesThanPreCopy) {
-  Rng rng(7);
+  ScopedSeedReporter seed_reporter;
+  Rng rng(TestSeed(7));
   for (int i = 0; i < 100; ++i) {
     hv::VmSpec vm;
     vm.reserved_memory = (1 + rng.NextBelow(15)) * kGiB;

@@ -72,6 +72,134 @@ TEST(WireCodec, BadStatusCodeRejected) {
   EXPECT_EQ(DecodeStatus(reader).code(), ErrorCode::kInvalidArgument);
 }
 
+TEST(WireCodec, PrimitiveRoundTripsIncludingBoundaryValues) {
+  rdma::PayloadWriter writer;
+  writer.PutU64(0);
+  writer.PutU64(~0ULL);
+  writer.PutU64(0x0123456789ABCDEFULL);
+  writer.PutU32(0);
+  writer.PutU32(0xFFFFFFFFu);
+  writer.PutString("");
+  writer.PutString(std::string("nul\0inside", 10));
+  const rdma::Payload payload = writer.Take();
+  // 3*8 + 2*4 + (4+0) + (4+10) bytes of little-endian data.
+  EXPECT_EQ(payload.size(), 24u + 8u + 4u + 14u);
+
+  rdma::PayloadReader reader(payload);
+  auto a = reader.GetU64();
+  auto b = reader.GetU64();
+  auto c = reader.GetU64();
+  auto d = reader.GetU32();
+  auto e = reader.GetU32();
+  auto s1 = reader.GetString();
+  auto s2 = reader.GetString();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), ~0ULL);
+  EXPECT_EQ(c.value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d.value(), 0u);
+  EXPECT_EQ(e.value(), 0xFFFFFFFFu);
+  EXPECT_EQ(s1.value(), "");
+  EXPECT_EQ(s2.value(), std::string("nul\0inside", 10));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireCodec, PrimitiveUnderrunsRejected) {
+  const rdma::Payload empty;
+  {
+    rdma::PayloadReader reader(empty);
+    EXPECT_EQ(reader.GetU64().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    rdma::PayloadReader reader(empty);
+    EXPECT_EQ(reader.GetU32().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    rdma::PayloadReader reader(empty);
+    EXPECT_EQ(reader.GetString().code(), ErrorCode::kInvalidArgument);
+  }
+  // A string whose length prefix promises more bytes than remain.
+  rdma::PayloadWriter writer;
+  writer.PutU32(100);
+  const rdma::Payload lying = writer.Take();
+  rdma::PayloadReader reader(lying);
+  EXPECT_EQ(reader.GetString().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(WireCodec, GrantTruncationRejectedAtEveryPrefix) {
+  BufferGrant grant{42, 777, kBuff, 9, BufferType::kActive};
+  rdma::PayloadWriter writer;
+  EncodeGrant(writer, grant);
+  const rdma::Payload full = writer.Take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    rdma::Payload truncated(full.begin(), full.begin() + static_cast<long>(len));
+    rdma::PayloadReader reader(truncated);
+    EXPECT_FALSE(DecodeGrant(reader).ok()) << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(WireCodec, GrantStreamRoundTrip) {
+  const std::vector<BufferGrant> grants = {
+      {1, 10, kBuff, 3, BufferType::kZombie},
+      {2, 20, 2 * kBuff, 4, BufferType::kActive},
+      {kInvalidBuffer, rdma::kInvalidRKey, 0, kNilServer, BufferType::kZombie},
+  };
+  rdma::PayloadWriter writer;
+  for (const auto& grant : grants) {
+    EncodeGrant(writer, grant);
+  }
+  const rdma::Payload payload = writer.Take();
+  rdma::PayloadReader reader(payload);
+  for (const auto& expected : grants) {
+    auto decoded = DecodeGrant(reader);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().id, expected.id);
+    EXPECT_EQ(decoded.value().rkey, expected.rkey);
+    EXPECT_EQ(decoded.value().size, expected.size);
+    EXPECT_EQ(decoded.value().host, expected.host);
+    EXPECT_EQ(decoded.value().type, expected.type);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireCodec, BadBufferTypeRejected) {
+  rdma::PayloadWriter writer;
+  writer.PutU64(1);   // id
+  writer.PutU64(2);   // rkey
+  writer.PutU64(3);   // size
+  writer.PutU32(4);   // host
+  writer.PutU32(7);   // not a valid BufferType
+  const rdma::Payload payload = writer.Take();
+  rdma::PayloadReader reader(payload);
+  EXPECT_EQ(DecodeGrant(reader).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(WireCodec, StatusEmptyMessageRoundTrip) {
+  rdma::PayloadWriter writer;
+  EncodeStatus(writer, Status::Ok());
+  const rdma::Payload payload = writer.Take();
+  rdma::PayloadReader reader(payload);
+  const Status status = DecodeStatus(reader);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireCodec, StatusTruncatedFails) {
+  rdma::PayloadWriter writer;
+  EncodeStatus(writer, Status(ErrorCode::kOutOfMemory, "pool dry"));
+  rdma::Payload payload = writer.Take();
+  payload.resize(payload.size() - 4);  // chop into the message bytes
+  rdma::PayloadReader reader(payload);
+  EXPECT_EQ(DecodeStatus(reader).code(), ErrorCode::kInvalidArgument);
+}
+
 // ---------------------------------------------------------------------------
 // Full client/endpoint stack over the fabric.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,720 @@
+// minigtest — a single-header, dependency-free subset of GoogleTest.
+//
+// Used when neither a system GoogleTest nor FetchContent is available
+// (offline builds).  Implements exactly the surface this repository's test
+// suites use:
+//
+//   * TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P
+//   * ::testing::Test, ::testing::TestWithParam<T>, ::testing::TestParamInfo<T>
+//   * ::testing::Values / ::testing::Combine param generators
+//   * EXPECT_* / ASSERT_* for TRUE, FALSE, EQ, NE, LT, LE, GT, GE, NEAR,
+//     DOUBLE_EQ, FLOAT_EQ, STREQ, STRNE; streaming `<< "context"` messages
+//   * EXPECT_DEATH / ASSERT_DEATH compile the statement but never run it
+//   * SUCCEED / FAIL / ADD_FAILURE, Test::HasFailure()
+//   * RUN_ALL_TESTS with gtest-compatible output, --gtest_filter=PATTERNS
+//     (':'-separated, '*'/'?' wildcards, '-' negative section) and
+//     --gtest_list_tests (format understood by CMake's gtest_discover_tests)
+//
+// Not implemented: death-test execution, typed tests, matchers/gmock,
+// SCOPED_TRACE, value printing customisation via PrintTo.
+#ifndef MINIGTEST_GTEST_GTEST_H_
+#define MINIGTEST_GTEST_GTEST_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& value) {
+    internal_stream_ << value;
+    return *this;
+  }
+  std::string str() const { return internal_stream_.str(); }
+
+ private:
+  std::ostringstream internal_stream_;
+};
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Global state: registry of runnable tests and per-test failure tracking.
+
+struct TestEntry {
+  std::string suite;                // e.g. "Prefix/Fixture" or "Suite"
+  std::string name;                 // e.g. "Case/0" or "Case"
+  std::function<void()> run;        // constructs, runs, destroys the test
+  std::string full() const { return suite + "." + name; }
+};
+
+inline std::vector<TestEntry>& Registry() {
+  static std::vector<TestEntry> registry;
+  return registry;
+}
+
+inline bool& CurrentTestFailed() {
+  static bool failed = false;
+  return failed;
+}
+
+inline bool& FatalFailureRequested() {
+  static bool fatal = false;
+  return fatal;
+}
+
+// ---------------------------------------------------------------------------
+// Value printing (best effort; mirrors gtest's output closely enough for
+// humans).
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string PrintValue(const T& value) {
+  if constexpr (std::is_enum_v<T>) {
+    using U = std::underlying_type_t<T>;
+    std::ostringstream os;
+    os << static_cast<std::conditional_t<sizeof(U) == 1, int, U>>(
+        static_cast<U>(value));
+    return os.str();
+  } else if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (std::is_same_v<T, std::nullptr_t>) {
+    return "nullptr";
+  } else if constexpr (IsStreamable<T>::value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    std::ostringstream os;
+    os << sizeof(T) << "-byte object <unprintable>";
+    return os.str();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Assertion plumbing.  A failed check prints its summary immediately; the
+// trailing `= Message() << ...` hook appends user context, gtest-style.
+
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string summary,
+               bool fatal = false)
+      : file_(file), line_(line), summary_(std::move(summary)), fatal_(fatal) {}
+
+  void operator=(const Message& message) const {
+    CurrentTestFailed() = true;
+    if (fatal_) FatalFailureRequested() = true;
+    std::string context = message.str();
+    std::fprintf(stderr, "%s:%d: Failure\n%s%s%s\n", file_, line_,
+                 summary_.c_str(), context.empty() ? "" : "\n",
+                 context.c_str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+  bool fatal_;
+};
+
+struct CmpResult {
+  bool ok = true;
+  std::string message;
+  explicit operator bool() const { return ok; }
+};
+
+template <typename A, typename B>
+CmpResult CmpEQ(const char* ae, const char* be, const A& a, const B& b) {
+  if (a == b) return {};
+  return {false, std::string("Expected equality of these values:\n  ") + ae +
+                     "\n    Which is: " + PrintValue(a) + "\n  " + be +
+                     "\n    Which is: " + PrintValue(b)};
+}
+
+#define MINIGTEST_DEFINE_CMP_(fn, op, verb)                                  \
+  template <typename A, typename B>                                          \
+  CmpResult fn(const char* ae, const char* be, const A& a, const B& b) {     \
+    if (a op b) return {};                                                   \
+    return {false, std::string("Expected: (") + ae + ") " verb " (" + be +   \
+                       "), actual: " + PrintValue(a) + " vs " +              \
+                       PrintValue(b)};                                       \
+  }
+MINIGTEST_DEFINE_CMP_(CmpNE, !=, "!=")
+MINIGTEST_DEFINE_CMP_(CmpLT, <, "<")
+MINIGTEST_DEFINE_CMP_(CmpLE, <=, "<=")
+MINIGTEST_DEFINE_CMP_(CmpGT, >, ">")
+MINIGTEST_DEFINE_CMP_(CmpGE, >=, ">=")
+#undef MINIGTEST_DEFINE_CMP_
+
+template <typename A, typename B, typename C>
+CmpResult CmpNear(const char* ae, const char* be, const char* te, const A& a,
+                  const B& b, const C& tol) {
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  const double dt = static_cast<double>(tol);
+  if (std::fabs(da - db) <= dt) return {};
+  std::ostringstream os;
+  os << "The difference between " << ae << " and " << be << " is "
+     << std::fabs(da - db) << ", which exceeds " << te << ", where\n  " << ae
+     << " evaluates to " << da << ",\n  " << be << " evaluates to " << db
+     << ", and\n  " << te << " evaluates to " << dt << ".";
+  return {false, os.str()};
+}
+
+// 4-ULP floating point comparison, as in gtest.
+template <typename Raw, typename Bits>
+bool AlmostEqual(Raw lhs, Raw rhs) {
+  static constexpr Bits kMaxUlps = 4;
+  if (std::isnan(lhs) || std::isnan(rhs)) return false;
+  Bits lbits, rbits;
+  std::memcpy(&lbits, &lhs, sizeof(Raw));
+  std::memcpy(&rbits, &rhs, sizeof(Raw));
+  const Bits sign_mask = static_cast<Bits>(1) << (sizeof(Bits) * 8 - 1);
+  // Map two's-complement-ish float ordering onto an unsigned "biased" scale.
+  auto biased = [&](Bits sam) -> Bits {
+    return (sign_mask & sam) ? ~sam + 1 : sign_mask | sam;
+  };
+  const Bits bl = biased(lbits);
+  const Bits br = biased(rbits);
+  const Bits dist = bl >= br ? bl - br : br - bl;
+  return dist <= kMaxUlps;
+}
+
+template <typename A, typename B>
+CmpResult CmpDoubleEQ(const char* ae, const char* be, const A& a, const B& b) {
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  if (AlmostEqual<double, std::uint64_t>(da, db)) return {};
+  std::ostringstream os;
+  os << "Expected equality of these values:\n  " << ae
+     << "\n    Which is: " << da << "\n  " << be << "\n    Which is: " << db;
+  return {false, os.str()};
+}
+
+template <typename A, typename B>
+CmpResult CmpFloatEQ(const char* ae, const char* be, const A& a, const B& b) {
+  const float fa = static_cast<float>(a);
+  const float fb = static_cast<float>(b);
+  if (AlmostEqual<float, std::uint32_t>(fa, fb)) return {};
+  std::ostringstream os;
+  os << "Expected equality of these values:\n  " << ae
+     << "\n    Which is: " << fa << "\n  " << be << "\n    Which is: " << fb;
+  return {false, os.str()};
+}
+
+inline CmpResult CmpStrEQ(const char* ae, const char* be, const char* a,
+                          const char* b) {
+  const bool equal = (a == nullptr || b == nullptr)
+                         ? a == b
+                         : std::strcmp(a, b) == 0;
+  if (equal) return {};
+  return {false, std::string("Expected equality of these values:\n  ") + ae +
+                     "\n    Which is: " + (a ? a : "NULL") + "\n  " + be +
+                     "\n    Which is: " + (b ? b : "NULL")};
+}
+
+inline CmpResult CmpStrNE(const char* ae, const char* be, const char* a,
+                          const char* b) {
+  const bool equal = (a == nullptr || b == nullptr)
+                         ? a == b
+                         : std::strcmp(a, b) == 0;
+  if (!equal) return {};
+  return {false, std::string("Expected: (") + ae + ") != (" + be +
+                     "), actual: both are " + (a ? a : "NULL")};
+}
+
+inline CmpResult CmpBool(const char* expr, bool value, bool expected) {
+  if (value == expected) return {};
+  return {false, std::string("Value of: ") + expr + "\n  Actual: " +
+                     (value ? "true" : "false") + "\nExpected: " +
+                     (expected ? "true" : "false")};
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test fixtures.
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  static bool HasFailure() { return internal::CurrentTestFailed(); }
+  virtual void TestBody() = 0;
+
+ protected:
+  Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+
+ private:
+  friend void RunOneTest(Test* test);
+};
+
+inline void RunOneTest(Test* test) {
+  test->SetUp();
+  if (!internal::FatalFailureRequested()) {
+    test->TestBody();
+  }
+  test->TearDown();
+}
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  static const ParamType& GetParam() { return *CurrentParam(); }
+  static void SetParam(const ParamType* param) { CurrentParam() = param; }
+
+ private:
+  static const ParamType*& CurrentParam() {
+    static const ParamType* param = nullptr;
+    return param;
+  }
+};
+
+template <typename T>
+struct TestParamInfo {
+  TestParamInfo(const T& a_param, std::size_t an_index)
+      : param(a_param), index(an_index) {}
+  T param;
+  std::size_t index;
+};
+
+// ---------------------------------------------------------------------------
+// Param generators: Values(...) and Combine(...).
+
+namespace internal {
+
+template <typename... Ts>
+struct ValueArray {
+  std::tuple<Ts...> values;
+
+  template <typename T>
+  operator std::vector<T>() const {  // NOLINT(google-explicit-constructor)
+    std::vector<T> out;
+    out.reserve(sizeof...(Ts));
+    std::apply(
+        [&out](const Ts&... vs) { (out.push_back(static_cast<T>(vs)), ...); },
+        values);
+    return out;
+  }
+};
+
+template <std::size_t I, typename VecsTuple, typename Tuple>
+void CartesianFill(const VecsTuple& vecs, Tuple& current,
+                   std::vector<Tuple>& out) {
+  if constexpr (I == std::tuple_size_v<VecsTuple>) {
+    out.push_back(current);
+  } else {
+    for (const auto& v : std::get<I>(vecs)) {
+      std::get<I>(current) = v;
+      CartesianFill<I + 1>(vecs, current, out);
+    }
+  }
+}
+
+template <typename... Gens>
+struct CombineHolder {
+  std::tuple<Gens...> gens;
+
+  template <typename... Us>
+  operator std::vector<std::tuple<Us...>>() const {  // NOLINT
+    static_assert(sizeof...(Us) == sizeof...(Gens),
+                  "Combine() arity must match the fixture's tuple ParamType");
+    return Expand<Us...>(std::index_sequence_for<Gens...>{});
+  }
+
+ private:
+  template <typename... Us, std::size_t... Is>
+  std::vector<std::tuple<Us...>> Expand(std::index_sequence<Is...>) const {
+    auto vecs = std::make_tuple(
+        static_cast<std::vector<Us>>(std::get<Is>(gens))...);
+    std::vector<std::tuple<Us...>> out;
+    std::tuple<Us...> current{};
+    CartesianFill<0>(vecs, current, out);
+    return out;
+  }
+};
+
+// Per-fixture registry of TEST_P bodies, bound to params at INSTANTIATE time
+// (TEST_P registrars run before INSTANTIATE registrars within a TU because
+// they appear earlier in the file).
+template <typename Fixture>
+struct ParamRegistry {
+  struct Entry {
+    std::string suite;
+    std::string name;
+    std::function<Fixture*()> make;
+  };
+  static std::vector<Entry>& Entries() {
+    static std::vector<Entry> entries;
+    return entries;
+  }
+  static bool Add(const char* suite, const char* name,
+                  std::function<Fixture*()> make) {
+    Entries().push_back({suite, name, std::move(make)});
+    return true;
+  }
+};
+
+struct DefaultParamName {
+  template <typename T>
+  std::string operator()(const TestParamInfo<T>& info) const {
+    return std::to_string(info.index);
+  }
+};
+
+template <typename Fixture, typename Generator, typename NameGen>
+bool InstantiateParamSuite(const char* prefix, const Generator& generator,
+                           NameGen name_gen) {
+  using Param = typename Fixture::ParamType;
+  // Leak the param vector: registered closures point into it for the whole
+  // program lifetime, mirroring gtest's own instantiation registry.
+  auto* params = new std::vector<Param>(static_cast<std::vector<Param>>(generator));
+  for (const auto& entry : ParamRegistry<Fixture>::Entries()) {
+    for (std::size_t i = 0; i < params->size(); ++i) {
+      TestEntry runnable;
+      runnable.suite = std::string(prefix) + "/" + entry.suite;
+      runnable.name =
+          entry.name + "/" + name_gen(TestParamInfo<Param>((*params)[i], i));
+      runnable.run = [make = entry.make, params, i]() {
+        Fixture::SetParam(&(*params)[i]);
+        std::unique_ptr<Fixture> test(make());
+        RunOneTest(test.get());
+        Fixture::SetParam(nullptr);
+      };
+      Registry().push_back(std::move(runnable));
+    }
+  }
+  return true;
+}
+
+template <typename Fixture, typename Generator>
+bool InstantiateParamSuite(const char* prefix, const Generator& generator) {
+  return InstantiateParamSuite<Fixture>(prefix, generator,
+                                        DefaultParamName{});
+}
+
+inline bool RegisterTest(const char* suite, const char* name,
+                         std::function<Test*()> factory) {
+  TestEntry entry;
+  entry.suite = suite;
+  entry.name = name;
+  entry.run = [factory = std::move(factory)]() {
+    std::unique_ptr<Test> test(factory());
+    RunOneTest(test.get());
+  };
+  Registry().push_back(std::move(entry));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// --gtest_filter matching: ':'-separated patterns with '*' and '?', and an
+// optional '-'-prefixed negative section.
+
+inline bool WildcardMatch(const char* pattern, const char* text) {
+  while (*pattern != '\0') {
+    if (*pattern == '*') {
+      ++pattern;
+      for (const char* t = text;; ++t) {
+        if (WildcardMatch(pattern, t)) return true;
+        if (*t == '\0') return false;
+      }
+    }
+    if (*text == '\0') return false;
+    if (*pattern != '?' && *pattern != *text) return false;
+    ++pattern;
+    ++text;
+  }
+  return *text == '\0';
+}
+
+inline bool MatchesAnyPattern(const std::string& patterns,
+                              const std::string& name) {
+  if (patterns.empty()) return false;
+  std::size_t start = 0;
+  while (start <= patterns.size()) {
+    std::size_t end = patterns.find(':', start);
+    if (end == std::string::npos) end = patterns.size();
+    const std::string pattern = patterns.substr(start, end - start);
+    if (!pattern.empty() && WildcardMatch(pattern.c_str(), name.c_str())) {
+      return true;
+    }
+    start = end + 1;
+  }
+  return false;
+}
+
+inline bool MatchesFilter(const std::string& filter, const std::string& name) {
+  std::string positive = filter;
+  std::string negative;
+  const std::size_t dash = filter.find('-');
+  if (dash != std::string::npos) {
+    positive = filter.substr(0, dash);
+    negative = filter.substr(dash + 1);
+  }
+  if (positive.empty()) positive = "*";
+  return MatchesAnyPattern(positive, name) &&
+         !MatchesAnyPattern(negative, name);
+}
+
+inline std::string& Filter() {
+  static std::string filter = "*";
+  return filter;
+}
+
+inline bool& ListTestsFlag() {
+  static bool list_tests = false;
+  return list_tests;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Generator entry points.
+
+template <typename... Ts>
+internal::ValueArray<Ts...> Values(Ts... values) {
+  return {std::make_tuple(values...)};
+}
+
+template <typename... Gens>
+internal::CombineHolder<Gens...> Combine(Gens... gens) {
+  return {std::make_tuple(gens...)};
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+
+inline void InitGoogleTest(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gtest_filter=", 0) == 0) {
+      internal::Filter() = arg.substr(std::strlen("--gtest_filter="));
+    } else if (arg == "--gtest_list_tests") {
+      internal::ListTestsFlag() = true;
+    } else if (arg.rfind("--gtest_", 0) == 0) {
+      // Accept and ignore all other gtest flags (color, brief, shuffle...).
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline void InitGoogleTest() {}
+
+inline int RunAllTestsImpl() {
+  auto& registry = internal::Registry();
+
+  if (internal::ListTestsFlag()) {
+    // gtest's --gtest_list_tests format, parsed by gtest_discover_tests.
+    std::string last_suite;
+    for (const auto& entry : registry) {
+      if (entry.suite != last_suite) {
+        std::printf("%s.\n", entry.suite.c_str());
+        last_suite = entry.suite;
+      }
+      std::printf("  %s\n", entry.name.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const internal::TestEntry*> selected;
+  for (const auto& entry : registry) {
+    if (internal::MatchesFilter(internal::Filter(), entry.full())) {
+      selected.push_back(&entry);
+    }
+  }
+
+  std::printf("[==========] Running %zu test(s) (minigtest).\n",
+              selected.size());
+  std::vector<std::string> failed;
+  for (const auto* entry : selected) {
+    std::printf("[ RUN      ] %s\n", entry->full().c_str());
+    std::fflush(stdout);
+    internal::CurrentTestFailed() = false;
+    internal::FatalFailureRequested() = false;
+    entry->run();
+    if (internal::CurrentTestFailed()) {
+      failed.push_back(entry->full());
+      std::printf("[  FAILED  ] %s\n", entry->full().c_str());
+    } else {
+      std::printf("[       OK ] %s\n", entry->full().c_str());
+    }
+    std::fflush(stdout);
+  }
+  std::printf("[==========] %zu test(s) ran.\n", selected.size());
+  std::printf("[  PASSED  ] %zu test(s).\n", selected.size() - failed.size());
+  if (!failed.empty()) {
+    std::printf("[  FAILED  ] %zu test(s), listed below:\n", failed.size());
+    for (const auto& name : failed) {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() { return ::testing::RunAllTestsImpl(); }
+
+// ---------------------------------------------------------------------------
+// Test definition macros.
+
+#define MINIGTEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+#define MINIGTEST_REGISTRAR_NAME_2_(a, b) a##_##b
+#define MINIGTEST_REGISTRAR_NAME_(a, b) MINIGTEST_REGISTRAR_NAME_2_(a, b)
+
+#define MINIGTEST_TEST_(suite, name, parent)                                  \
+  class MINIGTEST_CLASS_NAME_(suite, name) : public parent {                  \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+  };                                                                          \
+  [[maybe_unused]] static const bool MINIGTEST_REGISTRAR_NAME_(               \
+      minigtest_reg_##suite, name) =                                          \
+      ::testing::internal::RegisterTest(#suite, #name, []() -> ::testing::    \
+                                                            Test* {           \
+        return new MINIGTEST_CLASS_NAME_(suite, name)();                      \
+      });                                                                     \
+  void MINIGTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MINIGTEST_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MINIGTEST_TEST_(fixture, name, fixture)
+
+#define TEST_P(fixture, name)                                                 \
+  class MINIGTEST_CLASS_NAME_(fixture, name) : public fixture {               \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+  };                                                                          \
+  [[maybe_unused]] static const bool MINIGTEST_REGISTRAR_NAME_(               \
+      minigtest_preg_##fixture, name) =                                       \
+      ::testing::internal::ParamRegistry<fixture>::Add(                       \
+          #fixture, #name, []() -> fixture* {                                 \
+            return new MINIGTEST_CLASS_NAME_(fixture, name)();                \
+          });                                                                 \
+  void MINIGTEST_CLASS_NAME_(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, ...)                        \
+  [[maybe_unused]] static const bool MINIGTEST_REGISTRAR_NAME_(               \
+      minigtest_inst_##prefix, fixture) =                                     \
+      ::testing::internal::InstantiateParamSuite<fixture>(#prefix,            \
+                                                          __VA_ARGS__)
+// Pre-1.10 spelling used by some older suites.
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P
+
+// ---------------------------------------------------------------------------
+// Assertion macros.  The `switch (0) case 0: default:` wrapper makes each
+// macro a single statement usable in un-braced if/else, as in gtest.
+
+// `on_failure` is empty for EXPECT_* and `return` for ASSERT_* (legal in the
+// void TestBody; the AssertHelper's fatal flag also aborts the fixture when
+// the failure happens inside SetUp).  `is_fatal` feeds that flag.
+#define MINIGTEST_CHECK_(result_expr, on_failure, is_fatal)                   \
+  switch (0)                                                                  \
+  case 0:                                                                     \
+  default:                                                                    \
+    if (const ::testing::internal::CmpResult minigtest_cmp_ = (result_expr))  \
+      ;                                                                       \
+    else                                                                      \
+      on_failure ::testing::internal::AssertHelper(                           \
+          __FILE__, __LINE__, minigtest_cmp_.message, is_fatal) =             \
+          ::testing::Message()
+
+#define MINIGTEST_EXPECT_CMP_(cmp, a, b) \
+  MINIGTEST_CHECK_(cmp(#a, #b, (a), (b)), , false)
+#define MINIGTEST_ASSERT_CMP_(cmp, a, b) \
+  MINIGTEST_CHECK_(cmp(#a, #b, (a), (b)), return, true)
+
+#define EXPECT_TRUE(c)                                                         \
+  MINIGTEST_CHECK_(::testing::internal::CmpBool(#c, static_cast<bool>(c), true), \
+                   , false)
+#define EXPECT_FALSE(c)                                                        \
+  MINIGTEST_CHECK_(                                                            \
+      ::testing::internal::CmpBool(#c, static_cast<bool>(c), false), , false)
+#define ASSERT_TRUE(c)                                                         \
+  MINIGTEST_CHECK_(::testing::internal::CmpBool(#c, static_cast<bool>(c), true), \
+                   return, true)
+#define ASSERT_FALSE(c)                                                        \
+  MINIGTEST_CHECK_(                                                            \
+      ::testing::internal::CmpBool(#c, static_cast<bool>(c), false), return,   \
+      true)
+
+#define EXPECT_EQ(a, b) MINIGTEST_EXPECT_CMP_(::testing::internal::CmpEQ, a, b)
+#define EXPECT_NE(a, b) MINIGTEST_EXPECT_CMP_(::testing::internal::CmpNE, a, b)
+#define EXPECT_LT(a, b) MINIGTEST_EXPECT_CMP_(::testing::internal::CmpLT, a, b)
+#define EXPECT_LE(a, b) MINIGTEST_EXPECT_CMP_(::testing::internal::CmpLE, a, b)
+#define EXPECT_GT(a, b) MINIGTEST_EXPECT_CMP_(::testing::internal::CmpGT, a, b)
+#define EXPECT_GE(a, b) MINIGTEST_EXPECT_CMP_(::testing::internal::CmpGE, a, b)
+#define ASSERT_EQ(a, b) MINIGTEST_ASSERT_CMP_(::testing::internal::CmpEQ, a, b)
+#define ASSERT_NE(a, b) MINIGTEST_ASSERT_CMP_(::testing::internal::CmpNE, a, b)
+#define ASSERT_LT(a, b) MINIGTEST_ASSERT_CMP_(::testing::internal::CmpLT, a, b)
+#define ASSERT_LE(a, b) MINIGTEST_ASSERT_CMP_(::testing::internal::CmpLE, a, b)
+#define ASSERT_GT(a, b) MINIGTEST_ASSERT_CMP_(::testing::internal::CmpGT, a, b)
+#define ASSERT_GE(a, b) MINIGTEST_ASSERT_CMP_(::testing::internal::CmpGE, a, b)
+
+#define EXPECT_STREQ(a, b) \
+  MINIGTEST_EXPECT_CMP_(::testing::internal::CmpStrEQ, a, b)
+#define EXPECT_STRNE(a, b) \
+  MINIGTEST_EXPECT_CMP_(::testing::internal::CmpStrNE, a, b)
+#define ASSERT_STREQ(a, b) \
+  MINIGTEST_ASSERT_CMP_(::testing::internal::CmpStrEQ, a, b)
+#define ASSERT_STRNE(a, b) \
+  MINIGTEST_ASSERT_CMP_(::testing::internal::CmpStrNE, a, b)
+
+#define EXPECT_DOUBLE_EQ(a, b) \
+  MINIGTEST_EXPECT_CMP_(::testing::internal::CmpDoubleEQ, a, b)
+#define ASSERT_DOUBLE_EQ(a, b) \
+  MINIGTEST_ASSERT_CMP_(::testing::internal::CmpDoubleEQ, a, b)
+#define EXPECT_FLOAT_EQ(a, b) \
+  MINIGTEST_EXPECT_CMP_(::testing::internal::CmpFloatEQ, a, b)
+#define ASSERT_FLOAT_EQ(a, b) \
+  MINIGTEST_ASSERT_CMP_(::testing::internal::CmpFloatEQ, a, b)
+
+#define EXPECT_NEAR(a, b, tol)                                                 \
+  MINIGTEST_CHECK_(::testing::internal::CmpNear(#a, #b, #tol, (a), (b), (tol)), \
+                   , false)
+#define ASSERT_NEAR(a, b, tol)                                                 \
+  MINIGTEST_CHECK_(::testing::internal::CmpNear(#a, #b, #tol, (a), (b), (tol)), \
+                   return, true)
+
+// Death tests are compiled but never executed (no fork/exec machinery).
+#define EXPECT_DEATH(stmt, pattern)  \
+  do {                               \
+    if (false) {                     \
+      stmt;                          \
+      static_cast<void>(pattern);    \
+    }                                \
+  } while (false)
+#define ASSERT_DEATH(stmt, pattern) EXPECT_DEATH(stmt, pattern)
+
+#define ADD_FAILURE()                                                      \
+  ::testing::internal::AssertHelper(__FILE__, __LINE__, "Failed") =        \
+      ::testing::Message()
+#define FAIL()                                                             \
+  return ::testing::internal::AssertHelper(__FILE__, __LINE__, "Failed",   \
+                                           true) = ::testing::Message()
+#define SUCCEED() static_cast<void>(0)
+#define GTEST_SKIP() return static_cast<void>(0)
+
+#endif  // MINIGTEST_GTEST_GTEST_H_

@@ -1,0 +1,8 @@
+// Drop-in replacement for GoogleTest's gtest_main when building against the
+// vendored minigtest shim.
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
