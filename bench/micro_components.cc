@@ -33,7 +33,9 @@ void BM_PolicyPickVictim(benchmark::State& state) {
   auto policy = MakePolicy(kind, params);
   for (std::size_t p = 0; p < resident; ++p) {
     table.at(p).present = true;
-    table.at(p).accessed = (p % 2) == 0;  // half the pages recently touched
+    if ((p % 2) == 0) {
+      table.SetAccessed(p);  // half the pages recently touched
+    }
     policy->OnPageIn(p);
   }
   std::size_t next = resident;

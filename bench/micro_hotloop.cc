@@ -1,0 +1,192 @@
+// Hot-loop microbenchmark: raw generator -> pager -> replacement-policy
+// throughput (host wall-clock, not simulated time).  This is the loop every
+// headline experiment replays tens of millions of times, so its accesses/sec
+// is the number the perf trajectory (BENCH_hotloop.json) tracks and the
+// `perf_smoke` ctest guards.
+//
+//   ./micro_hotloop                      # full run, table to stdout
+//   ./micro_hotloop --json=PATH          # also write machine-readable results
+//   ./micro_hotloop --floor=N            # fail (exit 1) if the aggregate
+//                                        # accesses/sec drops below 0.7 * N
+//   ZOMBIE_BENCH_SMOKE=1 ./micro_hotloop # tiny access budget (bench_smoke)
+//
+// Scenarios: {FIFO, Clock, Mixed} x {scan, zipf, tiered} x {local, ramext}.
+// local-only keeps every page resident (fault-free fast path); ramext gives
+// the pager half the footprint (steady-state eviction + reload).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hv/backend.h"
+#include "src/hv/pager.h"
+#include "src/hv/replacement.h"
+#include "src/workloads/access_pattern.h"
+
+namespace {
+
+using zombie::Duration;
+using zombie::kMicrosecond;
+using zombie::hv::DeviceBackend;
+using zombie::hv::DeviceLatency;
+using zombie::hv::HostPager;
+using zombie::hv::MakePolicy;
+using zombie::hv::PagingParams;
+using zombie::hv::PolicyKind;
+using zombie::hv::PolicyKindName;
+using zombie::workloads::AccessPattern;
+using zombie::workloads::PageAccess;
+using zombie::workloads::PatternParams;
+
+constexpr std::uint64_t kFootprintPages = 4096;
+constexpr std::uint64_t kSeed = 99;
+
+PatternParams PatternFor(const std::string& name) {
+  PatternParams params;
+  if (name == "scan") {
+    // One cyclic sweep over the whole footprint: the LRU worst case.
+    params.tiers = {{1.0, 1.0, false}};
+    params.zipf_weight = 0.0;
+  } else if (name == "zipf") {
+    // Skewed point accesses (caches, indexes), no scan component.
+    params.tiers = {};
+    params.zipf_weight = 0.95;
+    params.zipf_theta = 0.9;
+  } else {  // "tiered": hot core + warm ring + uniform tail.
+    params.tiers = {{0.2, 0.5, false}, {0.6, 0.3, true}};
+    params.zipf_weight = 0.1;
+  }
+  params.write_ratio = 0.3;
+  return params;
+}
+
+struct ScenarioResult {
+  std::string policy;
+  std::string pattern;
+  std::string config;
+  double accesses_per_sec = 0.0;
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;
+  double elapsed_sec = 0.0;
+};
+
+ScenarioResult RunScenario(PolicyKind kind, const std::string& pattern_name, bool ramext,
+                           std::uint64_t accesses) {
+  DeviceBackend backend("hotloop-dev", DeviceLatency{10 * kMicrosecond, 8 * kMicrosecond});
+  PagingParams params;
+  const std::uint64_t frames = ramext ? kFootprintPages / 2 : kFootprintPages;
+  HostPager pager(kFootprintPages, frames, MakePolicy(kind, params, 5), &backend, params);
+  AccessPattern pattern(kFootprintPages, PatternFor(pattern_name), kSeed);
+
+  constexpr std::size_t kBatch = 1024;
+  std::vector<PageAccess> buffer(kBatch);
+  Duration sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t remaining = accesses;
+  while (remaining > 0) {
+    const auto n = static_cast<std::size_t>(std::min<std::uint64_t>(kBatch, remaining));
+    const std::span<PageAccess> chunk(buffer.data(), n);
+    pattern.FillBatch(chunk);
+    sink += pager.AccessBatch(chunk);
+    remaining -= n;
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ScenarioResult result;
+  result.policy = std::string(PolicyKindName(kind));
+  result.pattern = pattern_name;
+  result.config = ramext ? "ramext" : "local";
+  result.accesses = accesses;
+  result.faults = pager.stats().faults;
+  result.elapsed_sec = std::chrono::duration<double>(end - start).count();
+  result.accesses_per_sec =
+      result.elapsed_sec > 0.0 ? static_cast<double>(accesses) / result.elapsed_sec : 0.0;
+  if (sink == 0) {
+    // Keep the simulated-cost accumulation observable so the loop cannot be
+    // optimised away.
+    std::fprintf(stderr, "(zero simulated cost?)\n");
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  double floor = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--floor=", 8) == 0) {
+      floor = std::atof(argv[i] + 8);
+    }
+  }
+
+  const std::uint64_t accesses = zombie::bench::SmokeIters(4'000'000, 200'000);
+  const std::vector<PolicyKind> policies = {PolicyKind::kFifo, PolicyKind::kClock,
+                                            PolicyKind::kMixed};
+  const std::vector<std::string> patterns = {"scan", "zipf", "tiered"};
+
+  std::printf("== micro_hotloop: pager-loop throughput (%llu accesses/scenario) ==\n\n",
+              static_cast<unsigned long long>(accesses));
+  std::printf("%-7s %-7s %-7s %14s %10s\n", "policy", "pattern", "config", "accesses/s",
+              "faults");
+
+  std::vector<ScenarioResult> results;
+  double total_accesses = 0.0;
+  double total_elapsed = 0.0;
+  for (PolicyKind kind : policies) {
+    for (const std::string& pattern : patterns) {
+      for (bool ramext : {false, true}) {
+        ScenarioResult r = RunScenario(kind, pattern, ramext, accesses);
+        std::printf("%-7s %-7s %-7s %14.0f %10llu\n", r.policy.c_str(), r.pattern.c_str(),
+                    r.config.c_str(), r.accesses_per_sec,
+                    static_cast<unsigned long long>(r.faults));
+        total_accesses += static_cast<double>(r.accesses);
+        total_elapsed += r.elapsed_sec;
+        results.push_back(std::move(r));
+      }
+    }
+  }
+  const double aggregate = total_elapsed > 0.0 ? total_accesses / total_elapsed : 0.0;
+  std::printf("\naggregate: %.0f accesses/sec over %zu scenarios\n", aggregate,
+              results.size());
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"micro_hotloop\",\n  \"mode\": \"%s\",\n",
+                 zombie::bench::SmokeMode() ? "smoke" : "full");
+    std::fprintf(out, "  \"accesses_per_scenario\": %llu,\n",
+                 static_cast<unsigned long long>(accesses));
+    std::fprintf(out, "  \"aggregate_accesses_per_sec\": %.0f,\n  \"scenarios\": [\n",
+                 aggregate);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ScenarioResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"policy\": \"%s\", \"pattern\": \"%s\", \"config\": \"%s\", "
+                   "\"accesses_per_sec\": %.0f, \"faults\": %llu}%s\n",
+                   r.policy.c_str(), r.pattern.c_str(), r.config.c_str(), r.accesses_per_sec,
+                   static_cast<unsigned long long>(r.faults), i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+
+  if (floor > 0.0 && aggregate < 0.7 * floor) {
+    std::fprintf(stderr,
+                 "perf_smoke FAILURE: aggregate %.0f accesses/sec is more than 30%% below "
+                 "the checked-in floor %.0f\n",
+                 aggregate, floor);
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@ using zombie::rdma::MrAccess;
 using zombie::rdma::NodeId;
 using zombie::rdma::NodePort;
 using zombie::rdma::Payload;
+using zombie::rdma::PayloadWriter;
 using zombie::rdma::RpcRouter;
 using zombie::rdma::RpcServer;
 using zombie::rdma::Verbs;
@@ -95,8 +96,10 @@ void BM_RpcEcho(benchmark::State& state) {
   port.memory_accessible = [] { return true; };
   const NodeId c = h.fabric.Attach(std::move(port));
   RpcServer server(&h.verbs, c);
-  server.RegisterMethod("echo",
-                        [](const Payload& req) -> zombie::Result<Payload> { return req; });
+  server.RegisterMethod("echo", [](const Payload& req, PayloadWriter& out) {
+    out.PutRaw(req);
+    return zombie::Status::Ok();
+  });
   RpcRouter router(&h.verbs);
   router.AddServer(&server);
   Payload request(64);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Perf trajectory runner: builds the benches in Release mode, runs the
+# micro_hotloop throughput suite, and writes BENCH_hotloop.json at the repo
+# root (the number every perf-minded PR is judged against — see BUILDING.md,
+# "Benchmarking & profiling").
+#
+#   scripts/bench.sh            # micro_hotloop + every bench's smoke run
+#   scripts/bench.sh --quick    # micro_hotloop only
+#
+# Uses build-bench/ (Release, -O3) so the default RelWithDebInfo tier-1 tree
+# stays untouched.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+fi
+
+echo "==> configure + build (build-bench/, Release)"
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j "${jobs}" >/dev/null
+
+echo "==> micro_hotloop (full size) -> BENCH_hotloop.json"
+./build-bench/micro_hotloop --json="${repo_root}/BENCH_hotloop.json"
+
+if [[ "${quick}" == "0" ]]; then
+  echo "==> bench smoke pass (every paper-figure harness, tiny budgets)"
+  ctest --test-dir build-bench -L bench_smoke --output-on-failure -j "${jobs}"
+  echo "==> perf gate at Release optimisation"
+  ctest --test-dir build-bench -L perf_smoke --output-on-failure
+fi
+
+echo "==> bench.sh: done (see BENCH_hotloop.json)"

@@ -17,17 +17,24 @@ if [[ "${1:-}" == "--fast" ]]; then
   fast=1
 fi
 
-echo "==> [1/2] tier-1: configure + build + ctest (build/)"
+echo "==> [1/3] tier-1: configure + build + ctest (build/)"
 cmake -B build -S .
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
+
+echo "==> [2/3] perf gate: micro_hotloop vs the checked-in floor"
+# Runs serially so the throughput measurement is not polluted by parallel
+# test load.  (Also part of stage 1; this re-run is the authoritative one.)
+ctest --test-dir build -L perf_smoke --output-on-failure
 
 if [[ "${fast}" == "1" ]]; then
   echo "==> --fast: skipping sanitizer stage"
   exit 0
 fi
 
-echo "==> [2/2] ASan/UBSan: configure + build + ctest (build-asan/)"
+echo "==> [3/3] ASan/UBSan: configure + build + ctest (build-asan/)"
+# perf_smoke is not registered under ZOMBIE_SANITIZE (instrumentation would
+# always trip the floor).
 cmake -B build-asan -S . -DZOMBIE_SANITIZE=ON
 cmake --build build-asan -j "${jobs}"
 ctest --test-dir build-asan --output-on-failure -j "${jobs}"

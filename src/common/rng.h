@@ -56,6 +56,23 @@ class Rng {
   // Bernoulli draw.
   bool NextBool(double p_true) { return NextDouble() < p_true; }
 
+  // Precomputed-threshold Bernoulli for hot loops.  NextDouble() < p is an
+  // exact real comparison ((Next() >> 11) * 2^-53 and p are both exactly
+  // representable), so it is equivalent to (Next() >> 11) < ceil(p * 2^53),
+  // and p * 2^53 is an exact power-of-two scaling.  BoolThreshold hoists
+  // that ceiling out of the loop; NextBool(threshold) consumes exactly one
+  // Next() draw and returns bit-identical answers to NextBool(p).
+  static std::uint64_t BoolThreshold(double p_true) {
+    if (!(p_true > 0.0)) {
+      return 0;  // never true (also handles NaN)
+    }
+    if (p_true >= 1.0) {
+      return 1ULL << 53;  // above every draw: always true
+    }
+    return static_cast<std::uint64_t>(std::ceil(p_true * 9007199254740992.0));  // 2^53
+  }
+  bool NextBool(std::uint64_t threshold) { return (Next() >> 11) < threshold; }
+
   // Exponential with the given mean (> 0).
   double NextExponential(double mean) {
     assert(mean > 0);

@@ -28,6 +28,12 @@ class PageBackend {
   // Pages this backend can hold; kNoLimit for device-backed swap.
   virtual std::uint64_t capacity_pages() const = 0;
 
+  // If every Store/LoadPage succeeds with a fixed cost and no side effects,
+  // returns those latencies; the pagers then skip the virtual call + Result
+  // round trip on the fault path.  Null for backends that do accounting or
+  // can fail (e.g. RemoteBackend).
+  virtual const DeviceLatency* fixed_latency() const { return nullptr; }
+
   static constexpr std::uint64_t kNoLimit = ~0ULL;
 };
 
@@ -61,6 +67,7 @@ class DeviceBackend final : public PageBackend {
 
   std::string name() const override { return name_; }
   std::uint64_t capacity_pages() const override { return kNoLimit; }
+  const DeviceLatency* fixed_latency() const override { return &latency_; }
 
  private:
   std::string name_;

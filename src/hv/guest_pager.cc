@@ -14,9 +14,12 @@ GuestPager::GuestPager(std::uint64_t guest_pages, std::uint64_t visible_ram_page
                  std::floor(static_cast<double>(visible_ram_pages) *
                             (1.0 - config.ram_reserve_fraction))))),
       free_frames_(usable_frames_),
-      policy_(MakePolicy(PolicyKind::kClock, config.paging)),
+      policy_(std::make_unique<ClockPolicy>(config.paging)),
       device_(device),
-      config_(config) {}
+      config_(config) {
+  policy_->Reserve(guest_pages);
+  device_latency_ = device_->fixed_latency();
+}
 
 Result<Duration> GuestPager::EvictOne() {
   const VictimChoice choice = policy_->PickVictim(table_);
@@ -34,11 +37,15 @@ Result<Duration> GuestPager::EvictOne() {
   }
   amplification_debt_ += writes;
   while (amplification_debt_ >= 1.0) {
-    auto store = device_->StorePage(choice.page);
-    if (!store.ok()) {
-      return store;
+    if (device_latency_ != nullptr) {
+      cost += device_latency_->write + config_.split_driver.request_overhead;
+    } else {
+      auto store = device_->StorePage(choice.page);
+      if (!store.ok()) {
+        return store;
+      }
+      cost += store.value() + config_.split_driver.request_overhead;
     }
-    cost += store.value() + config_.split_driver.request_overhead;
     ++stats_.writebacks;
     amplification_debt_ -= 1.0;
   }
@@ -48,6 +55,38 @@ Result<Duration> GuestPager::EvictOne() {
   victim.frame = kNoFrame;
   ++free_frames_;
   ++stats_.evictions;
+  return cost;
+}
+
+Result<Duration> GuestPager::FaultIn(PageTableEntry& entry, PageIndex page) {
+  ++stats_.faults;
+  Duration cost = config_.paging.fault_trap;
+  if (free_frames_ == 0) {
+    auto evicted = EvictOne();
+    if (!evicted.ok()) {
+      return evicted;
+    }
+    cost += evicted.value();
+  }
+  if (entry.swapped) {
+    if (device_latency_ != nullptr) {
+      cost += device_latency_->read + config_.split_driver.request_overhead;
+    } else {
+      auto load = device_->LoadPage(page);
+      if (!load.ok()) {
+        return load;
+      }
+      cost += load.value() + config_.split_driver.request_overhead;
+    }
+    entry.swapped = false;
+    ++stats_.major_faults;
+  }
+  --free_frames_;
+  entry.present = true;
+  entry.touched = true;
+  entry.frame = usable_frames_ - free_frames_ - 1;
+  cost += config_.paging.map_frame;
+  policy_->OnPageIn(page);
   return cost;
 }
 
@@ -65,38 +104,56 @@ Result<Duration> GuestPager::Access(PageIndex page, bool is_write) {
   Duration cost = config_.paging.local_access;
 
   if (!entry.present) {
-    ++stats_.faults;
-    cost += config_.paging.fault_trap;
-    if (free_frames_ == 0) {
-      auto evicted = EvictOne();
-      if (!evicted.ok()) {
-        return evicted;
-      }
-      cost += evicted.value();
+    auto fault = FaultIn(entry, page);
+    if (!fault.ok()) {
+      return fault;
     }
-    if (entry.swapped) {
-      auto load = device_->LoadPage(page);
-      if (!load.ok()) {
-        return load;
-      }
-      cost += load.value() + config_.split_driver.request_overhead;
-      entry.swapped = false;
-      ++stats_.major_faults;
-    }
-    --free_frames_;
-    entry.present = true;
-    entry.touched = true;
-    entry.frame = usable_frames_ - free_frames_ - 1;
-    cost += config_.paging.map_frame;
-    policy_->OnPageIn(page);
+    cost += fault.value();
   }
 
-  entry.accessed = true;
+  table_.SetAccessed(entry);
   if (is_write) {
     entry.dirty = true;
   }
   stats_.total_cost += cost;
   return cost;
+}
+
+Duration GuestPager::AccessBatch(std::span<const PageAccess> batch) {
+  const std::uint64_t table_size = table_.size();
+  const Duration local_access = config_.paging.local_access;
+  const std::uint64_t clear_period = config_.paging.accessed_clear_period;
+  std::uint64_t accesses = 0;
+  std::uint64_t since_clear = accesses_since_clear_;
+  Duration total = 0;
+  for (const PageAccess& access : batch) {
+    if (access.page >= table_size) {
+      continue;
+    }
+    ++accesses;
+    if (++since_clear >= clear_period) {
+      table_.ClearAccessedBits();
+      since_clear = 0;
+    }
+    PageTableEntry& entry = table_.at(access.page);
+    Duration cost = local_access;
+    if (!entry.present) [[unlikely]] {
+      auto fault = FaultIn(entry, access.page);
+      if (!fault.ok()) {
+        continue;
+      }
+      cost += fault.value();
+    }
+    table_.SetAccessed(entry);
+    if (access.is_write) {
+      entry.dirty = true;
+    }
+    total += cost;
+  }
+  accesses_since_clear_ = since_clear;
+  stats_.accesses += accesses;
+  stats_.total_cost += total;
+  return total;
 }
 
 }  // namespace zombie::hv

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "src/common/result.h"
 #include "src/common/units.h"
@@ -50,17 +51,27 @@ class GuestPager {
 
   Result<Duration> Access(PageIndex page, bool is_write);
 
+  // Batched form of Access(): same state machine, summed cost, failed
+  // accesses contribute 0 (see HostPager::AccessBatch).
+  Duration AccessBatch(std::span<const PageAccess> batch);
+
   const PagerStats& stats() const { return stats_; }
   std::uint64_t usable_frames() const { return usable_frames_; }
 
  private:
   Result<Duration> EvictOne();
+  // Page-fault slow path; returns the extra cost beyond a resident access.
+  Result<Duration> FaultIn(PageTableEntry& entry, PageIndex page);
 
   GuestPageTable table_;
   std::uint64_t usable_frames_;
   std::uint64_t free_frames_;
-  std::unique_ptr<ReplacementPolicy> policy_;  // plain Clock (guest LRU)
+  // Plain Clock (guest LRU); the concrete final type keeps the fault-path
+  // calls statically dispatched.
+  std::unique_ptr<ClockPolicy> policy_;
   PageBackend* device_;
+  // Cached device->fixed_latency() (see HostPager::backend_latency_).
+  const DeviceLatency* device_latency_ = nullptr;
   GuestSwapConfig config_;
   PagerStats stats_;
   std::uint64_t accesses_since_clear_ = 0;

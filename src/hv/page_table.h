@@ -15,17 +15,33 @@
 namespace zombie::hv {
 
 using PageIndex = std::uint64_t;
-using FrameIndex = std::uint64_t;
-inline constexpr FrameIndex kNoFrame = ~0ULL;
+// Synthetic machine-frame ids.  32 bits spans 16 TiB of 4 KiB frames — far
+// beyond any simulated host — and keeps PageTableEntry at 8 bytes.
+using FrameIndex = std::uint32_t;
+inline constexpr FrameIndex kNoFrame = 0xffffffffu;
 
+// One guest access, as produced by the workload generators and consumed by
+// the pagers' batched access API (lives here so hv does not depend on the
+// workloads layer).
+struct PageAccess {
+  PageIndex page = 0;
+  bool is_write = false;
+};
+
+// 8 bytes per page — half a cache line holds eight entries, so the tables
+// of the scaled-down experiment VMs stay L1-resident under the access hot
+// loop (a 4096-page table is 32 KiB).
 struct PageTableEntry {
-  bool present = false;    // mapped to a machine frame
-  bool accessed = false;   // hardware A-bit
-  bool dirty = false;      // hardware D-bit (needs writeback on eviction)
-  bool swapped = false;    // content lives in the backend (remote / device)
-  bool touched = false;    // ever faulted in (first touch is a zero-fill)
+  bool present : 1 = false;  // mapped to a machine frame
+  bool dirty : 1 = false;    // hardware D-bit (needs writeback on eviction)
+  bool swapped : 1 = false;  // content lives in the backend (remote / device)
+  bool touched : 1 = false;  // ever faulted in (first touch is a zero-fill)
+  // The hardware A-bit, epoch-encoded: the bit is set iff this equals the
+  // table's current epoch (see GuestPageTable::Accessed).  0 means cleared.
+  std::uint16_t accessed_epoch = 0;
   FrameIndex frame = kNoFrame;
 };
+static_assert(sizeof(PageTableEntry) == 8, "keep the page-table entry one half cache line");
 
 class GuestPageTable {
  public:
@@ -36,10 +52,27 @@ class GuestPageTable {
   PageTableEntry& at(PageIndex p) { return entries_[p]; }
   const PageTableEntry& at(PageIndex p) const { return entries_[p]; }
 
-  // Clears every accessed bit (the periodic scan).
+  // ---- A-bit operations ----------------------------------------------------
+  // The accessed bit is epoch-encoded so the periodic clear-all is O(1): a
+  // page is "accessed" iff its entry carries the current epoch.  This scan
+  // used to sweep the whole table every accessed_clear_period accesses —
+  // measurably the single largest cost of the resident-access fast path.
+  bool Accessed(const PageTableEntry& e) const { return e.accessed_epoch == epoch_; }
+  bool Accessed(PageIndex p) const { return Accessed(entries_[p]); }
+  void SetAccessed(PageTableEntry& e) { e.accessed_epoch = epoch_; }
+  void SetAccessed(PageIndex p) { SetAccessed(entries_[p]); }
+  void ClearAccessed(PageTableEntry& e) { e.accessed_epoch = 0; }
+  void ClearAccessed(PageIndex p) { ClearAccessed(entries_[p]); }
+
+  // Clears every accessed bit (the periodic scan): bump the epoch.  On the
+  // 16-bit wrap (once per ~65k clears) physically reset the entries so a
+  // stale epoch can never read as freshly accessed.
   void ClearAccessedBits() {
-    for (auto& e : entries_) {
-      e.accessed = false;
+    if (++epoch_ == 0) {
+      for (auto& e : entries_) {
+        e.accessed_epoch = 0;
+      }
+      epoch_ = 1;
     }
   }
 
@@ -53,6 +86,7 @@ class GuestPageTable {
 
  private:
   std::vector<PageTableEntry> entries_;
+  std::uint16_t epoch_ = 1;
 };
 
 }  // namespace zombie::hv

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "src/common/result.h"
 #include "src/common/units.h"
@@ -54,6 +55,14 @@ class HostPager {
   // including any fault handling, and accumulates it into stats().
   Result<Duration> Access(PageIndex page, bool is_write);
 
+  // Batched accesses: applies exactly the Access() state machine to every
+  // element and returns the summed simulated cost.  Out-of-range or
+  // backend-failing accesses contribute 0 cost and keep going (the workload
+  // runners' semantics).  Stats and simulated results are bit-identical to
+  // calling Access() element by element; the batch form exists so the hot
+  // loop amortises call overhead and keeps counters in registers.
+  Duration AccessBatch(std::span<const PageAccess> batch);
+
   const PagerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PagerStats{}; }
 
@@ -65,13 +74,26 @@ class HostPager {
 
  private:
   // Frees one machine frame via the replacement policy.  Returns its cost.
-  Result<Duration> EvictOne();
+  // Templated on the concrete policy type so AccessBatch dispatches the
+  // PickVictim/OnPageIn calls statically (the policy classes are final, so
+  // the compiler devirtualises and inlines them into the fault path).
+  template <typename Policy>
+  Result<Duration> EvictOne(Policy& policy);
+  // The page-fault slow path: evict if needed, reload if swapped, map.
+  // Returns the extra cost beyond the resident-access cost.
+  template <typename Policy>
+  Result<Duration> FaultIn(PageTableEntry& entry, PageIndex page, Policy& policy);
+  template <typename Policy>
+  Duration AccessBatchImpl(std::span<const PageAccess> batch, Policy& policy);
 
   GuestPageTable table_;
   std::uint64_t local_frames_;
   std::uint64_t free_frames_;
   std::unique_ptr<ReplacementPolicy> policy_;
   PageBackend* backend_;
+  // Cached backend->fixed_latency(): non-null when the backend is a plain
+  // fixed-cost device, letting the fault path skip the virtual dispatch.
+  const DeviceLatency* backend_latency_ = nullptr;
   PagingParams params_;
   PagerStats stats_;
   std::uint64_t accesses_since_clear_ = 0;

@@ -18,59 +18,83 @@ std::string_view PolicyKindName(PolicyKind k) {
 
 VictimChoice FifoPolicy::PickVictim(GuestPageTable& table) {
   (void)table;
-  assert(!fifo_.empty());
+  assert(size_ > 0);
   // The page which generated the oldest page fault.
-  auto it = fifo_.begin();
-  const PageIndex victim = *it;
-  Remove(it);
+  const PageIndex victim = head_;
+  Unlink(victim);
   return {victim, params_.policy_fixed_cycles + params_.fifo_pop_cycles};
 }
 
 VictimChoice ClockPolicy::PickVictim(GuestPageTable& table) {
-  assert(!fifo_.empty());
+  assert(size_ > 0);
   Cycles cycles = params_.policy_fixed_cycles;
   // First page (from the head) whose A-bit is zero.  Bits are only checked;
   // clearing happens in the pager's periodic scan.
-  for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
-    cycles += params_.list_node_cycles + params_.accessed_check_cycles;
-    const PageTableEntry& entry = table.at(*it);
-    if (!entry.accessed) {
-      const PageIndex victim = *it;
-      Remove(it);
-      return {victim, cycles};
+  const Cycles step_cycles = params_.list_node_cycles + params_.accessed_check_cycles;
+  for (PageIndex p = head_; p != kNilPage; p = nodes_[p].next) {
+    cycles += step_cycles;
+    if (!table.Accessed(p)) {
+      Unlink(p);
+      return {p, cycles};
     }
   }
   // Everything referenced since the last periodic clear: FIFO fallback.
-  auto head = fifo_.begin();
+  const PageIndex victim = head_;
   cycles += params_.fifo_pop_cycles;
-  const PageIndex victim = *head;
-  Remove(head);
+  Unlink(victim);
   return {victim, cycles};
 }
 
 VictimChoice MixedPolicy::PickVictim(GuestPageTable& table) {
-  assert(!fifo_.empty());
+  assert(size_ > 0);
   Cycles cycles = params_.policy_fixed_cycles;
+  const Cycles step_cycles = params_.list_node_cycles + params_.accessed_check_cycles;
   // Clock (second chance) applied to at most the first `depth_` elements:
   // a referenced head page is cleared and re-enqueued at the tail; the
   // first unreferenced head is evicted.
-  for (std::size_t scanned = 0; scanned < depth_ && fifo_.size() > 1; ++scanned) {
-    cycles += params_.list_node_cycles + params_.accessed_check_cycles;
-    auto head = fifo_.begin();
-    PageTableEntry& entry = table.at(*head);
-    if (!entry.accessed) {
-      const PageIndex victim = *head;
-      Remove(head);
-      return {victim, cycles};
+  if (depth_ > 0 && size_ > depth_) {
+    // Deep-list fast path (the steady state): the scan can never wrap onto a
+    // page it already granted a second chance to, so the walked prefix can
+    // be spliced to the tail as one run instead of node by node.  Final list
+    // order, A-bit effects and cycle accounting are identical to the loop
+    // below.
+    NodeIndex p = head_;
+    NodeIndex prefix_last = kNilPage;
+    for (std::size_t scanned = 0; scanned < depth_; ++scanned) {
+      cycles += step_cycles;
+      PageTableEntry& entry = table.at(p);
+      if (!table.Accessed(entry)) {
+        if (prefix_last != kNilPage) {
+          MoveRunToTail(head_, prefix_last);
+        }
+        Unlink(p);
+        return {p, cycles};
+      }
+      table.ClearAccessed(entry);
+      prefix_last = p;
+      p = nodes_[p].next;
     }
-    entry.accessed = false;
-    fifo_.splice(fifo_.end(), fifo_, head);  // second chance: move to tail
+    // Budget exhausted: the prefix got its second chance, FIFO on the rest.
+    MoveRunToTail(head_, prefix_last);
+    cycles += params_.fifo_pop_cycles;
+    Unlink(p);
+    return {p, cycles};
+  }
+  for (std::size_t scanned = 0; scanned < depth_ && size_ > 1; ++scanned) {
+    cycles += step_cycles;
+    const PageIndex head = head_;
+    PageTableEntry& entry = table.at(head);
+    if (!table.Accessed(entry)) {
+      Unlink(head);
+      return {head, cycles};
+    }
+    table.ClearAccessed(entry);
+    MoveToTail(head);  // second chance: move to tail
   }
   // Budget exhausted (or single page): FIFO on the rest of the list.
-  auto head = fifo_.begin();
+  const PageIndex victim = head_;
   cycles += params_.fifo_pop_cycles;
-  const PageIndex victim = *head;
-  Remove(head);
+  Unlink(victim);
   return {victim, cycles};
 }
 

@@ -4,17 +4,25 @@
 
 namespace zombie::rdma {
 
-Result<Payload> RpcServer::Dispatch(const std::string& method, const Payload& request) {
+Result<const Payload*> RpcServer::Dispatch(const std::string& method, const Payload& request) {
   auto it = handlers_.find(method);
   if (it == handlers_.end()) {
     return Status(ErrorCode::kNotFound, "no such RPC method: " + method);
   }
   ++dispatched_;
-  return it->second(request);
+  Payload& slot = response_ring_[ring_pos_];
+  ring_pos_ = (ring_pos_ + 1) % kRingSlots;
+  slot.clear();  // keeps capacity: the ring slot is registered memory
+  PayloadWriter writer(&slot);
+  Status status = it->second(request, writer);
+  if (!status.ok()) {
+    return status;
+  }
+  return static_cast<const Payload*>(&slot);
 }
 
-Result<Payload> RpcRouter::Call(NodeId from, NodeId to, const std::string& method,
-                                const Payload& request, RpcCost* cost) {
+Status RpcRouter::CallInto(NodeId from, NodeId to, const std::string& method,
+                           const Payload& request, Payload& response, RpcCost* cost) {
   auto it = servers_.find(to);
   if (it == servers_.end()) {
     return Status(ErrorCode::kUnavailable, "no RPC server on node " + std::to_string(to));
@@ -33,12 +41,13 @@ Result<Payload> RpcRouter::Call(NodeId from, NodeId to, const std::string& metho
     return request_cost.status();
   }
 
-  auto response = server->Dispatch(method, request);
-  if (!response.ok()) {
-    return response;
+  auto dispatched = server->Dispatch(method, request);
+  if (!dispatched.ok()) {
+    return dispatched.status();
   }
+  const Payload& slot = *dispatched.value();
 
-  auto response_cost = verbs_->fabric().PriceOneSided(to, from, response.value().size());
+  auto response_cost = verbs_->fabric().PriceOneSided(to, from, slot.size());
   if (!response_cost.ok()) {
     return response_cost.status();
   }
@@ -51,27 +60,43 @@ Result<Payload> RpcRouter::Call(NodeId from, NodeId to, const std::string& metho
                    params.completion_poll_cost;
     cost->server = response_cost.value();
   }
-  verbs_->fabric().NoteTransfer(request.size() + response.value().size());
+  verbs_->fabric().NoteTransfer(request.size() + slot.size());
+  // The WRITE into the client's poll slot: assign() reuses its capacity.
+  response.assign(slot.begin(), slot.end());
+  return Status::Ok();
+}
+
+Result<Payload> RpcRouter::Call(NodeId from, NodeId to, const std::string& method,
+                                const Payload& request, RpcCost* cost) {
+  Payload response;
+  Status status = CallInto(from, to, method, request, response, cost);
+  if (!status.ok()) {
+    return status;
+  }
   return response;
 }
 
 void PayloadWriter::PutU64(std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    buf_->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
   }
 }
 
 void PayloadWriter::PutU32(std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    buf_->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
   }
 }
 
 void PayloadWriter::PutString(const std::string& s) {
   PutU32(static_cast<std::uint32_t>(s.size()));
   for (char c : s) {
-    buf_.push_back(static_cast<std::byte>(c));
+    buf_->push_back(static_cast<std::byte>(c));
   }
+}
+
+void PayloadWriter::PutRaw(const Payload& bytes) {
+  buf_->insert(buf_->end(), bytes.begin(), bytes.end());
 }
 
 Result<std::uint64_t> PayloadReader::GetU64() {

@@ -8,12 +8,18 @@
 // server daemon (a polling loop, only possible on an S0 node) executes the
 // handler and WRITEs the response into the client's response slot; the
 // client polls that slot.  Costs follow that message pattern.
+//
+// Buffer discipline: the hot paths never allocate in steady state.  Handlers
+// serialise straight into one of the server's reusable response-ring slots,
+// and CallInto() copies the bytes into a caller-owned response buffer whose
+// capacity is reused call over call — mirroring how the real rings recycle
+// their registered slots.
 #ifndef ZOMBIELAND_SRC_RDMA_RPC_H_
 #define ZOMBIELAND_SRC_RDMA_RPC_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -35,10 +41,60 @@ struct RpcCost {
   Duration server = 0;  // time charged to the server daemon
 };
 
+// Simple length-prefixed serialisation.  A writer either owns its buffer or
+// appends into an external one (ring slots, reusable request buffers).
+class PayloadWriter {
+ public:
+  PayloadWriter() : buf_(&owned_) {}
+  // Appends into `external`, which must outlive the writer.
+  explicit PayloadWriter(Payload* external) : buf_(external) {}
+
+  // buf_ aliases either owned_ or an external buffer; a copied/moved writer
+  // would keep writing into the source's storage.
+  PayloadWriter(const PayloadWriter&) = delete;
+  PayloadWriter& operator=(const PayloadWriter&) = delete;
+
+  void PutU64(std::uint64_t v);
+  void PutU32(std::uint32_t v);
+  void PutString(const std::string& s);
+  void PutRaw(const Payload& bytes);
+
+  // Clears the target buffer but keeps its capacity (steady-state reuse).
+  void Reset() { buf_->clear(); }
+  const Payload& payload() const { return *buf_; }
+  // Moves the buffer out (external targets are left empty — their capacity
+  // is gone, so prefer payload() on reused buffers).
+  Payload Take() { return std::move(*buf_); }
+
+ private:
+  Payload owned_;
+  Payload* buf_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const Payload& payload) : buf_(payload) {}
+
+  Result<std::uint64_t> GetU64();
+  Result<std::uint32_t> GetU32();
+  Result<std::string> GetString();
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  const Payload& buf_;
+  std::size_t pos_ = 0;
+};
+
 // Server side: registered method handlers plus a polled request ring.
 class RpcServer {
  public:
-  using Handler = std::function<Result<Payload>(const Payload&)>;
+  // Handlers serialise their response into `response` (already reset).  A
+  // non-OK return is a transport-level failure of the call; application
+  // errors are encoded into the response payload instead.
+  using Handler = std::function<Status(const Payload& request, PayloadWriter& response)>;
+
+  // Response slots recycled by the daemon, as the real rings do.
+  static constexpr std::size_t kRingSlots = 4;
 
   RpcServer(Verbs* verbs, NodeId node) : verbs_(verbs), node_(node) {}
 
@@ -49,8 +105,10 @@ class RpcServer {
   }
   bool HasMethod(const std::string& method) const { return handlers_.contains(method); }
 
-  // Executes one request (called by the RpcRouter).  Returns handler output.
-  Result<Payload> Dispatch(const std::string& method, const Payload& request);
+  // Executes one request (called by the RpcRouter).  The response lives in a
+  // reusable ring slot: the pointer stays valid for the next kRingSlots - 1
+  // dispatches only.
+  Result<const Payload*> Dispatch(const std::string& method, const Payload& request);
 
   // Average daemon polling interval: a request written into the ring waits
   // this long on average before the daemon notices it.
@@ -63,6 +121,8 @@ class RpcServer {
   Verbs* verbs_;
   NodeId node_;
   std::unordered_map<std::string, Handler> handlers_;
+  std::array<Payload, kRingSlots> response_ring_;
+  std::size_t ring_pos_ = 0;
   Duration poll_interval_ = 5 * kMicrosecond;
   std::uint64_t dispatched_ = 0;
 };
@@ -78,40 +138,19 @@ class RpcRouter {
   bool HasServer(NodeId node) const { return servers_.contains(node); }
 
   // Synchronous call: client `from` invokes `method` on the server at `to`.
-  // On success returns the response payload; `cost` (optional) receives the
-  // priced client/server time.
+  // The response bytes replace the contents of `response` (capacity reused —
+  // the caller's poll slot).  `response` must not alias `request`.  `cost`
+  // (optional) receives the priced client/server time.
+  Status CallInto(NodeId from, NodeId to, const std::string& method, const Payload& request,
+                  Payload& response, RpcCost* cost = nullptr);
+
+  // Convenience wrapper returning a freshly-allocated response.
   Result<Payload> Call(NodeId from, NodeId to, const std::string& method,
                        const Payload& request, RpcCost* cost = nullptr);
 
  private:
   Verbs* verbs_;
   std::unordered_map<NodeId, RpcServer*> servers_;
-};
-
-// Simple length-prefixed serialisation helpers for the rack protocol.
-class PayloadWriter {
- public:
-  void PutU64(std::uint64_t v);
-  void PutU32(std::uint32_t v);
-  void PutString(const std::string& s);
-  Payload Take() { return std::move(buf_); }
-
- private:
-  Payload buf_;
-};
-
-class PayloadReader {
- public:
-  explicit PayloadReader(const Payload& payload) : buf_(payload) {}
-
-  Result<std::uint64_t> GetU64();
-  Result<std::uint32_t> GetU32();
-  Result<std::string> GetString();
-  bool AtEnd() const { return pos_ == buf_.size(); }
-
- private:
-  const Payload& buf_;
-  std::size_t pos_ = 0;
 };
 
 }  // namespace zombie::rdma

@@ -8,54 +8,81 @@ std::string_view BufferTypeName(BufferType t) {
   return t == BufferType::kZombie ? "zombie" : "active";
 }
 
+namespace {
+
+bool IdLess(const BufferRecord& record, BufferId id) { return record.id < id; }
+
+}  // namespace
+
+const BufferRecord* BufferDb::FindRecord(BufferId id) const {
+  auto it = std::lower_bound(records_.begin(), records_.end(), id, IdLess);
+  if (it == records_.end() || it->id != id) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+BufferRecord* BufferDb::FindMutable(BufferId id) {
+  return const_cast<BufferRecord*>(FindRecord(id));
+}
+
 Status BufferDb::Insert(const BufferRecord& record) {
   if (record.id == kInvalidBuffer) {
     return Status(ErrorCode::kInvalidArgument, "buffer id 0 is reserved");
   }
-  auto [it, inserted] = records_.emplace(record.id, record);
-  (void)it;
-  if (!inserted) {
+  // Controller-assigned ids are monotonic, so the common case is an append.
+  if (records_.empty() || records_.back().id < record.id) {
+    records_.push_back(record);
+    return Status::Ok();
+  }
+  auto it = std::lower_bound(records_.begin(), records_.end(), record.id, IdLess);
+  if (it != records_.end() && it->id == record.id) {
     return Status(ErrorCode::kConflict, "duplicate buffer id");
   }
+  records_.insert(it, record);
   return Status::Ok();
 }
 
 Status BufferDb::Erase(BufferId id) {
-  return records_.erase(id) > 0 ? Status::Ok()
-                                : Status(ErrorCode::kNotFound, "unknown buffer id");
+  auto it = std::lower_bound(records_.begin(), records_.end(), id, IdLess);
+  if (it == records_.end() || it->id != id) {
+    return Status(ErrorCode::kNotFound, "unknown buffer id");
+  }
+  records_.erase(it);
+  return Status::Ok();
 }
 
 std::optional<BufferRecord> BufferDb::Find(BufferId id) const {
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  const BufferRecord* record = FindRecord(id);
+  if (record == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *record;
 }
 
 Status BufferDb::Assign(BufferId id, ServerId user) {
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  BufferRecord* record = FindMutable(id);
+  if (record == nullptr) {
     return Status(ErrorCode::kNotFound, "unknown buffer id");
   }
-  if (it->second.user != kNilServer) {
+  if (record->user != kNilServer) {
     return Status(ErrorCode::kConflict, "buffer already allocated");
   }
-  it->second.user = user;
+  record->user = user;
   return Status::Ok();
 }
 
 Status BufferDb::Release(BufferId id) {
-  auto it = records_.find(id);
-  if (it == records_.end()) {
+  BufferRecord* record = FindMutable(id);
+  if (record == nullptr) {
     return Status(ErrorCode::kNotFound, "unknown buffer id");
   }
-  it->second.user = kNilServer;
+  record->user = kNilServer;
   return Status::Ok();
 }
 
 void BufferDb::RetypeHost(ServerId host, BufferType type) {
-  for (auto& [id, rec] : records_) {
+  for (auto& rec : records_) {
     if (rec.host == host) {
       rec.type = type;
     }
@@ -64,7 +91,8 @@ void BufferDb::RetypeHost(ServerId host, BufferType type) {
 
 std::vector<BufferRecord> BufferDb::FreeBuffers(std::optional<BufferType> type) const {
   std::vector<BufferRecord> out;
-  for (const auto& [id, rec] : records_) {
+  out.reserve(records_.size());
+  for (const auto& rec : records_) {
     if (rec.user == kNilServer && (!type.has_value() || rec.type == *type)) {
       out.push_back(rec);
     }
@@ -74,7 +102,7 @@ std::vector<BufferRecord> BufferDb::FreeBuffers(std::optional<BufferType> type) 
 
 std::vector<BufferRecord> BufferDb::BuffersOfHost(ServerId host) const {
   std::vector<BufferRecord> out;
-  for (const auto& [id, rec] : records_) {
+  for (const auto& rec : records_) {
     if (rec.host == host) {
       out.push_back(rec);
     }
@@ -84,7 +112,7 @@ std::vector<BufferRecord> BufferDb::BuffersOfHost(ServerId host) const {
 
 std::vector<BufferRecord> BufferDb::BuffersUsedBy(ServerId user) const {
   std::vector<BufferRecord> out;
-  for (const auto& [id, rec] : records_) {
+  for (const auto& rec : records_) {
     if (rec.user == user) {
       out.push_back(rec);
     }
@@ -107,7 +135,7 @@ std::vector<BufferRecord> BufferDb::ReclaimOrderForHost(ServerId host) const {
 
 std::size_t BufferDb::free_count() const {
   std::size_t n = 0;
-  for (const auto& [id, rec] : records_) {
+  for (const auto& rec : records_) {
     if (rec.user == kNilServer) {
       ++n;
     }
@@ -117,7 +145,7 @@ std::size_t BufferDb::free_count() const {
 
 Bytes BufferDb::FreeBytes() const {
   Bytes total = 0;
-  for (const auto& [id, rec] : records_) {
+  for (const auto& rec : records_) {
     if (rec.user == kNilServer) {
       total += rec.size;
     }
@@ -127,7 +155,7 @@ Bytes BufferDb::FreeBytes() const {
 
 Bytes BufferDb::TotalBytes() const {
   Bytes total = 0;
-  for (const auto& [id, rec] : records_) {
+  for (const auto& rec : records_) {
     total += rec.size;
   }
   return total;
@@ -135,7 +163,7 @@ Bytes BufferDb::TotalBytes() const {
 
 std::size_t BufferDb::AllocatedCountOfHost(ServerId host) const {
   std::size_t n = 0;
-  for (const auto& [id, rec] : records_) {
+  for (const auto& rec : records_) {
     if (rec.host == host && rec.user != kNilServer) {
       ++n;
     }
@@ -143,20 +171,12 @@ std::size_t BufferDb::AllocatedCountOfHost(ServerId host) const {
   return n;
 }
 
-std::vector<BufferRecord> BufferDb::Snapshot() const {
-  std::vector<BufferRecord> out;
-  out.reserve(records_.size());
-  for (const auto& [id, rec] : records_) {
-    out.push_back(rec);
-  }
-  return out;
-}
+std::vector<BufferRecord> BufferDb::Snapshot() const { return records_; }
 
 void BufferDb::Load(const std::vector<BufferRecord>& records) {
-  records_.clear();
-  for (const auto& rec : records) {
-    records_.emplace(rec.id, rec);
-  }
+  records_ = records;
+  std::sort(records_.begin(), records_.end(),
+            [](const BufferRecord& a, const BufferRecord& b) { return a.id < b.id; });
 }
 
 }  // namespace zombie::remotemem

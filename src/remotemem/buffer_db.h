@@ -3,11 +3,16 @@
 // Supports the allocation-priority queries of Section 4.4: free zombie
 // buffers first, then free active buffers, then buffers to reclaim from
 // users.  Fully deterministic iteration (ordered by BufferId).
+//
+// Storage is a flat vector kept sorted by id.  Ids are handed out
+// monotonically by the controller, so inserts are amortised appends, and
+// every query is a linear scan over contiguous records instead of a
+// pointer-chase through red-black-tree nodes — the controller sits on the
+// allocation path of every RAM-Ext VM boot.
 #ifndef ZOMBIELAND_SRC_REMOTEMEM_BUFFER_DB_H_
 #define ZOMBIELAND_SRC_REMOTEMEM_BUFFER_DB_H_
 
 #include <cstddef>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -53,8 +58,14 @@ class BufferDb {
   std::vector<BufferRecord> Snapshot() const;
   void Load(const std::vector<BufferRecord>& records);
 
+  // Direct read access to the id-sorted records (deterministic iteration).
+  const std::vector<BufferRecord>& records() const { return records_; }
+
  private:
-  std::map<BufferId, BufferRecord> records_;
+  BufferRecord* FindMutable(BufferId id);
+  const BufferRecord* FindRecord(BufferId id) const;
+
+  std::vector<BufferRecord> records_;  // sorted by id
 };
 
 }  // namespace zombie::remotemem

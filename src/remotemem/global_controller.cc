@@ -10,16 +10,16 @@ GlobalMemoryController::GlobalMemoryController(ControllerConfig config)
 void GlobalMemoryController::RegisterServer(ServerId server) {
   // "Initially all servers are designated active, and state is updated as
   // they are pushed to Sz" (Section 4.2).
-  server_is_zombie_.emplace(server, false);
+  servers_.Register(server);
   // Registration is mirrored so a promoted secondary knows every server.
   Mirror({MirrorOp::Kind::kServerState, {}, kInvalidBuffer, server, BufferType::kZombie,
           false});
 }
 
 void GlobalMemoryController::Restore(const std::vector<BufferRecord>& records,
-                                     const std::map<ServerId, bool>& server_states) {
+                                     const ServerStateView& server_states) {
   db_.Load(records);
-  server_is_zombie_ = server_states;
+  servers_ = server_states;
   BufferId max_id = 0;
   for (const auto& rec : records) {
     max_id = std::max(max_id, rec.id);
@@ -28,19 +28,10 @@ void GlobalMemoryController::Restore(const std::vector<BufferRecord>& records,
 }
 
 bool GlobalMemoryController::IsZombie(ServerId server) const {
-  auto it = server_is_zombie_.find(server);
-  return it != server_is_zombie_.end() && it->second;
+  return servers_.IsZombie(server);
 }
 
-std::vector<ServerId> GlobalMemoryController::ZombieList() const {
-  std::vector<ServerId> out;
-  for (const auto& [id, is_zombie] : server_is_zombie_) {
-    if (is_zombie) {
-      out.push_back(id);
-    }
-  }
-  return out;
-}
+std::vector<ServerId> GlobalMemoryController::ZombieList() const { return servers_.Zombies(); }
 
 void GlobalMemoryController::Mirror(const MirrorOp& op) {
   if (mirror_ != nullptr) {
@@ -50,7 +41,7 @@ void GlobalMemoryController::Mirror(const MirrorOp& op) {
 
 Result<std::vector<BufferId>> GlobalMemoryController::InsertGrants(
     ServerId host, const std::vector<BufferGrant>& buffers, BufferType type) {
-  if (!server_is_zombie_.contains(host)) {
+  if (!servers_.Contains(host)) {
     return Status(ErrorCode::kNotFound, "unregistered host");
   }
   std::vector<BufferId> ids;
@@ -82,8 +73,7 @@ Result<std::vector<BufferId>> GlobalMemoryController::InsertGrants(
 
 Result<std::vector<BufferId>> GlobalMemoryController::GsGotoZombie(
     ServerId host, const std::vector<BufferGrant>& buffers) {
-  auto it = server_is_zombie_.find(host);
-  if (it == server_is_zombie_.end()) {
+  if (!servers_.Contains(host)) {
     return Status(ErrorCode::kNotFound, "unregistered host");
   }
   // Any slack the host was lending while active becomes zombie memory.
@@ -93,7 +83,7 @@ Result<std::vector<BufferId>> GlobalMemoryController::GsGotoZombie(
   if (!ids.ok()) {
     return ids;
   }
-  it->second = true;
+  servers_.SetZombie(host, true);
   Mirror({MirrorOp::Kind::kServerState, {}, kInvalidBuffer, host, BufferType::kZombie, true});
   return ids;
 }
@@ -108,8 +98,7 @@ Result<std::vector<BufferId>> GlobalMemoryController::DelegateActiveBuffers(
 
 Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
                                                                 std::size_t nb_buffers) {
-  auto it = server_is_zombie_.find(host);
-  if (it == server_is_zombie_.end()) {
+  if (!servers_.Contains(host)) {
     return Status(ErrorCode::kNotFound, "unregistered host");
   }
   const std::vector<BufferRecord> candidates = db_.ReclaimOrderForHost(host);
@@ -119,21 +108,31 @@ Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
   }
   std::vector<BufferId> reclaimed;
   reclaimed.reserve(nb_buffers);
-  // Batch the US_reclaim notifications per user server.
-  std::map<ServerId, std::vector<BufferId>> per_user;
+  // Batch the US_reclaim notifications per user server (users ascending,
+  // ids in reclaim order within a user — the old per-user map's order).
+  std::vector<std::pair<ServerId, BufferId>> per_user;
+  per_user.reserve(nb_buffers);
   for (std::size_t i = 0; i < nb_buffers; ++i) {
     const BufferRecord& rec = candidates[i];
     if (rec.user != kNilServer) {
-      per_user[rec.user].push_back(rec.id);
+      per_user.emplace_back(rec.user, rec.id);
     }
     reclaimed.push_back(rec.id);
   }
-  if (agents_ != nullptr) {
-    for (const auto& [user, ids] : per_user) {
+  if (agents_ != nullptr && !per_user.empty()) {
+    std::stable_sort(per_user.begin(), per_user.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<BufferId> batch;
+    for (std::size_t i = 0; i < per_user.size();) {
+      const ServerId user = per_user[i].first;
+      batch.clear();
+      for (; i < per_user.size() && per_user[i].first == user; ++i) {
+        batch.push_back(per_user[i].second);
+      }
       // US_reclaim "only informs the corresponding remote-mem-mgrs that
       // buff_IDs are no longer available" — the user migrates its backup
       // copies, we don't wait for it.
-      (void)agents_->ReclaimFromUser(user, ids);
+      (void)agents_->ReclaimFromUser(user, batch);
     }
   }
   for (BufferId id : reclaimed) {
@@ -141,7 +140,7 @@ Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
     Mirror({MirrorOp::Kind::kErase, {}, id, host, BufferType::kZombie, false});
   }
   // A host reclaiming memory is waking up.
-  it->second = false;
+  servers_.SetZombie(host, false);
   Mirror({MirrorOp::Kind::kServerState, {}, kInvalidBuffer, host, BufferType::kZombie, false});
   return reclaimed;
 }
@@ -149,31 +148,47 @@ Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
 std::vector<BufferGrant> GlobalMemoryController::TakeFreeBuffers(ServerId user,
                                                                  std::size_t want) {
   std::vector<BufferGrant> grants;
+  grants.reserve(want);
   // Zombie buffers have strict priority over active ones.  Within a type,
   // buffers are taken round-robin across hosts: "the memSize allocation is
   // backed by memory from multiple remote servers.  This approach minimizes
   // the performance impact caused by a remote server failure."
+  std::vector<BufferRecord> free_records;
+  std::vector<std::pair<std::size_t, std::size_t>> groups;  // [begin, end) per host
+  std::vector<std::size_t> cursors;
   for (BufferType type : {BufferType::kZombie, BufferType::kActive}) {
     if (grants.size() >= want) {
       break;
     }
-    std::map<ServerId, std::vector<BufferRecord>> per_host;
-    for (const BufferRecord& rec : db_.FreeBuffers(type)) {
-      per_host[rec.host].push_back(rec);
+    // Free records arrive sorted by id; regrouping them by host (hosts
+    // ascending, ids ascending within a host) reproduces the old
+    // map<ServerId, vector>'s iteration order with two flat passes.
+    free_records = db_.FreeBuffers(type);
+    std::stable_sort(free_records.begin(), free_records.end(),
+                     [](const BufferRecord& a, const BufferRecord& b) {
+                       return a.host < b.host;
+                     });
+    groups.clear();
+    for (std::size_t i = 0; i < free_records.size();) {
+      std::size_t j = i;
+      while (j < free_records.size() && free_records[j].host == free_records[i].host) {
+        ++j;
+      }
+      groups.emplace_back(i, j);
+      i = j;
     }
-    std::map<ServerId, std::size_t> cursor;
+    cursors.assign(groups.size(), 0);
     bool took_any = true;
     while (grants.size() < want && took_any) {
       took_any = false;
-      for (auto& [host, records] : per_host) {
-        if (grants.size() >= want) {
-          break;
-        }
-        std::size_t& pos = cursor[host];
-        if (pos >= records.size()) {
+      for (std::size_t g = 0; g < groups.size() && grants.size() < want; ++g) {
+        const auto [begin, end] = groups[g];
+        std::size_t& pos = cursors[g];
+        if (begin + pos >= end) {
           continue;
         }
-        const BufferRecord& rec = records[pos++];
+        const BufferRecord& rec = free_records[begin + pos];
+        ++pos;
         (void)db_.Assign(rec.id, user);
         Mirror({MirrorOp::Kind::kAssign, {}, rec.id, user, rec.type, false});
         grants.push_back({rec.id, rec.rkey, rec.size, rec.host, rec.type});
@@ -186,7 +201,7 @@ std::vector<BufferGrant> GlobalMemoryController::TakeFreeBuffers(ServerId user,
 
 Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocExt(ServerId user,
                                                                     Bytes mem_size) {
-  if (!server_is_zombie_.contains(user)) {
+  if (!servers_.Contains(user)) {
     return Status(ErrorCode::kNotFound, "unregistered user server");
   }
   // nb x BUFF_SIZE == memSize, rounded up to whole buffers.
@@ -196,14 +211,14 @@ Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocExt(ServerId use
   if (grants.size() < want && config_.allow_escalation && agents_ != nullptr) {
     // AS_get_free_mem(): ask active servers to lend slack.
     const Bytes missing = (want - grants.size()) * config_.buff_size;
-    for (const auto& [server, is_zombie] : server_is_zombie_) {
+    for (const auto& entry : servers_.entries()) {
       if (grants.size() >= want) {
         break;
       }
-      if (is_zombie || server == user) {
+      if (entry.is_zombie || entry.server == user) {
         continue;
       }
-      (void)agents_->RequestActiveDelegation(server, missing);
+      (void)agents_->RequestActiveDelegation(entry.server, missing);
       auto more = TakeFreeBuffers(user, want - grants.size());
       grants.insert(grants.end(), more.begin(), more.end());
     }
@@ -221,7 +236,7 @@ Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocExt(ServerId use
 
 Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocSwap(ServerId user,
                                                                      Bytes mem_size) {
-  if (!server_is_zombie_.contains(user)) {
+  if (!servers_.Contains(user)) {
     return Status(ErrorCode::kNotFound, "unregistered user server");
   }
   // Best effort: nb x BUFF_SIZE <= memSize, never escalates.
@@ -247,16 +262,16 @@ Status GlobalMemoryController::GsRelease(ServerId user, const std::vector<Buffer
 std::vector<ServerId> GlobalMemoryController::SurplusZombies(Bytes keep_free_bytes) const {
   std::vector<ServerId> surplus;
   Bytes free_pool = db_.FreeBytes();
-  for (const auto& [server, is_zombie] : server_is_zombie_) {
-    if (!is_zombie || db_.AllocatedCountOfHost(server) > 0) {
+  for (const auto& entry : servers_.entries()) {
+    if (!entry.is_zombie || db_.AllocatedCountOfHost(entry.server) > 0) {
       continue;
     }
     Bytes hosted = 0;
-    for (const auto& rec : db_.BuffersOfHost(server)) {
+    for (const auto& rec : db_.BuffersOfHost(entry.server)) {
       hosted += rec.size;
     }
     if (free_pool >= hosted && free_pool - hosted >= keep_free_bytes) {
-      surplus.push_back(server);
+      surplus.push_back(entry.server);
       free_pool -= hosted;
     }
   }
@@ -280,13 +295,13 @@ Status GlobalMemoryController::RetireZombie(ServerId host) {
 Result<ServerId> GlobalMemoryController::GsGetLruZombie() const {
   ServerId best = kNilServer;
   std::size_t best_count = 0;
-  for (const auto& [server, is_zombie] : server_is_zombie_) {
-    if (!is_zombie) {
+  for (const auto& entry : servers_.entries()) {
+    if (!entry.is_zombie) {
       continue;
     }
-    const std::size_t count = db_.AllocatedCountOfHost(server);
+    const std::size_t count = db_.AllocatedCountOfHost(entry.server);
     if (best == kNilServer || count < best_count) {
-      best = server;
+      best = entry.server;
       best_count = count;
     }
   }

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -83,8 +82,7 @@ class GlobalMemoryController {
   // Registers a server as active (initial state; Section 4.2).
   void RegisterServer(ServerId server);
   // Rebuilds full state from a replica (failover path, Section 4).
-  void Restore(const std::vector<BufferRecord>& records,
-               const std::map<ServerId, bool>& server_states);
+  void Restore(const std::vector<BufferRecord>& records, const ServerStateView& server_states);
   bool IsZombie(ServerId server) const;
   std::vector<ServerId> ZombieList() const;
 
@@ -131,7 +129,7 @@ class GlobalMemoryController {
   // ---- Introspection -----------------------------------------------------
   const BufferDb& db() const { return db_; }
   Bytes FreeRemoteBytes() const { return db_.FreeBytes(); }
-  std::size_t ServerCount() const { return server_is_zombie_.size(); }
+  std::size_t ServerCount() const { return servers_.size(); }
 
   // Heartbeat payload for the secondary's monitor.
   std::uint64_t heartbeat_seq() const { return heartbeat_seq_; }
@@ -147,7 +145,7 @@ class GlobalMemoryController {
 
   ControllerConfig config_;
   BufferDb db_;
-  std::map<ServerId, bool> server_is_zombie_;
+  ServerStateView servers_;
   MirrorSink* mirror_ = nullptr;
   AgentDirectory* agents_ = nullptr;
   BufferId next_buffer_id_ = 1;

@@ -7,7 +7,7 @@ void SecondaryController::ApplyMirrored(const MirrorOp& op) {
   switch (op.kind) {
     case MirrorOp::Kind::kInsert:
       (void)replica_.Insert(op.record);
-      server_is_zombie_.try_emplace(op.record.host, false);
+      servers_.Register(op.record.host);
       break;
     case MirrorOp::Kind::kErase:
       (void)replica_.Erase(op.buffer);
@@ -22,14 +22,13 @@ void SecondaryController::ApplyMirrored(const MirrorOp& op) {
       replica_.RetypeHost(op.server, op.type);
       break;
     case MirrorOp::Kind::kServerState:
-      server_is_zombie_[op.server] = op.is_zombie;
+      servers_.Upsert(op.server, op.is_zombie);
       break;
   }
 }
 
 bool SecondaryController::IsZombieReplica(ServerId server) const {
-  auto it = server_is_zombie_.find(server);
-  return it != server_is_zombie_.end() && it->second;
+  return servers_.IsZombie(server);
 }
 
 void SecondaryController::ObserveHeartbeat(std::uint64_t seq) {
@@ -57,7 +56,7 @@ bool SecondaryController::MonitorTick() {
 
 std::unique_ptr<GlobalMemoryController> SecondaryController::Promote(ControllerConfig config) {
   auto controller = std::make_unique<GlobalMemoryController>(config);
-  controller->Restore(replica_.Snapshot(), server_is_zombie_);
+  controller->Restore(replica_.Snapshot(), servers_);
   return controller;
 }
 

@@ -12,7 +12,6 @@
 #define ZOMBIELAND_SRC_REMOTEMEM_SECONDARY_CONTROLLER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -56,7 +55,7 @@ class SecondaryController final : public MirrorSink {
  private:
   SecondaryConfig config_;
   BufferDb replica_;
-  std::map<ServerId, bool> server_is_zombie_;
+  ServerStateView servers_;
   std::uint64_t mirrored_ops_ = 0;
   std::uint64_t last_seen_seq_ = 0;
   std::uint64_t seq_at_last_tick_ = 0;

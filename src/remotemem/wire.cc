@@ -67,71 +67,66 @@ Status DecodeStatus(PayloadReader& reader) {
   return Status(static_cast<ErrorCode>(code.value()), message.value());
 }
 
-namespace {
-
-// Responses are (status, body...).  Handlers return OK + body or an encoded
-// error status; the client decodes the status first.
-Payload ErrorResponse(const Status& status) {
-  PayloadWriter writer;
-  EncodeStatus(writer, status);
-  return writer.Take();
-}
-
-}  // namespace
+// Responses are (status, body...).  Handlers encode OK + body, or an
+// application error status with no body; the client decodes the status
+// first.  A non-OK handler *return* is a transport-level failure.
 
 ControllerEndpoint::ControllerEndpoint(GlobalMemoryController* controller,
                                        rdma::RpcServer* server)
     : controller_(controller) {
-  server->RegisterMethod(kMethodGotoZombie, [this](const Payload& request) -> Result<Payload> {
-    PayloadReader reader(request);
-    auto host = reader.GetU32();
-    auto count = reader.GetU32();
-    if (!host.ok() || !count.ok()) {
-      return Status(ErrorCode::kInvalidArgument, "malformed GS_goto_zombie");
-    }
-    std::vector<BufferGrant> grants;
-    grants.reserve(count.value());
-    for (std::uint32_t i = 0; i < count.value(); ++i) {
-      auto grant = DecodeGrant(reader);
-      if (!grant.ok()) {
-        return grant.status();
-      }
-      grants.push_back(grant.value());
-    }
-    auto ids = controller_->GsGotoZombie(host.value(), grants);
-    if (!ids.ok()) {
-      return ErrorResponse(ids.status());
-    }
-    PayloadWriter writer;
-    EncodeStatus(writer, Status::Ok());
-    writer.PutU32(static_cast<std::uint32_t>(ids.value().size()));
-    for (BufferId id : ids.value()) {
-      writer.PutU64(id);
-    }
-    return writer.Take();
-  });
+  server->RegisterMethod(
+      kMethodGotoZombie, [this](const Payload& request, PayloadWriter& out) -> Status {
+        PayloadReader reader(request);
+        auto host = reader.GetU32();
+        auto count = reader.GetU32();
+        if (!host.ok() || !count.ok()) {
+          return Status(ErrorCode::kInvalidArgument, "malformed GS_goto_zombie");
+        }
+        std::vector<BufferGrant> grants;
+        grants.reserve(count.value());
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto grant = DecodeGrant(reader);
+          if (!grant.ok()) {
+            return grant.status();
+          }
+          grants.push_back(grant.value());
+        }
+        auto ids = controller_->GsGotoZombie(host.value(), grants);
+        if (!ids.ok()) {
+          EncodeStatus(out, ids.status());
+          return Status::Ok();
+        }
+        EncodeStatus(out, Status::Ok());
+        out.PutU32(static_cast<std::uint32_t>(ids.value().size()));
+        for (BufferId id : ids.value()) {
+          out.PutU64(id);
+        }
+        return Status::Ok();
+      });
 
-  server->RegisterMethod(kMethodReclaim, [this](const Payload& request) -> Result<Payload> {
-    PayloadReader reader(request);
-    auto host = reader.GetU32();
-    auto nb = reader.GetU64();
-    if (!host.ok() || !nb.ok()) {
-      return Status(ErrorCode::kInvalidArgument, "malformed GS_reclaim");
-    }
-    auto ids = controller_->GsReclaim(host.value(), static_cast<std::size_t>(nb.value()));
-    if (!ids.ok()) {
-      return ErrorResponse(ids.status());
-    }
-    PayloadWriter writer;
-    EncodeStatus(writer, Status::Ok());
-    writer.PutU32(static_cast<std::uint32_t>(ids.value().size()));
-    for (BufferId id : ids.value()) {
-      writer.PutU64(id);
-    }
-    return writer.Take();
-  });
+  server->RegisterMethod(
+      kMethodReclaim, [this](const Payload& request, PayloadWriter& out) -> Status {
+        PayloadReader reader(request);
+        auto host = reader.GetU32();
+        auto nb = reader.GetU64();
+        if (!host.ok() || !nb.ok()) {
+          return Status(ErrorCode::kInvalidArgument, "malformed GS_reclaim");
+        }
+        auto ids = controller_->GsReclaim(host.value(), static_cast<std::size_t>(nb.value()));
+        if (!ids.ok()) {
+          EncodeStatus(out, ids.status());
+          return Status::Ok();
+        }
+        EncodeStatus(out, Status::Ok());
+        out.PutU32(static_cast<std::uint32_t>(ids.value().size()));
+        for (BufferId id : ids.value()) {
+          out.PutU64(id);
+        }
+        return Status::Ok();
+      });
 
-  auto alloc_handler = [this](const Payload& request, bool guaranteed) -> Result<Payload> {
+  auto alloc_handler = [this](const Payload& request, PayloadWriter& out,
+                              bool guaranteed) -> Status {
     PayloadReader reader(request);
     auto user = reader.GetU32();
     auto size = reader.GetU64();
@@ -141,63 +136,69 @@ ControllerEndpoint::ControllerEndpoint(GlobalMemoryController* controller,
     auto grants = guaranteed ? controller_->GsAllocExt(user.value(), size.value())
                              : controller_->GsAllocSwap(user.value(), size.value());
     if (!grants.ok()) {
-      return ErrorResponse(grants.status());
+      EncodeStatus(out, grants.status());
+      return Status::Ok();
     }
-    PayloadWriter writer;
-    EncodeStatus(writer, Status::Ok());
-    writer.PutU32(static_cast<std::uint32_t>(grants.value().size()));
+    EncodeStatus(out, Status::Ok());
+    out.PutU32(static_cast<std::uint32_t>(grants.value().size()));
     for (const auto& grant : grants.value()) {
-      EncodeGrant(writer, grant);
+      EncodeGrant(out, grant);
     }
-    return writer.Take();
+    return Status::Ok();
   };
-  server->RegisterMethod(kMethodAllocExt, [alloc_handler](const Payload& request) {
-    return alloc_handler(request, /*guaranteed=*/true);
-  });
-  server->RegisterMethod(kMethodAllocSwap, [alloc_handler](const Payload& request) {
-    return alloc_handler(request, /*guaranteed=*/false);
-  });
+  server->RegisterMethod(kMethodAllocExt,
+                         [alloc_handler](const Payload& request, PayloadWriter& out) {
+                           return alloc_handler(request, out, /*guaranteed=*/true);
+                         });
+  server->RegisterMethod(kMethodAllocSwap,
+                         [alloc_handler](const Payload& request, PayloadWriter& out) {
+                           return alloc_handler(request, out, /*guaranteed=*/false);
+                         });
 
-  server->RegisterMethod(kMethodRelease, [this](const Payload& request) -> Result<Payload> {
-    PayloadReader reader(request);
-    auto user = reader.GetU32();
-    auto count = reader.GetU32();
-    if (!user.ok() || !count.ok()) {
-      return Status(ErrorCode::kInvalidArgument, "malformed GS_release");
-    }
-    std::vector<BufferId> ids;
-    for (std::uint32_t i = 0; i < count.value(); ++i) {
-      auto id = reader.GetU64();
-      if (!id.ok()) {
-        return id.status();
-      }
-      ids.push_back(id.value());
-    }
-    return ErrorResponse(controller_->GsRelease(user.value(), ids));
-  });
+  server->RegisterMethod(
+      kMethodRelease, [this](const Payload& request, PayloadWriter& out) -> Status {
+        PayloadReader reader(request);
+        auto user = reader.GetU32();
+        auto count = reader.GetU32();
+        if (!user.ok() || !count.ok()) {
+          return Status(ErrorCode::kInvalidArgument, "malformed GS_release");
+        }
+        std::vector<BufferId> ids;
+        ids.reserve(count.value());
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto id = reader.GetU64();
+          if (!id.ok()) {
+            return id.status();
+          }
+          ids.push_back(id.value());
+        }
+        EncodeStatus(out, controller_->GsRelease(user.value(), ids));
+        return Status::Ok();
+      });
 
   server->RegisterMethod(kMethodGetLruZombie,
-                         [this](const Payload&) -> Result<Payload> {
-    auto lru = controller_->GsGetLruZombie();
-    if (!lru.ok()) {
-      return ErrorResponse(lru.status());
-    }
-    PayloadWriter writer;
-    EncodeStatus(writer, Status::Ok());
-    writer.PutU32(lru.value());
-    return writer.Take();
-  });
+                         [this](const Payload&, PayloadWriter& out) -> Status {
+                           auto lru = controller_->GsGetLruZombie();
+                           if (!lru.ok()) {
+                             EncodeStatus(out, lru.status());
+                             return Status::Ok();
+                           }
+                           EncodeStatus(out, Status::Ok());
+                           out.PutU32(lru.value());
+                           return Status::Ok();
+                         });
 
-  server->RegisterMethod(kMethodHeartbeat, [this](const Payload&) -> Result<Payload> {
-    PayloadWriter writer;
-    EncodeStatus(writer, Status::Ok());
-    writer.PutU64(controller_->BumpHeartbeat());
-    return writer.Take();
-  });
+  server->RegisterMethod(kMethodHeartbeat,
+                         [this](const Payload&, PayloadWriter& out) -> Status {
+                           EncodeStatus(out, Status::Ok());
+                           out.PutU64(controller_->BumpHeartbeat());
+                           return Status::Ok();
+                         });
 }
 
-Result<Payload> ControllerClient::Call(const std::string& method, const Payload& request) {
-  return router_->Call(self_, controller_node_, method, request, &last_cost_);
+Status ControllerClient::Call(const std::string& method) {
+  return router_->CallInto(self_, controller_node_, method, request_buf_, response_buf_,
+                           &last_cost_);
 }
 
 namespace {
@@ -210,17 +211,17 @@ Status DecodeHeader(PayloadReader& reader) { return DecodeStatus(reader); }
 
 Result<std::vector<BufferId>> ControllerClient::GotoZombie(
     ServerId host, const std::vector<BufferGrant>& buffers) {
-  PayloadWriter writer;
-  writer.PutU32(host);
-  writer.PutU32(static_cast<std::uint32_t>(buffers.size()));
+  request_writer_.Reset();
+  request_writer_.PutU32(host);
+  request_writer_.PutU32(static_cast<std::uint32_t>(buffers.size()));
   for (const auto& grant : buffers) {
-    EncodeGrant(writer, grant);
+    EncodeGrant(request_writer_, grant);
   }
-  auto response = Call(kMethodGotoZombie, writer.Take());
-  if (!response.ok()) {
-    return response.status();
+  Status call = Call(kMethodGotoZombie);
+  if (!call.ok()) {
+    return call;
   }
-  PayloadReader reader(response.value());
+  PayloadReader reader(response_buf_);
   Status status = DecodeHeader(reader);
   if (!status.ok()) {
     return status;
@@ -230,6 +231,7 @@ Result<std::vector<BufferId>> ControllerClient::GotoZombie(
     return count.status();
   }
   std::vector<BufferId> ids;
+  ids.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto id = reader.GetU64();
     if (!id.ok()) {
@@ -242,14 +244,14 @@ Result<std::vector<BufferId>> ControllerClient::GotoZombie(
 
 Result<std::vector<BufferId>> ControllerClient::Reclaim(ServerId host,
                                                         std::uint64_t nb_buffers) {
-  PayloadWriter writer;
-  writer.PutU32(host);
-  writer.PutU64(nb_buffers);
-  auto response = Call(kMethodReclaim, writer.Take());
-  if (!response.ok()) {
-    return response.status();
+  request_writer_.Reset();
+  request_writer_.PutU32(host);
+  request_writer_.PutU64(nb_buffers);
+  Status call = Call(kMethodReclaim);
+  if (!call.ok()) {
+    return call;
   }
-  PayloadReader reader(response.value());
+  PayloadReader reader(response_buf_);
   Status status = DecodeHeader(reader);
   if (!status.ok()) {
     return status;
@@ -259,6 +261,7 @@ Result<std::vector<BufferId>> ControllerClient::Reclaim(ServerId host,
     return count.status();
   }
   std::vector<BufferId> ids;
+  ids.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto id = reader.GetU64();
     if (!id.ok()) {
@@ -282,6 +285,7 @@ Result<std::vector<BufferGrant>> DecodeGrantList(const Payload& response) {
     return count.status();
   }
   std::vector<BufferGrant> grants;
+  grants.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto grant = DecodeGrant(reader);
     if (!grant.ok()) {
@@ -295,48 +299,49 @@ Result<std::vector<BufferGrant>> DecodeGrantList(const Payload& response) {
 }  // namespace
 
 Result<std::vector<BufferGrant>> ControllerClient::AllocExt(ServerId user, Bytes mem_size) {
-  PayloadWriter writer;
-  writer.PutU32(user);
-  writer.PutU64(mem_size);
-  auto response = Call(kMethodAllocExt, writer.Take());
-  if (!response.ok()) {
-    return response.status();
+  request_writer_.Reset();
+  request_writer_.PutU32(user);
+  request_writer_.PutU64(mem_size);
+  Status call = Call(kMethodAllocExt);
+  if (!call.ok()) {
+    return call;
   }
-  return DecodeGrantList(response.value());
+  return DecodeGrantList(response_buf_);
 }
 
 Result<std::vector<BufferGrant>> ControllerClient::AllocSwap(ServerId user, Bytes mem_size) {
-  PayloadWriter writer;
-  writer.PutU32(user);
-  writer.PutU64(mem_size);
-  auto response = Call(kMethodAllocSwap, writer.Take());
-  if (!response.ok()) {
-    return response.status();
+  request_writer_.Reset();
+  request_writer_.PutU32(user);
+  request_writer_.PutU64(mem_size);
+  Status call = Call(kMethodAllocSwap);
+  if (!call.ok()) {
+    return call;
   }
-  return DecodeGrantList(response.value());
+  return DecodeGrantList(response_buf_);
 }
 
 Status ControllerClient::Release(ServerId user, const std::vector<BufferId>& buffers) {
-  PayloadWriter writer;
-  writer.PutU32(user);
-  writer.PutU32(static_cast<std::uint32_t>(buffers.size()));
+  request_writer_.Reset();
+  request_writer_.PutU32(user);
+  request_writer_.PutU32(static_cast<std::uint32_t>(buffers.size()));
   for (BufferId id : buffers) {
-    writer.PutU64(id);
+    request_writer_.PutU64(id);
   }
-  auto response = Call(kMethodRelease, writer.Take());
-  if (!response.ok()) {
-    return response.status();
+  Status call = Call(kMethodRelease);
+  if (!call.ok()) {
+    return call;
   }
-  PayloadReader reader(response.value());
+  PayloadReader reader(response_buf_);
   return DecodeHeader(reader);
 }
 
 Result<ServerId> ControllerClient::GetLruZombie() {
-  auto response = Call(kMethodGetLruZombie, {});
-  if (!response.ok()) {
-    return response.status();
+  request_writer_.Reset();
+  Status call = Call(kMethodGetLruZombie);
+  if (!call.ok()) {
+    return call;
   }
-  PayloadReader reader(response.value());
+  PayloadReader reader(response_buf_);
   Status status = DecodeHeader(reader);
   if (!status.ok()) {
     return status;
@@ -349,11 +354,12 @@ Result<ServerId> ControllerClient::GetLruZombie() {
 }
 
 Result<std::uint64_t> ControllerClient::Heartbeat() {
-  auto response = Call(kMethodHeartbeat, {});
-  if (!response.ok()) {
-    return response.status();
+  request_writer_.Reset();
+  Status call = Call(kMethodHeartbeat);
+  if (!call.ok()) {
+    return call;
   }
-  PayloadReader reader(response.value());
+  PayloadReader reader(response_buf_);
   Status status = DecodeHeader(reader);
   if (!status.ok()) {
     return status;

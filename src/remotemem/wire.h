@@ -70,12 +70,18 @@ class ControllerClient {
   const rdma::RpcCost& last_cost() const { return last_cost_; }
 
  private:
-  Result<rdma::Payload> Call(const std::string& method, const rdma::Payload& request);
+  // Sends request_buf_ and fills response_buf_; both buffers (the client's
+  // registered request/poll slots) keep their capacity across calls, so the
+  // stub allocates nothing in steady state.
+  Status Call(const std::string& method);
 
   rdma::RpcRouter* router_;
   rdma::NodeId self_;
   rdma::NodeId controller_node_;
   rdma::RpcCost last_cost_{};
+  rdma::Payload request_buf_;
+  rdma::PayloadWriter request_writer_{&request_buf_};
+  rdma::Payload response_buf_;
 };
 
 }  // namespace zombie::remotemem

@@ -33,20 +33,24 @@ struct SimServer {
   double used_cpu = 0.0;         // sum of booked * usage_ratio (actual load)
   double local_mem = 0.0;        // memory held locally by hosted VMs
   double lent_mem = 0.0;         // delegated to the zombie pool
-  std::vector<std::uint64_t> vms;
+  std::vector<std::uint32_t> vms;  // dense VM indices
 };
 
 struct SimVm {
   const TraceTask* task = nullptr;
   int host = -1;
+  bool active = false;      // currently placed in the cluster
   double local_mem = 0.0;   // local share on its host
   double remote_mem = 0.0;  // served from the zombie pool (ZombieStack)
   double parked_mem = 0.0;  // parked on an Oasis memory server
 };
 
+// Every trace task is one VM, so VMs live in a dense array indexed by the
+// task's position in the trace — no per-step std::map node churn on the
+// arrival/departure/consolidation paths of the 10k-server replays.
 struct World {
   std::vector<SimServer> servers;
-  std::map<std::uint64_t, SimVm> vms;
+  std::vector<SimVm> vms;          // indexed by dense task index
   double zombie_pool_free = 0.0;   // delegated-but-unused zombie memory
   double parked_total = 0.0;       // Oasis memory-server load
   std::size_t migrations = 0;
@@ -80,16 +84,17 @@ bool Fits(const SimServer& server, const TraceTask& task, double local_needed) {
          server.local_mem + local_needed <= 1.0 - server.lent_mem + 1e-9;
 }
 
-void HostVm(World& world, int host, std::uint64_t vm_id, const TraceTask& task,
+void HostVm(World& world, int host, std::uint32_t vm_idx, const TraceTask& task,
             double local_mem, Policy policy) {
   SimServer& server = world.servers[host];
   server.booked_cpu += task.booked_cpu;
   server.used_cpu += task.booked_cpu * task.cpu_usage_ratio;
   server.local_mem += local_mem;
-  server.vms.push_back(vm_id);
-  SimVm& vm = world.vms[vm_id];
+  server.vms.push_back(vm_idx);
+  SimVm& vm = world.vms[vm_idx];
   vm.task = &task;
   vm.host = host;
+  vm.active = true;
   vm.local_mem = local_mem;
   const double remote = task.booked_mem - local_mem - vm.parked_mem;
   if (policy == Policy::kZombieStack && remote > 1e-12) {
@@ -100,23 +105,23 @@ void HostVm(World& world, int host, std::uint64_t vm_id, const TraceTask& task,
   }
 }
 
-void UnhostVm(World& world, std::uint64_t vm_id) {
-  auto it = world.vms.find(vm_id);
-  if (it == world.vms.end()) {
+void UnhostVm(World& world, std::uint32_t vm_idx) {
+  SimVm& vm = world.vms[vm_idx];
+  if (!vm.active) {
     return;
   }
-  SimVm& vm = it->second;
   if (vm.host >= 0) {
     SimServer& server = world.servers[vm.host];
     server.booked_cpu = std::max(0.0, server.booked_cpu - vm.task->booked_cpu);
     server.used_cpu =
         std::max(0.0, server.used_cpu - vm.task->booked_cpu * vm.task->cpu_usage_ratio);
     server.local_mem = std::max(0.0, server.local_mem - vm.local_mem);
-    server.vms.erase(std::remove(server.vms.begin(), server.vms.end(), vm_id),
+    server.vms.erase(std::remove(server.vms.begin(), server.vms.end(), vm_idx),
                      server.vms.end());
   }
   world.zombie_pool_free += vm.remote_mem;
   world.parked_total = std::max(0.0, world.parked_total - vm.parked_mem);
+  vm.host = -1;
 }
 
 // Wakes the best suspended server (S3 first — cheapest to disturb — then the
@@ -215,14 +220,21 @@ void Consolidate(World& world, Policy policy, const DcConfig& config) {
     return world.servers[a].used_cpu < world.servers[b].used_cpu;
   });
 
+  // Per-host (cpu, mem) deltas of tentative moves: a flat array reset only
+  // where written, instead of a fresh std::map per drained host.
+  std::vector<std::pair<double, double>> deltas(world.servers.size(), {0.0, 0.0});
+  std::vector<int> touched;
   for (int source_idx : underloaded) {
     SimServer& source = world.servers[source_idx];
     // Tentatively find a target for every VM.
-    std::vector<std::pair<std::uint64_t, int>> moves;
+    std::vector<std::pair<std::uint32_t, int>> moves;
     bool ok = true;
-    std::map<int, std::pair<double, double>> deltas;  // host -> (cpu, mem)
-    for (std::uint64_t vm_id : source.vms) {
-      const SimVm& vm = world.vms[vm_id];
+    for (int host : touched) {
+      deltas[host] = {0.0, 0.0};
+    }
+    touched.clear();
+    for (std::uint32_t vm_idx : source.vms) {
+      const SimVm& vm = world.vms[vm_idx];
       const TraceTask& task = *vm.task;
       const bool idle = task.cpu_usage_ratio < config.idle_vm_threshold;
       double local_needed;
@@ -238,7 +250,7 @@ void Consolidate(World& world, Policy policy, const DcConfig& config) {
           continue;
         }
         const SimServer& t = world.servers[i];
-        const auto& delta = deltas[static_cast<int>(i)];
+        const auto& delta = deltas[i];
         if (t.state != acpi::SleepState::kS0 ||
             t.booked_cpu + delta.first + task.booked_cpu > 1.0 + 1e-9 ||
             t.local_mem + delta.second + local_needed > 1.0 - t.lent_mem + 1e-9) {
@@ -253,29 +265,31 @@ void Consolidate(World& world, Policy policy, const DcConfig& config) {
         ok = false;
         break;
       }
+      if (deltas[target] == std::pair<double, double>{0.0, 0.0}) {
+        touched.push_back(target);
+      }
       deltas[target].first += task.booked_cpu;
       deltas[target].second += local_needed;
-      moves.emplace_back(vm_id, target);
+      moves.emplace_back(vm_idx, target);
     }
     if (!ok) {
       continue;  // cannot fully drain this host
     }
     // Execute the drain.
-    for (const auto& [vm_id, target] : moves) {
-      SimVm vm = world.vms[vm_id];
-      const TraceTask& task = *vm.task;
+    for (const auto& [vm_idx, target] : moves) {
+      const TraceTask& task = *world.vms[vm_idx].task;
       const bool idle = task.cpu_usage_ratio < config.idle_vm_threshold;
-      UnhostVm(world, vm_id);
+      UnhostVm(world, vm_idx);
       double local;
       if (policy == Policy::kOasis && idle) {
         local = WssOf(task);
-        world.vms[vm_id].parked_mem = task.booked_mem - local;
+        world.vms[vm_idx].parked_mem = task.booked_mem - local;
         world.parked_total += task.booked_mem - local;
       } else {
         local = RequiredLocal(policy, task, config, true);
-        world.vms[vm_id].parked_mem = 0.0;
+        world.vms[vm_idx].parked_mem = 0.0;
       }
-      HostVm(world, target, vm_id, task, local, policy);
+      HostVm(world, target, vm_idx, task, local, policy);
       ++world.migrations;
     }
   }
@@ -295,21 +309,24 @@ DcResult RunPolicy(const Trace& trace, Policy policy, const acpi::MachineProfile
                    const DcConfig& config) {
   World world;
   world.servers.resize(trace.config.servers);
+  world.vms.resize(trace.tasks.size());
 
-  // Index tasks by start/end for the stepped replay.
-  std::vector<const TraceTask*> by_start;
+  // Index tasks by start/end for the stepped replay.  A task's dense index
+  // (its position in trace.tasks) identifies its VM everywhere below.
+  std::vector<std::uint32_t> by_start;
   by_start.reserve(trace.tasks.size());
-  for (const auto& task : trace.tasks) {
-    by_start.push_back(&task);
+  for (std::uint32_t i = 0; i < trace.tasks.size(); ++i) {
+    by_start.push_back(i);
   }
-  std::stable_sort(by_start.begin(), by_start.end(),
-                   [](const TraceTask* a, const TraceTask* b) { return a->start < b->start; });
+  std::stable_sort(by_start.begin(), by_start.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return trace.tasks[a].start < trace.tasks[b].start;
+  });
 
   DcResult result;
   result.policy = policy;
 
   std::size_t next_arrival = 0;
-  std::vector<std::pair<SimTime, std::uint64_t>> endings;  // min-heap by time
+  std::vector<std::pair<SimTime, std::uint32_t>> endings;  // min-heap by time
   auto cmp = [](const auto& a, const auto& b) { return a.first > b.first; };
 
   SimTime next_consolidation = config.consolidation_period;
@@ -317,44 +334,47 @@ DcResult RunPolicy(const Trace& trace, Policy policy, const acpi::MachineProfile
   std::size_t steps = 0;
   const SimTime horizon = trace.config.horizon;
 
-  std::vector<const TraceTask*> pending;  // arrivals that did not fit yet
+  std::vector<std::uint32_t> pending;   // arrivals that did not fit yet
+  std::vector<std::uint32_t> arriving;  // this step's arrivals (reused buffer)
 
   for (SimTime now = 0; now < horizon; now += config.step) {
     // Task departures.
     while (!endings.empty() && endings.front().first <= now) {
       std::pop_heap(endings.begin(), endings.end(), cmp);
       UnhostVm(world, endings.back().second);
-      world.vms.erase(endings.back().second);
+      world.vms[endings.back().second].active = false;
       endings.pop_back();
     }
     // Arrivals (including retries).
-    std::vector<const TraceTask*> arriving = std::move(pending);
-    pending.clear();
-    while (next_arrival < by_start.size() && by_start[next_arrival]->start <= now) {
+    arriving.clear();
+    std::swap(arriving, pending);
+    while (next_arrival < by_start.size() &&
+           trace.tasks[by_start[next_arrival]].start <= now) {
       arriving.push_back(by_start[next_arrival]);
       ++next_arrival;
     }
-    for (const TraceTask* task : arriving) {
-      if (task->end <= now) {
+    for (std::uint32_t vm_idx : arriving) {
+      const TraceTask& task = trace.tasks[vm_idx];
+      if (task.end <= now) {
         continue;  // expired while waiting
       }
-      int host = PlaceVm(world, *task, policy, config);
+      int host = PlaceVm(world, task, policy, config);
       if (host < 0) {
         if (WakeOne(world, config) >= 0) {
           ++result.wakeups;
-          host = PlaceVm(world, *task, policy, config);
+          host = PlaceVm(world, task, policy, config);
         }
       }
       if (host < 0) {
         ++result.delayed_placements;
-        pending.push_back(task);  // retry next step
+        pending.push_back(vm_idx);  // retry next step
         continue;
       }
-      const double local = std::min(RequiredLocal(policy, *task, config, false),
+      const double local = std::min(RequiredLocal(policy, task, config, false),
                                     1.0 - world.servers[host].local_mem -
                                         world.servers[host].lent_mem);
-      HostVm(world, host, task->id, *task, std::max(local, 0.0), policy);
-      endings.emplace_back(task->end, task->id);
+      HostVm(world, host, vm_idx, task, std::max(local, 0.0), policy);
+      endings.emplace_back(task.end, vm_idx);
       std::push_heap(endings.begin(), endings.end(), cmp);
     }
     // Periodic consolidation.

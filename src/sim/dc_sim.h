@@ -19,7 +19,6 @@
 #define ZOMBIELAND_SRC_SIM_DC_SIM_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>

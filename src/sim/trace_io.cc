@@ -1,11 +1,13 @@
 #include "src/sim/trace_io.h"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 #include <string>
-#include <vector>
+#include <string_view>
 
 namespace zombie::sim {
 
@@ -34,19 +36,38 @@ Status WriteTraceCsvFile(const Trace& trace, const std::string& path) {
 
 namespace {
 
-Result<std::vector<std::string>> SplitFields(const std::string& line, int line_no) {
-  std::vector<std::string> fields;
-  std::stringstream ss(line);
-  std::string field;
-  while (std::getline(ss, field, ',')) {
-    fields.push_back(field);
+// Splits `line` into exactly 6 comma-separated views.  No allocation, no
+// stringstream — trace files run to millions of lines.
+bool SplitFields(std::string_view line, std::array<std::string_view, 6>& fields) {
+  std::size_t count = 0;
+  while (true) {
+    const std::size_t comma = line.find(',');
+    if (count == fields.size()) {
+      return false;  // too many fields
+    }
+    if (comma == std::string_view::npos) {
+      fields[count++] = line;
+      break;
+    }
+    fields[count++] = line.substr(0, comma);
+    line.remove_prefix(comma + 1);
   }
-  if (fields.size() != 6) {
-    return Status(ErrorCode::kInvalidArgument,
-                  "line " + std::to_string(line_no) + ": expected 6 fields, got " +
-                      std::to_string(fields.size()));
-  }
-  return fields;
+  return count == fields.size();
+}
+
+// Strict full-field numeric parse (std::from_chars: no leading spaces, no
+// trailing junk, no locale).
+template <typename T>
+bool ParseNumber(std::string_view field, T& out) {
+  const char* first = field.data();
+  const char* last = first + field.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+Status LineError(int line_no, const char* what) {
+  return Status(ErrorCode::kInvalidArgument,
+                "line " + std::to_string(line_no) + ": " + what);
 }
 
 }  // namespace
@@ -69,6 +90,7 @@ Result<Trace> ReadTraceCsv(std::istream& in, std::size_t servers, Duration horiz
   }
 
   SimTime last_end = 0;
+  std::array<std::string_view, 6> fields;
   while (std::getline(in, line)) {
     ++line_no;
     while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
@@ -77,27 +99,30 @@ Result<Trace> ReadTraceCsv(std::istream& in, std::size_t servers, Duration horiz
     if (line.empty()) {
       continue;
     }
-    auto fields = SplitFields(line, line_no);
-    if (!fields.ok()) {
-      return fields.status();
+    if (!SplitFields(line, fields)) {
+      return LineError(line_no, "expected 6 comma-separated fields");
     }
     TraceTask task;
-    try {
-      task.id = std::stoull(fields.value()[0]);
-      task.start = std::stoll(fields.value()[1]) * kMicrosecond;
-      task.end = std::stoll(fields.value()[2]) * kMicrosecond;
-      task.booked_cpu = std::stod(fields.value()[3]);
-      task.booked_mem = std::stod(fields.value()[4]);
-      task.cpu_usage_ratio = std::stod(fields.value()[5]);
-    } catch (const std::exception&) {
-      return Status(ErrorCode::kInvalidArgument,
-                    "line " + std::to_string(line_no) + ": unparsable numeric field");
+    std::int64_t start_us = 0;
+    std::int64_t end_us = 0;
+    if (!ParseNumber(fields[0], task.id) || !ParseNumber(fields[1], start_us) ||
+        !ParseNumber(fields[2], end_us) || !ParseNumber(fields[3], task.booked_cpu) ||
+        !ParseNumber(fields[4], task.booked_mem) ||
+        !ParseNumber(fields[5], task.cpu_usage_ratio)) {
+      return LineError(line_no, "unparsable numeric field");
+    }
+    task.start = start_us * kMicrosecond;
+    task.end = end_us * kMicrosecond;
+    // NaN compares false against every bound, so non-finite values need an
+    // explicit rejection or they'd poison the resource accounting.
+    if (!std::isfinite(task.booked_cpu) || !std::isfinite(task.booked_mem) ||
+        !std::isfinite(task.cpu_usage_ratio)) {
+      return LineError(line_no, "non-finite numeric field");
     }
     if (task.end <= task.start || task.booked_cpu <= 0.0 || task.booked_cpu > 1.0 ||
         task.booked_mem <= 0.0 || task.booked_mem > 1.0 || task.cpu_usage_ratio < 0.0 ||
         task.cpu_usage_ratio > 1.0) {
-      return Status(ErrorCode::kInvalidArgument,
-                    "line " + std::to_string(line_no) + ": field out of range");
+      return LineError(line_no, "field out of range");
     }
     last_end = std::max(last_end, task.end);
     trace.tasks.push_back(task);

@@ -2,8 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace zombie::workloads {
+
+namespace {
+
+// Knuth's multiplicative hash, spreading zipf ranks over the footprint.
+constexpr std::uint64_t kZipfHash = 2654435761ULL;
+// Above this footprint the precomputed rank->page table is not worth its
+// memory; the draw falls back to the modulo (identical values either way).
+constexpr std::uint64_t kZipfTableMaxPages = 1ULL << 20;
+// Rank-threshold table: building it costs ~53 pow() calls per rank, so gate
+// it to footprints where the one-time cost amortises instantly against the
+// millions of draws the experiments make.
+constexpr std::uint64_t kZipfRankTableMaxPages = 1ULL << 14;
+// First-level bucket bits for the threshold lookup (2^11 buckets).
+constexpr int kZipfBucketBits = 11;
+constexpr int kDrawBits = 53;  // NextDouble() exposes the top 53 rng bits
+
+}  // namespace
 
 AccessPattern::AccessPattern(std::uint64_t footprint_pages, PatternParams params,
                              std::uint64_t seed)
@@ -19,34 +37,125 @@ AccessPattern::AccessPattern(std::uint64_t footprint_pages, PatternParams params
     tier_cumweight_.push_back(cum);
   }
   scan_total_weight_ = cum;
+  write_threshold_ = Rng::BoolThreshold(params_.write_ratio);
+  if (params_.zipf_weight > 0.0) {
+    zipf_exponent_ = 1.0 / (1.0 - params_.zipf_theta);
+    if (footprint_ <= kZipfTableMaxPages) {
+      zipf_page_.resize(footprint_);
+      for (std::uint64_t rank = 0; rank < footprint_; ++rank) {
+        zipf_page_[rank] = static_cast<std::uint32_t>((rank * kZipfHash) % footprint_);
+      }
+    }
+    if (zipf_exponent_ > 0.0 && footprint_ <= kZipfRankTableMaxPages) {
+      BuildZipfRankTable();
+    }
+  }
 }
 
-PageAccess AccessPattern::Next() {
+void AccessPattern::BuildZipfRankTable() {
+  // The pow-based draw maps a 53-bit uniform x to
+  //   rank(x) = (u64)(footprint * pow(x * 2^-53, exponent)),
+  // a weakly increasing function of x (pow is correctly rounded and
+  // monotone, scaling by a positive constant and truncation preserve
+  // monotonicity).  So rank(x) == r exactly on [T[r], T[r+1]) where
+  //   T[r] = min { x : rank(x) >= r },
+  // and each T[r] can be found by bisecting the identical expression —
+  // making the table path bit-for-bit equal to the pow path.
+  const double n_d = static_cast<double>(footprint_);
+  const double exponent = zipf_exponent_;
+  const auto rank_of = [n_d, exponent](std::uint64_t x) {
+    const double u = static_cast<double>(x) * 0x1.0p-53;
+    return static_cast<std::uint64_t>(n_d * std::pow(u, exponent));
+  };
+  zipf_rank_threshold_.resize(footprint_ + 1);
+  zipf_rank_threshold_[0] = 0;
+  zipf_rank_threshold_[footprint_] = 1ULL << kDrawBits;  // past every draw
+  for (std::uint64_t r = 1; r < footprint_; ++r) {
+    std::uint64_t lo = zipf_rank_threshold_[r - 1];
+    std::uint64_t hi = 1ULL << kDrawBits;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (rank_of(mid) >= r) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    zipf_rank_threshold_[r] = lo;
+  }
+  // First-level index: for each 2^42-wide x bucket, the rank at its start.
+  zipf_bucket_lo_.assign((1ULL << kZipfBucketBits) + 1, 0);
+  std::uint64_t r = 0;
+  for (std::uint64_t b = 0; b < (1ULL << kZipfBucketBits); ++b) {
+    const std::uint64_t x0 = b << (kDrawBits - kZipfBucketBits);
+    while (zipf_rank_threshold_[r + 1] <= x0) {
+      ++r;
+    }
+    zipf_bucket_lo_[b] = static_cast<std::uint32_t>(r);
+  }
+  zipf_bucket_lo_[1ULL << kZipfBucketBits] = static_cast<std::uint32_t>(footprint_ - 1);
+}
+
+PageAccess AccessPattern::NextImpl() {
   PageAccess access;
-  access.is_write = rng_.NextBool(params_.write_ratio);
+  access.is_write = rng_.NextBool(write_threshold_);
 
   const double u = rng_.NextDouble();
   if (u < scan_total_weight_) {
-    // Pick the tier by cumulative weight.
-    const auto it = std::lower_bound(tier_cumweight_.begin(), tier_cumweight_.end(), u);
-    const auto tier = static_cast<std::size_t>(it - tier_cumweight_.begin());
+    // Pick the tier by cumulative weight: first tier with cumweight >= u
+    // (what lower_bound returned; a linear scan wins for the 1-3 tiers real
+    // profiles use).
+    std::size_t tier = 0;
+    while (tier_cumweight_[tier] < u) {
+      ++tier;
+    }
     if (params_.tiers[tier].random_within) {
       access.page = rng_.NextBelow(tier_pages_[tier]);
     } else {
       access.page = tier_cursors_[tier];
-      tier_cursors_[tier] = (tier_cursors_[tier] + 1) % tier_pages_[tier];
+      // The cursor is always < tier_pages_, so the wrap is a compare instead
+      // of a 64-bit modulo.
+      const std::uint64_t next = tier_cursors_[tier] + 1;
+      tier_cursors_[tier] = next == tier_pages_[tier] ? 0 : next;
     }
     return access;
   }
   if (u < scan_total_weight_ + params_.zipf_weight) {
     // Zipf rank mapped through a hash so the hot head is spread over the
-    // footprint rather than aliasing the scan tiers' prefix.
-    const std::uint64_t rank = rng_.NextZipf(footprint_, params_.zipf_theta);
-    access.page = (rank * 2654435761ULL) % footprint_;
+    // footprint rather than aliasing the scan tiers' prefix.  Same values as
+    // Rng::NextZipf + modulo, via the exact threshold table when available
+    // (see BuildZipfRankTable) or the original pow expression otherwise.
+    const std::uint64_t x = rng_.Next() >> 11;  // the NextDouble() draw bits
+    std::uint64_t rank;
+    if (!zipf_rank_threshold_.empty()) {
+      rank = zipf_bucket_lo_[x >> (kDrawBits - kZipfBucketBits)];
+      while (zipf_rank_threshold_[rank + 1] <= x) {
+        ++rank;
+      }
+    } else {
+      const double z = static_cast<double>(x) * 0x1.0p-53;
+      rank = static_cast<std::uint64_t>(static_cast<double>(footprint_) *
+                                        std::pow(z, zipf_exponent_));
+      if (rank >= footprint_) {
+        rank = footprint_ - 1;
+      }
+    }
+    access.page =
+        zipf_page_.empty() ? (rank * kZipfHash) % footprint_ : zipf_page_[rank];
     return access;
   }
   access.page = rng_.NextBelow(footprint_);
   return access;
+}
+
+PageAccess AccessPattern::Next() { return NextImpl(); }
+
+void AccessPattern::FillBatch(std::span<PageAccess> out) {
+  // Same draw sequence as Next(); inlined here so rng/tier state loads are
+  // amortised over the batch.
+  for (PageAccess& access : out) {
+    access = NextImpl();
+  }
 }
 
 }  // namespace zombie::workloads

@@ -15,6 +15,7 @@
 #define ZOMBIELAND_SRC_WORKLOADS_ACCESS_PATTERN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -23,10 +24,8 @@
 
 namespace zombie::workloads {
 
-struct PageAccess {
-  hv::PageIndex page = 0;
-  bool is_write = false;
-};
+// One generated access; the same struct the pagers' batched API consumes.
+using PageAccess = hv::PageAccess;
 
 // One scan tier over [0, fraction * footprint).
 struct ScanTier {
@@ -56,10 +55,17 @@ class AccessPattern {
 
   PageAccess Next();
 
+  // Fills `out` with the next out.size() accesses of the stream —
+  // bit-identical to calling Next() that many times, but the generator state
+  // stays in registers across the whole batch (the experiment hot loop).
+  void FillBatch(std::span<PageAccess> out);
+
   std::uint64_t footprint_pages() const { return footprint_; }
   const PatternParams& params() const { return params_; }
 
  private:
+  PageAccess NextImpl();
+
   std::uint64_t footprint_;
   PatternParams params_;
   Rng rng_;
@@ -67,6 +73,21 @@ class AccessPattern {
   std::vector<std::uint64_t> tier_cursors_;  // sweep position per tier
   std::vector<double> tier_cumweight_;       // cumulative selection weights
   double scan_total_weight_ = 0.0;
+  double zipf_exponent_ = 0.0;               // 1 / (1 - theta), precomputed
+  std::uint64_t write_threshold_ = 0;        // Rng::BoolThreshold(write_ratio)
+  // (rank * kHash) % footprint, precomputed for moderate footprints so the
+  // zipf hot path avoids a 64-bit division per draw.  Values identical to
+  // the on-the-fly computation.
+  std::vector<std::uint32_t> zipf_page_;
+  // Exact inversion table for the zipf rank: zipf_rank_threshold_[r] is the
+  // smallest 53-bit draw x whose pow-based rank is >= r, found by bisecting
+  // the *identical* floating-point expression.  The hot path then replaces
+  // std::pow (the single most expensive instruction stream in the generator)
+  // with a bucketed table walk returning bit-identical ranks.
+  std::vector<std::uint64_t> zipf_rank_threshold_;  // size footprint+1
+  std::vector<std::uint32_t> zipf_bucket_lo_;       // first rank per x-bucket
+
+  void BuildZipfRankTable();
 };
 
 }  // namespace zombie::workloads

@@ -22,11 +22,11 @@ namespace {
 
 TEST(GuestPageTable, ClearAccessedBits) {
   GuestPageTable table(8);
-  table.at(2).accessed = true;
-  table.at(5).accessed = true;
+  table.SetAccessed(2);
+  table.SetAccessed(5);
   table.ClearAccessedBits();
   for (PageIndex p = 0; p < table.size(); ++p) {
-    EXPECT_FALSE(table.at(p).accessed);
+    EXPECT_FALSE(table.Accessed(p));
   }
 }
 
@@ -50,7 +50,7 @@ TEST(Policies, FifoEvictsOldestFault) {
     fifo.OnPageIn(p);
   }
   // Even if the oldest page was just accessed, FIFO takes it.
-  table.at(3).accessed = true;
+  table.SetAccessed(3);
   const auto victim = fifo.PickVictim(table);
   EXPECT_EQ(victim.page, 3u);
   EXPECT_EQ(fifo.tracked(), 2u);
@@ -64,12 +64,12 @@ TEST(Policies, ClockSkipsAccessedPages) {
     table.at(p).present = true;
     clock.OnPageIn(p);
   }
-  table.at(3).accessed = true;  // the head is protected by its A-bit
+  table.SetAccessed(3);  // the head is protected by its A-bit
   const auto victim = clock.PickVictim(table);
   EXPECT_EQ(victim.page, 1u);
   // The scan only *checks* bits; clearing is the periodic scan's job
   // ("The 'accessed' bit of all pages is periodically cleared").
-  EXPECT_TRUE(table.at(3).accessed);
+  EXPECT_TRUE(table.Accessed(3));
 }
 
 TEST(Policies, ClockWrapsWhenAllAccessed) {
@@ -78,7 +78,7 @@ TEST(Policies, ClockWrapsWhenAllAccessed) {
   GuestPageTable table(10);
   for (PageIndex p : {3u, 1u, 7u}) {
     table.at(p).present = true;
-    table.at(p).accessed = true;
+    table.SetAccessed(p);
     clock.OnPageIn(p);
   }
   const auto victim = clock.PickVictim(table);
@@ -91,7 +91,7 @@ TEST(Policies, ClockCostGrowsWithScanLength) {
   GuestPageTable table(100);
   for (PageIndex p = 0; p < 50; ++p) {
     table.at(p).present = true;
-    table.at(p).accessed = true;  // force a long scan
+    table.SetAccessed(p);  // force a long scan
     clock.OnPageIn(p);
   }
   const auto long_scan = clock.PickVictim(table);
@@ -112,7 +112,7 @@ TEST(Policies, MixedBoundsScanDepth) {
   GuestPageTable table(100);
   for (PageIndex p = 0; p < 50; ++p) {
     table.at(p).present = true;
-    table.at(p).accessed = true;
+    table.SetAccessed(p);
     mixed.OnPageIn(p);
   }
   const auto victim = mixed.PickVictim(table);
@@ -131,10 +131,10 @@ TEST(Policies, MixedPicksUnaccessedWithinDepth) {
   GuestPageTable table(10);
   for (PageIndex p : {0u, 1u, 2u}) {
     table.at(p).present = true;
-    table.at(p).accessed = true;
+    table.SetAccessed(p);
     mixed.OnPageIn(p);
   }
-  table.at(1).accessed = false;
+  table.ClearAccessed(1);
   const auto victim = mixed.PickVictim(table);
   EXPECT_EQ(victim.page, 1u);
 }

@@ -204,7 +204,10 @@ TEST_F(RdmaTest, FabricCountsTraffic) {
 
 TEST_F(RdmaTest, RpcRoundTrip) {
   RpcServer server(&verbs_, zombie_id_);
-  server.RegisterMethod("echo", [](const Payload& req) -> Result<Payload> { return req; });
+  server.RegisterMethod("echo", [](const Payload& req, PayloadWriter& out) -> Status {
+    out.PutRaw(req);
+    return Status::Ok();
+  });
   RpcRouter router(&verbs_);
   router.AddServer(&server);
 
@@ -223,7 +226,7 @@ TEST_F(RdmaTest, RpcRoundTrip) {
 
 TEST_F(RdmaTest, RpcToSuspendedServerFails) {
   RpcServer server(&verbs_, zombie_id_);
-  server.RegisterMethod("noop", [](const Payload&) -> Result<Payload> { return Payload{}; });
+  server.RegisterMethod("noop", [](const Payload&, PayloadWriter&) { return Status::Ok(); });
   RpcRouter router(&verbs_);
   router.AddServer(&server);
   zombie_.cpu_on = false;  // the RPC daemon needs a CPU; one-sided does not
@@ -242,6 +245,53 @@ TEST_F(RdmaTest, RpcUnknownMethod) {
 TEST_F(RdmaTest, RpcNoServer) {
   RpcRouter router(&verbs_);
   EXPECT_EQ(router.Call(user_id_, zombie_id_, "x", {}).code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(RdmaTest, RpcCallIntoReusesResponseBuffer) {
+  RpcServer server(&verbs_, zombie_id_);
+  server.RegisterMethod("echo", [](const Payload& req, PayloadWriter& out) -> Status {
+    out.PutRaw(req);
+    return Status::Ok();
+  });
+  RpcRouter router(&verbs_);
+  router.AddServer(&server);
+
+  Payload request;
+  PayloadWriter w(&request);
+  w.PutU64(7);
+  Payload response;
+  ASSERT_TRUE(router.CallInto(user_id_, zombie_id_, "echo", request, response).ok());
+  EXPECT_EQ(response, request);
+  const auto capacity = response.capacity();
+  // A second same-sized call must not grow the client's poll slot: the
+  // response bytes land in the existing storage (steady-state reuse).
+  ASSERT_TRUE(router.CallInto(user_id_, zombie_id_, "echo", request, response).ok());
+  EXPECT_EQ(response, request);
+  EXPECT_EQ(response.capacity(), capacity);
+  EXPECT_EQ(server.dispatched(), 2u);
+}
+
+TEST_F(RdmaTest, RpcResponseRingSlotsStayValidAcrossDispatches) {
+  RpcServer server(&verbs_, zombie_id_);
+  server.RegisterMethod("echo", [](const Payload& req, PayloadWriter& out) -> Status {
+    out.PutRaw(req);
+    return Status::Ok();
+  });
+  Payload first_request;
+  PayloadWriter w(&first_request);
+  w.PutU32(11);
+  auto first = server.Dispatch("echo", first_request);
+  ASSERT_TRUE(first.ok());
+  const Payload* first_slot = first.value();
+  // The next kRingSlots - 1 dispatches recycle *other* slots, so the first
+  // response stays readable (the daemon's in-flight window).
+  for (std::size_t i = 0; i + 1 < RpcServer::kRingSlots; ++i) {
+    Payload request;
+    PayloadWriter wr(&request);
+    wr.PutU32(static_cast<std::uint32_t>(i));
+    ASSERT_TRUE(server.Dispatch("echo", request).ok());
+  }
+  EXPECT_EQ(*first_slot, first_request);
 }
 
 TEST(PayloadCodec, RoundTripsAllTypes) {

@@ -62,6 +62,35 @@ TEST(TraceIo, RejectsWrongFieldCount) {
   EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
 }
 
+// The from_chars parser must reject every malformed-field shape the old
+// stringstream/stoull path (or a lenient parser) could let through.
+TEST(TraceIo, RejectsMalformedLines) {
+  const char* bad_lines[] = {
+      "1,0,100,0.25,0.5",            // too few fields
+      "1,0,100,0.25,0.5,0.4,9",      // too many fields
+      "1,,100,0.25,0.5,0.4",         // empty field
+      "1,0,100,0.25,0.5,0.4x",       // trailing junk after a number
+      "1, 0,100,0.25,0.5,0.4",       // leading space (stoll accepted this)
+      "0x1,0,100,0.25,0.5,0.4",      // hex id
+      "1,0,100,0.25,nan_or_not,0.4", // non-numeric double
+      ",0,100,0.25,0.5,0.4",         // empty id
+      "1,0,100,0.5,nan,0.4",         // NaN parses but must be rejected
+      "1,0,100,inf,0.5,0.4",         // likewise infinity
+  };
+  int index = 0;
+  for (const char* bad : bad_lines) {
+    std::stringstream buffer;
+    buffer << kTraceCsvHeader << "\n" << bad << "\n";
+    auto loaded = ReadTraceCsv(buffer, 10);
+    ASSERT_FALSE(loaded.ok()) << "case " << index << ": " << bad;
+    EXPECT_EQ(loaded.code(), ErrorCode::kInvalidArgument) << bad;
+    EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+        << "case " << index << " should name the offending line: "
+        << loaded.status().ToString();
+    ++index;
+  }
+}
+
 TEST(TraceIo, RejectsOutOfRangeFields) {
   std::stringstream buffer;
   buffer << kTraceCsvHeader << "\n";

@@ -2,6 +2,7 @@
 // and the workload runner's penalty measurements.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "src/hv/backend.h"
@@ -79,6 +80,37 @@ TEST(AccessPattern, ZipfSkewsTowardHotSet) {
   }
   // A strongly skewed stream touches far fewer distinct pages than uniform.
   EXPECT_LT(counts.size(), 6000u);
+}
+
+// The zipf draw has two implementations: the precomputed rank-threshold
+// table (small footprints) and the direct pow expression (large footprints).
+// Replaying the generator's exact draw sequence against the pow formula
+// checks that the table inversion is bit-identical, write flags included.
+TEST(AccessPattern, ZipfTablePathMatchesPowPath) {
+  constexpr std::uint64_t kFootprint = 4096;  // table path engaged
+  for (double theta : {0.5, 0.85, 0.9, 0.99}) {
+    PatternParams params;
+    params.zipf_weight = 1.0;
+    params.zipf_theta = theta;
+    params.write_ratio = 0.3;
+    AccessPattern pattern(kFootprint, params, 11);
+    Rng reference(11);  // replays the generator's draw order by hand
+    const double exponent = 1.0 / (1.0 - theta);
+    for (int i = 0; i < 200'000; ++i) {
+      const PageAccess got = pattern.Next();
+      const bool want_write = reference.NextBool(0.3);
+      const double selector = reference.NextDouble();
+      ASSERT_LT(selector, 1.0);  // zipf_weight == 1: always the zipf branch
+      const double z = reference.NextDouble();
+      auto rank = static_cast<std::uint64_t>(static_cast<double>(kFootprint) *
+                                             std::pow(z, exponent));
+      if (rank >= kFootprint) {
+        rank = kFootprint - 1;
+      }
+      ASSERT_EQ(got.page, (rank * 2654435761ULL) % kFootprint) << "theta=" << theta;
+      ASSERT_EQ(got.is_write, want_write);
+    }
+  }
 }
 
 TEST(AppModels, AllProfilesNamedAndSane) {

@@ -717,4 +717,16 @@ inline int RUN_ALL_TESTS() { return ::testing::RunAllTestsImpl(); }
 #define SUCCEED() static_cast<void>(0)
 #define GTEST_SKIP() return static_cast<void>(0)
 
+// SCOPED_TRACE: evaluates the message (so side effects and type checking
+// match real gtest) but does not thread it into failure output.
+#define MINIGTEST_CONCAT_INNER_(a, b) a##b
+#define MINIGTEST_CONCAT_(a, b) MINIGTEST_CONCAT_INNER_(a, b)
+#define SCOPED_TRACE(message)                                             \
+  const ::std::string MINIGTEST_CONCAT_(minigtest_scoped_trace_,          \
+                                        __LINE__) = [&] {                 \
+    ::std::ostringstream minigtest_trace_stream;                          \
+    minigtest_trace_stream << (message);                                  \
+    return minigtest_trace_stream.str();                                  \
+  }()
+
 #endif  // MINIGTEST_GTEST_GTEST_H_
