@@ -1,78 +1,8 @@
 // Ablation: the rack-uniform BUFF_SIZE granularity.
-//
-// The paper fixes a uniform remote-buffer size but leaves the value open.
-// The trade-off: small buffers spread an allocation across more hosts
-// (smaller blast radius on reclaim, more control-plane work and ownership
-// updates on migration); large buffers concentrate it.
-#include <cstdio>
-#include <vector>
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run ablation_buff_size`.
+#include "src/scenario/driver.h"
 
-#include "src/cloud/rack.h"
-#include "src/common/table.h"
-#include "src/migration/migration.h"
-
-using zombie::Bytes;
-using zombie::kGiB;
-using zombie::kMiB;
-using zombie::TextTable;
-
-int main() {
-  std::printf("== Ablation: BUFF_SIZE granularity ==\n\n");
-  std::printf("Scenario: two zombies lend ~14 GiB each; a user allocates 8 GiB and\n");
-  std::printf("later migrates the VM (56%% local).\n\n");
-
-  TextTable table({"BUFF_SIZE", "buffers/alloc", "hosts spanned", "reclaim blast (buffers)",
-                   "migration ownership cost (ms)"});
-  for (Bytes buff : std::vector<Bytes>{16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB}) {
-    zombie::cloud::RackConfig config;
-    config.buff_size = buff;
-    config.materialize_memory = false;
-    zombie::cloud::Rack rack(config);
-    auto profile = zombie::acpi::MachineProfile::HpCompaqElite8300();
-    auto& user = rack.AddServer("user", profile, {8, 16 * kGiB});
-    auto& z1 = rack.AddServer("z1", profile, {8, 16 * kGiB});
-    auto& z2 = rack.AddServer("z2", profile, {8, 16 * kGiB});
-    if (!rack.PushToZombie(z1.id()).ok() || !rack.PushToZombie(z2.id()).ok()) {
-      continue;
-    }
-    auto extent = rack.manager(user.id()).AllocExtension(8 * kGiB);
-    if (!extent.ok()) {
-      std::printf("  (BUFF_SIZE %llu MiB: allocation failed: %s)\n",
-                  static_cast<unsigned long long>(buff / kMiB),
-                  extent.status().ToString().c_str());
-      continue;
-    }
-    // Hosts spanned by the allocation.
-    std::size_t hosts = 0;
-    std::size_t z1_buffers = 0;
-    for (auto id : extent.value()->buffer_ids()) {
-      auto rec = rack.controller().db().Find(id);
-      if (rec.has_value() && rec->host == z1.id()) {
-        ++z1_buffers;
-      }
-    }
-    hosts = (z1_buffers > 0 ? 1 : 0) +
-            (z1_buffers < extent.value()->buffer_count() ? 1 : 0);
-
-    zombie::hv::VmSpec vm;
-    vm.reserved_memory = 8 * kGiB;
-    vm.working_set = 4 * kGiB;
-    const auto migration = zombie::migration::ZombieMigrate(
-        vm, 0.5, extent.value()->buffer_count());
-    const double ownership_ms =
-        static_cast<double>(extent.value()->buffer_count()) *
-        zombie::ToSeconds(zombie::migration::MigrationConfig{}.ownership_update_cost) * 1000;
-
-    table.AddRow({TextTable::Num(static_cast<double>(buff) / kMiB, 0) + " MiB",
-                  std::to_string(extent.value()->buffer_count()), std::to_string(hosts),
-                  std::to_string(z1_buffers),
-                  TextTable::Num(ownership_ms, 1)});
-    (void)migration;
-  }
-  table.Print();
-  std::printf(
-      "\nSmaller buffers spread the allocation and shrink the per-host reclaim\n"
-      "blast radius, at the price of more ownership updates during migration.\n"
-      "64 MiB (the library default) balances both.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ablation_buff_size", argc, argv);
 }

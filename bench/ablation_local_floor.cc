@@ -1,58 +1,8 @@
-// Ablation: the placement filter's local-memory floor (Section 5.1 settles
-// on 50%).  Lower floors pack denser (more energy saving potential) but
-// expose worst-case applications to the Table-1 cliff; higher floors are
-// safe but approach vanilla Nova's packing.
-#include <cstdio>
-#include <vector>
+// Ablation: the placement filter's local-memory floor.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run ablation_local_floor`.
+#include "src/scenario/driver.h"
 
-#include "bench/bench_util.h"
-#include "src/common/table.h"
-#include "src/workloads/app_models.h"
-#include "src/workloads/runner.h"
-
-using zombie::TextTable;
-using zombie::workloads::AllApps;
-using zombie::workloads::App;
-using zombie::workloads::AppName;
-using zombie::workloads::AppProfile;
-using zombie::workloads::PenaltyPercent;
-using zombie::workloads::ProfileFor;
-using zombie::workloads::WorkloadRunner;
-
-int main() {
-  std::printf("== Ablation: placement local-memory floor ==\n\n");
-  std::printf("Worst observed RAM-Ext penalty across the four workloads when the\n");
-  std::printf("filter admits hosts down to each floor:\n\n");
-
-  const std::vector<double> floors = {0.3, 0.4, 0.5, 0.6, 0.7};
-  TextTable table({"floor", "worst penalty", "worst app", "packing gain vs floor=1.0"});
-  for (double floor : floors) {
-    double worst = 0.0;
-    App worst_app = App::kMicro;
-    for (App app : AllApps()) {
-      AppProfile profile = ProfileFor(app);
-      profile.accesses = zombie::bench::SmokeIters(profile.accesses / 2);
-      WorkloadRunner runner;
-      const auto baseline = runner.RunLocalOnly(profile);
-      zombie::bench::Testbed testbed(profile.reserved_memory);
-      const double penalty =
-          PenaltyPercent(runner.RunRamExt(profile, floor, testbed.backend()), baseline);
-      if (penalty > worst) {
-        worst = penalty;
-        worst_app = app;
-      }
-    }
-    // Packing gain: with floor f, a host's RAM admits 1/f times the VMs
-    // (memory-bound rack), versus full-local placement.
-    const double gain = (1.0 / floor - 1.0) * 100.0;
-    table.AddRow({TextTable::Num(floor * 100, 0) + "%", TextTable::Penalty(worst),
-                  std::string(AppName(worst_app)), TextTable::Num(gain, 0) + "%"});
-  }
-  table.Print();
-
-  std::printf(
-      "\nThe 50%% floor is the knee: packing headroom of +100%% while the worst\n"
-      "case stays below ~10%% penalty.  At 40%% the worst-case app collapses\n"
-      "(the Table-1 cliff), which is exactly the paper's reasoning.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ablation_local_floor", argc, argv);
 }

@@ -1,47 +1,8 @@
-// Ablation: the Mixed policy's Clock-prefix depth x (the paper uses x=5).
-//
-// Small x: cheap victim selection but little scan resistance.  Large x:
-// approaches full Clock — better protection, rising cost per fault.
-#include <cstdio>
-#include <vector>
+// Ablation: the Mixed policy's Clock-prefix depth x.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run ablation_mixed_depth`.
+#include "src/scenario/driver.h"
 
-#include "bench/bench_util.h"
-#include "src/common/table.h"
-#include "src/hv/backend.h"
-#include "src/workloads/app_models.h"
-#include "src/workloads/runner.h"
-
-using zombie::TextTable;
-using zombie::workloads::AppProfile;
-using zombie::workloads::Fig8MicroProfile;
-using zombie::workloads::RunnerOptions;
-using zombie::workloads::WorkloadRunner;
-
-int main() {
-  std::printf("== Ablation: Mixed policy depth x (paper default: 5) ==\n\n");
-  std::printf("Workload: Fig. 8 micro-benchmark, 40%% local memory, remote RAM backend.\n\n");
-
-  AppProfile profile = Fig8MicroProfile();
-  profile.accesses = zombie::bench::SmokeIters(profile.accesses);
-  zombie::hv::DeviceBackend remote("remote-ram",
-                                   {2500 * zombie::kNanosecond, 2500 * zombie::kNanosecond});
-
-  TextTable table({"x", "exec (s)", "faults (k)", "policy cycles/fault"});
-  for (std::size_t depth : std::vector<std::size_t>{1, 2, 5, 16, 64, 256}) {
-    RunnerOptions options;
-    options.policy = zombie::hv::PolicyKind::kMixed;
-    options.mixed_depth = depth;
-    WorkloadRunner runner(options);
-    const auto run = runner.RunRamExt(profile, 0.4, &remote);
-    table.AddRow({std::to_string(depth), TextTable::Num(run.seconds(), 2),
-                  TextTable::Num(static_cast<double>(run.pager.faults) / 1000.0, 0),
-                  std::to_string(run.pager.PolicyCyclesPerFault())});
-  }
-  table.Print();
-
-  std::printf(
-      "\nThe sweet spot sits at small x: most of the scan resistance arrives by\n"
-      "x~5 while the per-fault cost keeps climbing with larger prefixes —\n"
-      "which is why the paper picked x=5.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ablation_mixed_depth", argc, argv);
 }

@@ -1,16 +1,16 @@
-// Shared helpers for the experiment harnesses: a one-user/one-zombie rack
-// with an allocated remote extent, mirroring the paper's 4-machine testbed.
+// Shared helpers for the standalone microbenchmark harnesses.
+//
+// The paper-figure experiments live in src/scenario/ (see `zombieland
+// list`); their smoke handling is ScenarioSpec::smoke_scale and their
+// testbed is src/scenario/testbed.h.  What remains here serves the
+// perf-trajectory binaries (micro_hotloop) that are not scenarios.
 #ifndef ZOMBIELAND_BENCH_BENCH_UTIL_H_
 #define ZOMBIELAND_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdlib>
-#include <memory>
 
-#include "src/cloud/rack.h"
-#include "src/hv/backend.h"
-#include "src/remotemem/memory_manager.h"
+#include "src/common/env.h"
 
 namespace zombie::bench {
 
@@ -18,60 +18,12 @@ namespace zombie::bench {
 // ZOMBIE_BENCH_SMOKE=1 so the harnesses stay executable without paying for
 // full-size experiments.  Benches shrink their access streams through
 // SmokeIters() when the variable is set.
-inline bool SmokeMode() {
-  const char* env = std::getenv("ZOMBIE_BENCH_SMOKE");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
-}
+inline bool SmokeMode() { return SmokeEnvEnabled(); }
 
 inline std::uint64_t SmokeIters(std::uint64_t full,
                                 std::uint64_t smoke_cap = 20'000) {
   return SmokeMode() ? std::min(full, smoke_cap) : full;
 }
-
-// The lab testbed of Section 6.1: four HP machines — global controller,
-// secondary controller, one user server, one zombie server — on an IB
-// switch.  Returns a rack with the zombie pushed to Sz and a RemoteBackend
-// over an extent of `remote_bytes` allocated to the user server.
-class Testbed {
- public:
-  explicit Testbed(Bytes remote_bytes, Bytes buff_size = 4 * kMiB) {
-    cloud::RackConfig config;
-    config.buff_size = buff_size;
-    config.materialize_memory = false;  // accounting-only: no GiB allocations
-    rack_ = std::make_unique<cloud::Rack>(config);
-    auto profile = acpi::MachineProfile::HpCompaqElite8300();
-    controller_host_ = rack_->AddServer("ctr", profile, {8, 16 * kGiB}).id();
-    secondary_host_ = rack_->AddServer("ctr2", profile, {8, 16 * kGiB}).id();
-    user_ = rack_->AddServer("user", profile, {8, 16 * kGiB}).id();
-    zombie_ = rack_->AddServer("zombie", profile, {8, 16 * kGiB}).id();
-    rack_->FindServer(controller_host_)->set_role(cloud::Role::kGlobalController);
-    rack_->FindServer(secondary_host_)->set_role(cloud::Role::kSecondaryController);
-    rack_->FindServer(user_)->set_role(cloud::Role::kUser);
-
-    auto pushed = rack_->PushToZombie(zombie_);
-    if (!pushed.ok()) {
-      std::abort();
-    }
-    auto extent = rack_->manager(user_).AllocExtension(remote_bytes);
-    if (!extent.ok()) {
-      std::abort();
-    }
-    backend_ = std::make_unique<hv::RemoteBackend>(extent.value());
-  }
-
-  cloud::Rack& rack() { return *rack_; }
-  hv::RemoteBackend* backend() { return backend_.get(); }
-  remotemem::ServerId user() const { return user_; }
-  remotemem::ServerId zombie() const { return zombie_; }
-
- private:
-  std::unique_ptr<cloud::Rack> rack_;
-  std::unique_ptr<hv::RemoteBackend> backend_;
-  remotemem::ServerId controller_host_ = 0;
-  remotemem::ServerId secondary_host_ = 0;
-  remotemem::ServerId user_ = 0;
-  remotemem::ServerId zombie_ = 0;
-};
 
 }  // namespace zombie::bench
 

@@ -1,55 +1,8 @@
 // Extension: facility-level savings including cooling (paper footnote 1).
-//
-// "The low energy consumption of a Zombie server translates into less
-// dissipated heat.  Thereby, the Zombie technology also decreases the energy
-// consumed by the datacenter cooling system."  This bench quantifies that
-// claim with a load-dependent partial-PUE model, and also reports the
-// consolidation cost metrics (wake-ups, delayed placements).
-#include <cstdio>
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run ext_cooling`.
+#include "src/scenario/driver.h"
 
-#include "src/acpi/energy_model.h"
-#include "src/common/table.h"
-#include "src/sim/cooling.h"
-#include "src/sim/dc_sim.h"
-#include "src/sim/trace.h"
-
-using zombie::TextTable;
-using zombie::acpi::MachineProfile;
-using zombie::sim::DcResult;
-using zombie::sim::GenerateTrace;
-using zombie::sim::PueAt;
-using zombie::sim::RunAllPolicies;
-using zombie::sim::Trace;
-using zombie::sim::TraceConfig;
-using zombie::sim::WithMemoryRatio;
-
-int main() {
-  std::printf("== Extension: cooling-inclusive facility savings (footnote 1) ==\n\n");
-  std::printf("Partial PUE model: %.2f at full IT load, %.2f near idle.\n\n", PueAt(1.0),
-              PueAt(0.0));
-
-  TraceConfig config;
-  config.seed = 2018;
-  config.servers = 200;
-  config.tasks = 4000;
-  config.horizon = 2 * zombie::kDay;
-  const Trace trace = WithMemoryRatio(GenerateTrace(config), 2.0);
-
-  const auto profile = MachineProfile::DellPrecisionT5810();
-  TextTable table({"policy", "IT saving", "facility saving", "wake-ups",
-                   "delayed placements"});
-  for (const DcResult& r : RunAllPolicies(trace, profile)) {
-    table.AddRow({std::string(PolicyName(r.policy)),
-                  TextTable::Num(r.saving_percent, 1) + "%",
-                  TextTable::Num(r.facility_saving_percent, 1) + "%",
-                  std::to_string(r.wakeups), std::to_string(r.delayed_placements)});
-  }
-  table.Print();
-
-  std::printf(
-      "\nFacility savings exceed IT savings: consolidated load runs the cooling\n"
-      "plant closer to its efficient point while zombies dissipate almost no\n"
-      "heat — the footnote-1 effect.  Wake-ups and delayed placements are the\n"
-      "price consolidation pays on arrival bursts.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ext_cooling", argc, argv);
 }

@@ -1,40 +1,8 @@
-// Figure 1: energy consumption vs. server utilisation — the actual server
-// power curve against the ideal energy-proportional line, with the sleep
-// state floors (S0idle, S3, S4, S5) the paper annotates.
-#include <cstdio>
+// Figure 1: energy consumption vs. server utilisation.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run fig01`.
+#include "src/scenario/driver.h"
 
-#include "src/acpi/energy_model.h"
-#include "src/common/table.h"
-
-using zombie::TextTable;
-using zombie::acpi::EnergyProportionality;
-using zombie::acpi::MachineProfile;
-using zombie::acpi::SleepState;
-
-int main() {
-  std::printf("== Figure 1: energy vs. utilisation (percent of max power) ==\n\n");
-  const MachineProfile hp = MachineProfile::HpCompaqElite8300();
-
-  TextTable table({"util %", "actual %", "ideal %"});
-  for (int u = 0; u <= 100; u += 10) {
-    const double util = u / 100.0;
-    table.AddRow({TextTable::Num(u, 0),
-                  TextTable::Num(EnergyProportionality::ActualPercent(hp, util), 1),
-                  TextTable::Num(EnergyProportionality::IdealPercent(util), 1)});
-  }
-  table.Print();
-
-  std::printf("\nSleep-state floors (machine: %s):\n", hp.name().c_str());
-  TextTable floors({"state", "power %"});
-  floors.AddRow({"S0 idle", TextTable::Num(hp.S0Percent(0.0), 1)});
-  floors.AddRow({"S3", TextTable::Num(hp.SleepPercent(SleepState::kS3), 1)});
-  floors.AddRow({"S4", TextTable::Num(hp.SleepPercent(SleepState::kS4), 1)});
-  floors.AddRow({"S5", TextTable::Num(hp.SleepPercent(SleepState::kS5), 1)});
-  floors.AddRow({"Sz (zombie)", TextTable::Num(hp.SzPercent(), 1)});
-  floors.Print();
-
-  std::printf(
-      "\nPaper shape: the solid line idles near ~50%% of peak power (poor energy\n"
-      "proportionality); sleep states sit near the x-axis.  Reproduced above.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("fig01", argc, argv);
 }

@@ -1,68 +1,8 @@
-// Figure 2: the memory (GiB) : CPU (GHz) ratio of AWS m<n>.<size> instances
-// over a decade.  The paper's point: memory demand grew roughly 2x faster
-// than CPU demand.
-//
-// The dataset below is an approximation assembled from public instance-type
-// specifications (generation launch year, memory, vCPU count x clock); the
-// exact figure depends on ECU accounting, so what must be preserved — and
-// is — is the upward trend with roughly a 2x ratio growth over the decade.
-#include <cstdio>
-#include <map>
-#include <vector>
+// Figure 2: the memory:CPU ratio of AWS m-family instances over a decade.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run fig02`.
+#include "src/scenario/driver.h"
 
-#include "src/common/table.h"
-
-namespace {
-
-struct Instance {
-  const char* name;
-  int year;
-  double memory_gib;
-  double cpu_ghz;  // vCPUs x sustained clock (ECU-normalised)
-};
-
-const std::vector<Instance>& Dataset() {
-  static const std::vector<Instance> data = {
-      {"m1.small", 2006, 1.7, 1.0},    {"m1.large", 2006, 7.5, 4.0},
-      {"m1.xlarge", 2007, 15.0, 8.0},  {"m1.small", 2008, 1.7, 1.0},
-      {"m2.xlarge", 2009, 17.1, 6.5},  {"m2.2xlarge", 2010, 34.2, 13.0},
-      {"m1.medium", 2012, 3.75, 2.0},  {"m3.xlarge", 2012, 15.0, 6.5},
-      {"m3.2xlarge", 2013, 30.0, 13.0}, {"m3.medium", 2014, 3.75, 1.5},
-      {"m4.xlarge", 2015, 16.0, 4.8},  {"m4.2xlarge", 2015, 32.0, 9.6},
-      {"m4.10xlarge", 2016, 160.0, 48.0},
-  };
-  return data;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("== Figure 2: AWS m-family memory:CPU ratio, 2006-2016 ==\n\n");
-
-  std::map<int, std::pair<double, int>> per_year;  // year -> (ratio sum, n)
-  zombie::TextTable table({"year", "instance", "GiB", "GHz", "ratio"});
-  for (const auto& inst : Dataset()) {
-    const double ratio = inst.memory_gib / inst.cpu_ghz;
-    table.AddRow({std::to_string(inst.year), inst.name, zombie::TextTable::Num(inst.memory_gib, 1),
-                  zombie::TextTable::Num(inst.cpu_ghz, 1), zombie::TextTable::Num(ratio, 2)});
-    per_year[inst.year].first += ratio;
-    per_year[inst.year].second += 1;
-  }
-  table.Print();
-
-  std::printf("\nPer-year mean ratio (the Fig. 2 series):\n");
-  zombie::TextTable series({"year", "mem:cpu ratio"});
-  double first = 0.0;
-  double last = 0.0;
-  for (const auto& [year, acc] : per_year) {
-    const double mean = acc.first / acc.second;
-    if (first == 0.0) {
-      first = mean;
-    }
-    last = mean;
-    series.AddRow({std::to_string(year), zombie::TextTable::Num(mean, 2)});
-  }
-  series.Print();
-  std::printf("\nTrend: ratio grew %.1fx over the decade (paper: ~2x).\n", last / first);
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("fig02", argc, argv);
 }

@@ -1,44 +1,8 @@
-// Figure 3: normalised memory:CPU *capacity* ratio across server
-// generations — the supply side of the memory capacity wall.
-//
-// The paper cites the ITRS pin-count projection (near-constant channels per
-// socket), slowing DIMM density growth (2x every three years instead of
-// two), declining DIMMs per channel, and core counts doubling every two
-// years, concluding memory capacity per core drops ~30% every two years.
-// This bench derives the Fig. 3 series from exactly those growth laws.
-#include <cmath>
-#include <cstdio>
+// Figure 3: normalised memory:CPU capacity ratio across server generations.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run fig03`.
+#include "src/scenario/driver.h"
 
-#include "src/common/table.h"
-
-int main() {
-  std::printf("== Figure 3: normalised memory:CPU capacity ratio per generation ==\n\n");
-
-  zombie::TextTable table({"year", "cores/socket", "GiB/socket", "ratio (norm.)"});
-  const int base_year = 2005;
-  double first_ratio = 0.0;
-  for (int year = base_year; year <= 2013; ++year) {
-    const double years = year - base_year;
-    // Cores double every two years.
-    const double cores = 2.0 * std::pow(2.0, years / 2.0);
-    // Memory per socket: DIMM density 2x every three years, channel count
-    // flat, DIMMs per channel slowly declining (-8%/year).
-    const double memory =
-        16.0 * std::pow(2.0, years / 3.0) * std::pow(0.92, years);
-    const double ratio = memory / cores;
-    if (first_ratio == 0.0) {
-      first_ratio = ratio;
-    }
-    table.AddRow({std::to_string(year), zombie::TextTable::Num(cores, 1),
-                  zombie::TextTable::Num(memory, 1),
-                  zombie::TextTable::Num(ratio / first_ratio, 2)});
-  }
-  table.Print();
-
-  // The headline claim: ~30% drop every two years.
-  const double two_year_factor =
-      (std::pow(2.0, 2.0 / 3.0) * std::pow(0.92, 2.0)) / 2.0;
-  std::printf("\nDerived per-2-year capacity-per-core factor: %.2f (paper: ~0.70)\n",
-              two_year_factor);
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("fig03", argc, argv);
 }

@@ -1,49 +1,8 @@
-// Figure 4: rack energy (units of Emax) for the four architectures —
-// server-centric, ideal disaggregation, micro-servers, zombie servers —
-// under the paper's illustrative 3-server demand profile.
-#include <cstdio>
+// Figure 4: rack energy for the four architectures.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run fig04`.
+#include "src/scenario/driver.h"
 
-#include "src/cloud/rack_energy.h"
-#include "src/common/table.h"
-
-using zombie::TextTable;
-using zombie::cloud::Architecture;
-using zombie::cloud::Figure4Demand;
-using zombie::cloud::RackEnergy;
-
-int main() {
-  std::printf("== Figure 4: rack energy by architecture (units of Emax) ==\n\n");
-  const auto demand = Figure4Demand();
-
-  std::printf("Demand profile (3 servers):\n");
-  TextTable profile({"server", "cpu", "memory"});
-  for (std::size_t i = 0; i < demand.size(); ++i) {
-    profile.AddRow({std::to_string(i + 1), TextTable::Num(demand[i].cpu, 2),
-                    TextTable::Num(demand[i].memory, 2)});
-  }
-  profile.Print();
-
-  struct Row {
-    Architecture arch;
-    double paper;
-  };
-  const Row rows[] = {
-      {Architecture::kServerCentric, 2.10},
-      {Architecture::kIdealDisaggregated, 1.15},
-      {Architecture::kMicroServers, 1.80},
-      {Architecture::kZombie, 1.20},
-  };
-
-  std::printf("\n");
-  TextTable table({"architecture", "measured (Emax)", "paper (Emax)"});
-  for (const auto& row : rows) {
-    table.AddRow({std::string(ArchitectureName(row.arch)),
-                  TextTable::Num(RackEnergy(row.arch, demand), 2),
-                  TextTable::Num(row.paper, 2)});
-  }
-  table.Print();
-  std::printf(
-      "\nShape check: server-centric > micro-servers > zombie >= ideal, with the\n"
-      "zombie design within a few percent of ideal board-level disaggregation.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("fig04", argc, argv);
 }

@@ -1,96 +1,8 @@
-// Figure 8: the three RAM-Ext replacement policies (FIFO, Clock, Mixed) on
-// the micro-benchmark, sweeping the fraction of the VM's reserved memory
-// kept in local RAM.  Three series, as in the paper:
-//   (top)    execution time,
-//   (middle) number of page faults caused by the policy,
-//   (bottom) time taken by the policy inside the fault handler (CPU cycles).
-#include <cstdio>
-#include <map>
-#include <vector>
+// Figure 8: FIFO vs Clock vs Mixed replacement policies (RAM Ext).
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run fig08`.
+#include "src/scenario/driver.h"
 
-#include "bench/bench_util.h"
-#include "src/common/table.h"
-#include "src/workloads/app_models.h"
-#include "src/workloads/runner.h"
-
-using zombie::TextTable;
-using zombie::hv::PolicyKind;
-using zombie::workloads::AppProfile;
-using zombie::workloads::Fig8MicroProfile;
-using zombie::workloads::RunnerOptions;
-using zombie::workloads::RunResult;
-using zombie::workloads::WorkloadRunner;
-
-int main() {
-  std::printf("== Figure 8: FIFO vs Clock vs Mixed (micro-benchmark, RAM Ext) ==\n\n");
-
-  AppProfile profile = Fig8MicroProfile();
-  profile.accesses = zombie::bench::SmokeIters(profile.accesses);
-  const std::vector<int> locals = {20, 40, 60, 80, 100};
-  const std::vector<PolicyKind> policies = {PolicyKind::kFifo, PolicyKind::kClock,
-                                            PolicyKind::kMixed};
-
-  std::map<PolicyKind, std::map<int, RunResult>> results;
-  for (PolicyKind policy : policies) {
-    for (int local : locals) {
-      zombie::bench::Testbed testbed(profile.reserved_memory);
-      RunnerOptions options;
-      options.policy = policy;
-      WorkloadRunner runner(options);
-      results[policy][local] = runner.RunRamExt(profile, local / 100.0, testbed.backend());
-    }
-  }
-
-  std::printf("(top) Execution time, seconds of simulated time:\n");
-  TextTable top({"% local", "FIFO", "Clock", "Mixed"});
-  for (int local : locals) {
-    top.AddRow({std::to_string(local),
-                TextTable::Num(results[PolicyKind::kFifo][local].seconds(), 2),
-                TextTable::Num(results[PolicyKind::kClock][local].seconds(), 2),
-                TextTable::Num(results[PolicyKind::kMixed][local].seconds(), 2)});
-  }
-  top.Print();
-
-  std::printf("\n(middle) Page faults (thousands):\n");
-  TextTable mid({"% local", "FIFO", "Clock", "Mixed"});
-  for (int local : locals) {
-    auto faults = [&](PolicyKind p) {
-      return TextTable::Num(
-          static_cast<double>(results[p][local].pager.faults) / 1000.0, 1);
-    };
-    mid.AddRow({std::to_string(local), faults(PolicyKind::kFifo), faults(PolicyKind::kClock),
-                faults(PolicyKind::kMixed)});
-  }
-  mid.Print();
-
-  std::printf("\n(bottom) Policy time per page fault (CPU cycles):\n");
-  TextTable bottom({"% local", "FIFO", "Clock", "Mixed"});
-  for (int local : locals) {
-    auto cycles = [&](PolicyKind p) {
-      return std::to_string(results[p][local].pager.PolicyCyclesPerFault());
-    };
-    bottom.AddRow({std::to_string(local), cycles(PolicyKind::kFifo),
-                   cycles(PolicyKind::kClock), cycles(PolicyKind::kMixed)});
-  }
-  bottom.Print();
-
-  // The paper's headline: Mixed outperforms FIFO by up to 30% and Clock by
-  // up to 36%.
-  double best_vs_fifo = 0.0;
-  double best_vs_clock = 0.0;
-  for (int local : locals) {
-    const double mixed = results[PolicyKind::kMixed][local].seconds();
-    if (mixed <= 0.0) {
-      continue;
-    }
-    const double fifo = results[PolicyKind::kFifo][local].seconds();
-    const double clock = results[PolicyKind::kClock][local].seconds();
-    best_vs_fifo = std::max(best_vs_fifo, 100.0 * (fifo - mixed) / fifo);
-    best_vs_clock = std::max(best_vs_clock, 100.0 * (clock - mixed) / clock);
-  }
-  std::printf(
-      "\nMixed beats FIFO by up to %.0f%% and Clock by up to %.0f%% "
-      "(paper: 30%% / 36%%).\n",
-      best_vs_fifo, best_vs_clock);
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("fig08", argc, argv);
 }

@@ -1,48 +1,8 @@
-// Figure 9: migration time vs working-set size — vanilla pre-copy live
-// migration against the ZombieStack protocol (stop-and-copy of the local hot
-// part plus remote ownership-pointer updates).
-#include <cstdio>
-#include <vector>
+// Figure 9: migration time vs WSS (native pre-copy vs ZombieStack).
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run fig09`.
+#include "src/scenario/driver.h"
 
-#include "src/common/table.h"
-#include "src/migration/migration.h"
-
-using zombie::TextTable;
-using zombie::hv::VmSpec;
-using zombie::migration::MigrationEstimate;
-using zombie::migration::PreCopyMigrate;
-using zombie::migration::ZombieMigrate;
-
-int main() {
-  std::printf("== Figure 9: migration time vs WSS (native pre-copy vs ZombieStack) ==\n\n");
-
-  const zombie::Bytes reserved = 7 * zombie::kGiB;  // the Section 6.2 VM
-  const std::vector<int> wss_ratios = {20, 40, 60, 80};
-
-  TextTable table({"WSS ratio %", "native (s)", "zombiestack (s)", "native bytes (GiB)",
-                   "zombie bytes (GiB)"});
-  for (int ratio : wss_ratios) {
-    VmSpec vm;
-    vm.id = 1;
-    vm.reserved_memory = reserved;
-    vm.working_set = static_cast<zombie::Bytes>(ratio / 100.0 * static_cast<double>(reserved));
-    const MigrationEstimate native = PreCopyMigrate(vm);
-    // ZombieStack keeps ~50% of reserved memory local; remote memory spans
-    // the remaining buffers (64 MiB each).
-    const std::size_t buffers =
-        static_cast<std::size_t>((vm.reserved_memory / 2) / (64 * zombie::kMiB));
-    const MigrationEstimate zombie = ZombieMigrate(vm, 0.5, buffers);
-    table.AddRow({std::to_string(ratio), TextTable::Num(native.seconds(), 2),
-                  TextTable::Num(zombie.seconds(), 2),
-                  TextTable::Num(static_cast<double>(native.bytes_moved) / zombie::kGiB, 2),
-                  TextTable::Num(static_cast<double>(zombie.bytes_moved) / zombie::kGiB, 2)});
-  }
-  table.Print();
-
-  std::printf(
-      "\nShape (paper): native time is nearly flat in WSS (fixed pre-copy\n"
-      "iterations over the full VM memory); ZombieStack transfers only the local\n"
-      "hot part, so it grows with WSS but stays well below native, especially at\n"
-      "low WSS.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("fig09", argc, argv);
 }

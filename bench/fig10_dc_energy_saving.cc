@@ -1,76 +1,8 @@
-// Figure 10: datacenter energy saving of Neat, Oasis and ZombieStack versus
-// a no-consolidation baseline, on both machine profiles (HP, Dell), with the
-// original trace shape (top) and the modified traces where memory demand is
-// twice the CPU demand (bottom).
-#include <cstdio>
-#include <vector>
+// Figure 10: datacenter energy saving vs a no-consolidation baseline.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run fig10`.
+#include "src/scenario/driver.h"
 
-#include "src/acpi/energy_model.h"
-#include "src/common/table.h"
-#include "src/sim/dc_sim.h"
-#include "src/sim/trace.h"
-
-using zombie::TextTable;
-using zombie::acpi::MachineProfile;
-using zombie::sim::DcConfig;
-using zombie::sim::DcResult;
-using zombie::sim::GenerateTrace;
-using zombie::sim::Policy;
-using zombie::sim::RunAllPolicies;
-using zombie::sim::Trace;
-using zombie::sim::TraceConfig;
-using zombie::sim::WithMemoryRatio;
-
-namespace {
-
-void PrintComparison(const char* title, const Trace& trace) {
-  std::printf("%s\n", title);
-  TextTable table({"machine", "Neat", "Oasis", "ZombieStack"});
-  for (const auto& profile :
-       {MachineProfile::HpCompaqElite8300(), MachineProfile::DellPrecisionT5810()}) {
-    const std::vector<DcResult> results = RunAllPolicies(trace, profile);
-    table.AddRow({profile.name(), TextTable::Num(results[1].saving_percent, 0) + "%",
-                  TextTable::Num(results[2].saving_percent, 0) + "%",
-                  TextTable::Num(results[3].saving_percent, 0) + "%"});
-  }
-  table.Print();
-}
-
-}  // namespace
-
-int main() {
-  std::printf("== Figure 10: %% energy saving vs no-consolidation baseline ==\n\n");
-
-  TraceConfig config;
-  config.seed = 2018;
-  config.servers = 200;
-  config.tasks = 4000;
-  config.horizon = 2 * zombie::kDay;
-  config.target_cpu_load = 0.35;
-  const Trace original = GenerateTrace(config);
-  const Trace modified = WithMemoryRatio(original, 2.0);
-
-  PrintComparison("(top) Original trace shape:", original);
-  std::printf("\n");
-  PrintComparison("(bottom) Modified traces (memory demand = 2x CPU demand):", modified);
-
-  std::printf(
-      "\nPaper: (top) Neat 36/36, Oasis 40/40, ZombieStack 54/56;\n"
-      "       (bottom) Neat 36/36, Oasis 42/42, ZombieStack 65/67.\n"
-      "Shape: ZombieStack > Oasis > Neat, with the gap widening on the\n"
-      "memory-heavy traces (ZombieStack up to ~86%% better than Neat).\n");
-
-  // The headline relative improvements of the abstract.
-  const auto results = RunAllPolicies(modified, MachineProfile::DellPrecisionT5810());
-  const double vs_neat =
-      100.0 * (results[3].saving_percent - results[1].saving_percent) /
-      results[1].saving_percent;
-  const double vs_oasis =
-      100.0 * (results[3].saving_percent - results[2].saving_percent) /
-      results[2].saving_percent;
-  std::printf(
-      "\nMeasured (Dell, modified traces): ZombieStack saves %.0f%%; relative\n"
-      "improvement %.0f%% over Neat (paper ~86%%) and %.0f%% over Oasis (paper ~59%%).\n",
-      results[3].saving_percent, vs_neat, vs_oasis);
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("fig10", argc, argv);
 }

@@ -1,55 +1,8 @@
-// Table 1: performance penalty when a proportion of the VM's reserved
-// memory is provided by a remote server (RAM Ext, Mixed policy), for the
-// micro-benchmark and the three macro-benchmarks.
-#include <cstdio>
-#include <vector>
+// Table 1: RAM-Ext penalty vs % of reserved memory kept local.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run table1`.
+#include "src/scenario/driver.h"
 
-#include "bench/bench_util.h"
-#include "src/common/table.h"
-#include "src/workloads/app_models.h"
-#include "src/workloads/runner.h"
-
-using zombie::TextTable;
-using zombie::workloads::AllApps;
-using zombie::workloads::App;
-using zombie::workloads::AppName;
-using zombie::workloads::AppProfile;
-using zombie::workloads::PenaltyPercent;
-using zombie::workloads::ProfileFor;
-using zombie::workloads::RunResult;
-using zombie::workloads::WorkloadRunner;
-
-int main() {
-  std::printf("== Table 1: RAM-Ext penalty vs %% of reserved memory kept local ==\n\n");
-
-  const std::vector<int> locals = {20, 40, 50, 60, 80};
-  TextTable table({"% in local mem", "micro-bench.", "Elastic search", "Data caching",
-                   "Spark SQL"});
-
-  // Column-major runs: per app, baseline first, then the sweep.
-  std::vector<std::vector<std::string>> cells(locals.size());
-  for (App app : AllApps()) {
-    AppProfile profile = ProfileFor(app);
-    profile.accesses = zombie::bench::SmokeIters(profile.accesses);
-    WorkloadRunner runner;
-    const RunResult baseline = runner.RunLocalOnly(profile);
-    for (std::size_t i = 0; i < locals.size(); ++i) {
-      zombie::bench::Testbed testbed(profile.reserved_memory);
-      const RunResult run =
-          runner.RunRamExt(profile, locals[i] / 100.0, testbed.backend());
-      cells[i].push_back(TextTable::Penalty(PenaltyPercent(run, baseline)));
-    }
-  }
-  for (std::size_t i = 0; i < locals.size(); ++i) {
-    std::vector<std::string> row = {std::to_string(locals[i]) + "%"};
-    row.insert(row.end(), cells[i].begin(), cells[i].end());
-    table.AddRow(row);
-  }
-  table.Print();
-
-  std::printf(
-      "\nPaper row at 50%%: micro 8%%, Elasticsearch 4.2%%, Data caching 1.35%%,\n"
-      "Spark SQL 5.34%% — i.e. 50%% local memory is an acceptable compromise\n"
-      "(<8%% penalty) while 40%% and below explodes for the worst-case app.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("table1", argc, argv);
 }

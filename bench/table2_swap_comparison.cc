@@ -1,68 +1,8 @@
-// Table 2: RAM Ext (v1-RE) against Explicit SD over remote RAM (v2-ESD),
-// a local fast swap device (v2-LFSD, SSD) and a local slow swap device
-// (v2-LSSD, HDD), for all four workloads and five local-memory ratios.
-#include <cstdio>
-#include <vector>
+// Table 2: RAM Ext vs Explicit SD and local swap technologies.
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run table2`.
+#include "src/scenario/driver.h"
 
-#include "bench/bench_util.h"
-#include "src/common/table.h"
-#include "src/hv/backend.h"
-#include "src/workloads/app_models.h"
-#include "src/workloads/runner.h"
-
-using zombie::TextTable;
-using zombie::workloads::AllApps;
-using zombie::workloads::App;
-using zombie::workloads::AppName;
-using zombie::workloads::AppProfile;
-using zombie::workloads::PenaltyPercent;
-using zombie::workloads::ProfileFor;
-using zombie::workloads::RunResult;
-using zombie::workloads::WorkloadRunner;
-
-int main() {
-  std::printf("== Table 2: RAM Ext vs Explicit SD and local swap technologies ==\n");
-
-  const std::vector<int> locals = {20, 40, 50, 60, 80};
-  for (App app : AllApps()) {
-    AppProfile profile = ProfileFor(app);
-    profile.accesses = zombie::bench::SmokeIters(profile.accesses);
-    WorkloadRunner runner;
-    const RunResult baseline = runner.RunLocalOnly(profile);
-
-    std::printf("\n-- %s --\n", std::string(AppName(app)).c_str());
-    TextTable table({"% in local mem", "v1-RE", "v2-ESD", "v2-LFSD", "v2-LSSD"});
-    for (int local : locals) {
-      const double fraction = local / 100.0;
-
-      zombie::bench::Testbed re_bed(profile.reserved_memory);
-      const double re =
-          PenaltyPercent(runner.RunRamExt(profile, fraction, re_bed.backend()), baseline);
-
-      // Explicit SD over remote RAM: the swap device is a best-effort
-      // GS_alloc_swap extent on the zombie server.
-      zombie::bench::Testbed esd_bed(profile.reserved_memory);
-      const double esd = PenaltyPercent(
-          runner.RunExplicitSd(profile, fraction, esd_bed.backend()), baseline);
-
-      auto ssd = zombie::hv::MakeLocalSsdBackend();
-      const double lfsd =
-          PenaltyPercent(runner.RunExplicitSd(profile, fraction, ssd.get()), baseline);
-
-      auto hdd = zombie::hv::MakeLocalHddBackend();
-      const double lssd =
-          PenaltyPercent(runner.RunExplicitSd(profile, fraction, hdd.get()), baseline);
-
-      table.AddRow({std::to_string(local) + "%", TextTable::Penalty(re),
-                    TextTable::Penalty(esd), TextTable::Penalty(lfsd),
-                    TextTable::Penalty(lssd)});
-    }
-    table.Print();
-  }
-
-  std::printf(
-      "\nShape checks (paper): v1-RE < v2-ESD < v2-LFSD < v2-LSSD at every ratio;\n"
-      "remote RAM beats even a local SSD as swap; the worst-case app diverges\n"
-      "(inf) on disk-backed swap below 60%% local memory.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("table2", argc, argv);
 }

@@ -1,66 +1,8 @@
-// Section 6.4's traffic observation, quantified: "v2 generates much more
-// swap activities on the remote server than v1.  For instance, v2 generates
-// more than 122% traffic than v1 in the case of Elastic search.  This comes
-// from the fact that most applications and operating systems are configured
-// according to the RAM size they see at start time."
-//
-// This bench measures the remote traffic (pages moved to/from the zombie)
-// for RAM Ext (v1) and Explicit SD (v2) at the same local/remote split.
-#include <cstdio>
+// Section 6.4: remote swap traffic, RAM Ext (v1) vs Explicit SD (v2).
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run table2b`.
+#include "src/scenario/driver.h"
 
-#include "bench/bench_util.h"
-#include "src/common/table.h"
-#include "src/workloads/app_models.h"
-#include "src/workloads/runner.h"
-
-using zombie::TextTable;
-using zombie::workloads::AllApps;
-using zombie::workloads::App;
-using zombie::workloads::AppName;
-using zombie::workloads::AppProfile;
-using zombie::workloads::ProfileFor;
-using zombie::workloads::RunResult;
-using zombie::workloads::WorkloadRunner;
-
-namespace {
-
-std::uint64_t RemotePages(const RunResult& run) {
-  // Pages that crossed the fabric: reloads plus writebacks.
-  return run.pager.major_faults + run.pager.writebacks;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("== Section 6.4: remote swap traffic, RAM Ext (v1) vs Explicit SD (v2) ==\n\n");
-  std::printf("Both VMs run with 50%% of reserved memory local.\n\n");
-
-  TextTable table({"workload", "v1-RE pages", "v2-ESD pages", "extra traffic"});
-  for (App app : AllApps()) {
-    AppProfile profile = ProfileFor(app);
-    profile.accesses = zombie::bench::SmokeIters(profile.accesses);
-    WorkloadRunner runner;
-
-    zombie::bench::Testbed re_bed(profile.reserved_memory);
-    const RunResult re = runner.RunRamExt(profile, 0.5, re_bed.backend());
-
-    zombie::bench::Testbed esd_bed(profile.reserved_memory);
-    const RunResult esd = runner.RunExplicitSd(profile, 0.5, esd_bed.backend());
-
-    const auto v1 = RemotePages(re);
-    const auto v2 = RemotePages(esd);
-    const double extra =
-        v1 == 0 ? 0.0 : 100.0 * (static_cast<double>(v2) - static_cast<double>(v1)) /
-                            static_cast<double>(v1);
-    table.AddRow({std::string(AppName(app)), std::to_string(v1), std::to_string(v2),
-                  TextTable::Num(extra, 0) + "%"});
-  }
-  table.Print();
-
-  std::printf(
-      "\nPaper's observation: the Explicit-SD VM, tuned to the smaller RAM it\n"
-      "sees at boot, produces substantially more swap traffic (>122%% extra for\n"
-      "Elasticsearch) — the guest reserve plus proactive writeback behaviour\n"
-      "reproduces that amplification.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("table2b", argc, argv);
 }

@@ -1,64 +1,8 @@
-// Table 3: energy consumption of the two testbed machines in the seven
-// measured configurations (percent of each machine's maximum), plus the Sz
-// estimate computed with equation (1):
-//   E(Sz) = (E(S0WIBOn) - E(S0WIBOff)) + (E(S3WIB) - E(S3WOIB)) + E(S3WOIB)
-#include <cstdio>
-#include <vector>
+// Table 3: machine energy per configuration, with the Sz estimate of eq. (1).
+// Thin shim over the scenario registry: the experiment itself lives in
+// src/scenario/ and is also reachable as `zombieland run table3`.
+#include "src/scenario/driver.h"
 
-#include "src/acpi/energy_model.h"
-#include "src/acpi/machine.h"
-#include "src/acpi/power_meter.h"
-#include "src/common/table.h"
-
-using zombie::TextTable;
-using zombie::acpi::Machine;
-using zombie::acpi::MachineProfile;
-using zombie::acpi::MeasuredConfig;
-using zombie::acpi::MeasuredConfigName;
-using zombie::acpi::PowerMeter;
-using zombie::acpi::SleepState;
-
-int main() {
-  std::printf("== Table 3: machine energy per configuration (%% of max) ==\n\n");
-
-  const std::vector<MachineProfile> machines = {MachineProfile::HpCompaqElite8300(),
-                                                MachineProfile::DellPrecisionT5810()};
-
-  std::vector<std::string> header = {"machine"};
-  for (std::size_t c = 0; c < zombie::acpi::kMeasuredConfigCount; ++c) {
-    header.emplace_back(MeasuredConfigName(static_cast<MeasuredConfig>(c)));
-  }
-  header.emplace_back("Sz (eq.1)");
-  header.emplace_back("Sz (model)");
-
-  TextTable table(header);
-  for (const auto& m : machines) {
-    std::vector<std::string> row = {m.name()};
-    for (std::size_t c = 0; c < zombie::acpi::kMeasuredConfigCount; ++c) {
-      row.push_back(TextTable::Num(m.ConfigPercent(static_cast<MeasuredConfig>(c)), 2));
-    }
-    row.push_back(TextTable::Num(m.SzPercent(), 2));
-    row.push_back(TextTable::Num(m.SzModelPercent(), 2));
-    table.AddRow(row);
-  }
-  table.Print();
-
-  std::printf("\nPaper Sz estimates: HP 12.67%%, Dell 11.15%% — reproduced by eq. (1).\n");
-
-  // Cross-check with the simulated PowerSpy2: integrate a zombie machine
-  // for one hour and compare the average draw with the analytic estimate.
-  std::printf("\nPowerMeter cross-check (1h in Sz):\n");
-  TextTable meter_table({"machine", "avg draw %", "energy (Wh)"});
-  for (const auto& profile : machines) {
-    Machine machine(profile.name(), profile, /*sz_capable=*/true);
-    if (!machine.Suspend(SleepState::kSz).ok()) {
-      continue;
-    }
-    PowerMeter meter(&machine);
-    meter.Sample(zombie::kHour);
-    meter_table.AddRow({profile.name(), TextTable::Num(meter.average_percent(), 2),
-                        TextTable::Num(meter.energy_joules() / 3600.0, 1)});
-  }
-  meter_table.Print();
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("table3", argc, argv);
 }

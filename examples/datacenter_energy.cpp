@@ -1,51 +1,24 @@
 // Datacenter scenario: replay a synthetic cluster trace under all four
-// resource-management policies and report energy, suspensions and
-// migrations — a configurable, small-scale version of the Fig. 10 study.
+// resource-management policies — a configurable, small-scale version of the
+// Fig. 10 study.  Thin shim over the scenario registry (`zombieland run
+// ex_datacenter_energy --set servers=... --set tasks=... --set mem_ratio=...`).
 //
 // Run: ./datacenter_energy [servers] [tasks] [mem_to_cpu_ratio]
-#include <cstdio>
-#include <cstdlib>
+#include <string>
 
-#include "src/acpi/energy_model.h"
-#include "src/common/table.h"
-#include "src/sim/dc_sim.h"
-#include "src/sim/trace.h"
-
-using namespace zombie;       // NOLINT: example brevity
-using namespace zombie::sim;  // NOLINT
+#include "src/scenario/driver.h"
 
 int main(int argc, char** argv) {
-  TraceConfig config;
-  config.seed = 7;
-  config.servers = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 100;
-  config.tasks = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2000;
-  config.horizon = 1 * kDay;
-
-  std::printf("Datacenter energy study: %zu servers, %zu tasks, 1 simulated day\n\n",
-              config.servers, config.tasks);
-
-  Trace trace = GenerateTrace(config);
+  zombie::scenario::RunOptions options;
+  options.smoke = zombie::scenario::EnvSmokeMode();
+  if (argc > 1) {
+    options.params["servers"] = argv[1];
+  }
+  if (argc > 2) {
+    options.params["tasks"] = argv[2];
+  }
   if (argc > 3) {
-    trace = WithMemoryRatio(trace, std::atof(argv[3]));
-    std::printf("memory bookings pinned to %.1fx CPU bookings\n\n", std::atof(argv[3]));
+    options.params["mem_ratio"] = argv[3];
   }
-
-  const auto profile = acpi::MachineProfile::DellPrecisionT5810();
-  TextTable table({"policy", "energy (Emax*h)", "saving", "peak suspended", "migrations",
-                   "mean active", "mem servers"});
-  for (const DcResult& r : RunAllPolicies(trace, profile)) {
-    table.AddRow({std::string(PolicyName(r.policy)), TextTable::Num(r.energy_units, 1),
-                  TextTable::Num(r.saving_percent, 1) + "%",
-                  std::to_string(r.suspended_peak), std::to_string(r.migrations),
-                  TextTable::Num(r.mean_active_servers, 1),
-                  std::to_string(r.memory_servers_peak)});
-  }
-  table.Print();
-
-  std::printf(
-      "\nZombieStack packs more VMs per active server because a VM only needs a\n"
-      "fraction of its memory locally; drained servers keep serving their RAM\n"
-      "from the Sz state at ~11%% of max power.\n"
-      "\nTry: ./datacenter_energy 100 2000 2    (the paper's modified traces)\n");
-  return 0;
+  return zombie::scenario::RunAndPrint("ex_datacenter_energy", options);
 }

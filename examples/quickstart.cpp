@@ -1,94 +1,11 @@
 // Quickstart: the zombieland API end to end.
+// Thin shim over the scenario registry: the walkthrough itself lives in
+// src/scenario/catalog_examples.cc and is also reachable as
+// `zombieland run ex_quickstart`.
 //
-// Builds the paper's 4-machine rack (global controller, secondary, a user
-// server and a soon-to-be-zombie server), pushes a server into the Sz state
-// through the real OSPM path (Fig. 6), lends its memory to the rack pool,
-// allocates a RAM-Extension extent on the user server, moves real bytes over
-// the simulated RDMA fabric into the *suspended* host's DRAM, and finally
-// wakes the zombie, reclaiming its memory.
-//
-// Run: ./quickstart
-#include <cstdio>
-#include <vector>
+// Run: ./example_quickstart
+#include "src/scenario/driver.h"
 
-#include "src/cloud/rack.h"
-
-using namespace zombie;          // NOLINT: example brevity
-using namespace zombie::cloud;   // NOLINT
-
-int main() {
-  std::printf("zombieland quickstart\n=====================\n\n");
-
-  // 1. Assemble the rack.  materialize_memory=true so remote pages carry
-  //    real bytes we can verify.
-  RackConfig config;
-  config.buff_size = 64 * kMiB;
-  config.materialize_memory = true;
-  Rack rack(config);
-  auto profile = acpi::MachineProfile::HpCompaqElite8300();
-  Server& ctr = rack.AddServer("global-ctr", profile, {8, 16 * kGiB});
-  Server& ctr2 = rack.AddServer("secondary-ctr", profile, {8, 16 * kGiB});
-  Server& user = rack.AddServer("server-A", profile, {8, 16 * kGiB});
-  Server& zombie_box = rack.AddServer("server-C", profile, {8, 16 * kGiB});
-  ctr.set_role(Role::kGlobalController);
-  ctr2.set_role(Role::kSecondaryController);
-  user.set_role(Role::kUser);
-  std::printf("rack power now: %.1f W (all four servers idle in S0)\n",
-              rack.TotalPowerWatts());
-
-  // 2. Push server-C into the zombie state.  The OSPM pre-zombie hook makes
-  //    its remote-mem-mgr delegate ~90% of its free RAM to the pool before
-  //    the board's power rails drop.
-  if (auto st = rack.PushToZombie(zombie_box.id()); !st.ok()) {
-    std::printf("PushToZombie failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  std::printf("\nserver-C entered %s; suspend path taken:\n",
-              std::string(acpi::SleepStateName(zombie_box.machine().state())).c_str());
-  for (const auto& fn : zombie_box.machine().ospm().call_trace()) {
-    std::printf("  %s\n", fn.c_str());
-  }
-  std::printf("server-C lent %.1f GiB to the rack pool; draw fell to %.1f%% of max\n",
-              static_cast<double>(zombie_box.lent_memory()) / kGiB,
-              zombie_box.machine().PowerPercentNow());
-
-  // 3. Allocate a guaranteed RAM-Extension extent on the user server.
-  auto extent = rack.manager(user.id()).AllocExtension(1 * kGiB);
-  if (!extent.ok()) {
-    std::printf("AllocExtension failed: %s\n", extent.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("\nuser allocated %zu remote buffers (%.1f GiB)\n",
-              extent.value()->buffer_count(),
-              static_cast<double>(extent.value()->capacity()) / kGiB);
-
-  // 4. One-sided RDMA against the sleeping host: write a page, read it back.
-  std::vector<std::byte> page(kPageSize);
-  for (std::size_t i = 0; i < page.size(); ++i) {
-    page[i] = static_cast<std::byte>(i & 0xff);
-  }
-  auto wcost = extent.value()->WritePage(42, page);
-  std::vector<std::byte> readback(kPageSize);
-  auto rcost = extent.value()->ReadPage(42, readback);
-  if (!wcost.ok() || !rcost.ok() || readback != page) {
-    std::printf("remote page round-trip FAILED\n");
-    return 1;
-  }
-  std::printf("page 42 round-tripped through the zombie's DRAM "
-              "(write %.2f us, read %.2f us) -- its CPU never ran\n",
-              static_cast<double>(wcost.value()) / kMicrosecond,
-              static_cast<double>(rcost.value()) / kMicrosecond);
-
-  // 5. Wake the zombie; the controller reclaims its buffers and the user's
-  //    extent transparently falls back to the local backup mirror.
-  auto latency = rack.WakeServer(zombie_box.id());
-  std::printf("\nserver-C woke in %.1f s; page 42 now served from the local mirror: ",
-              latency.ok() ? ToSeconds(latency.value()) : -1.0);
-  auto after = extent.value()->ReadPage(42, readback);
-  std::printf("%s (%.0f us)\n", after.ok() && readback == page ? "intact" : "LOST",
-              after.ok() ? static_cast<double>(after.value()) / kMicrosecond : 0.0);
-
-  std::printf("\nrack power now: %.1f W\n", rack.TotalPowerWatts());
-  std::printf("\ndone.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ex_quickstart", argc, argv);
 }

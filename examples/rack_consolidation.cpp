@@ -1,103 +1,11 @@
-// Rack consolidation scenario: a six-server rack with a skewed VM load is
-// consolidated by the Neat planner in ZombieStack mode — underloaded hosts
-// drain, empty hosts enter Sz and lend their RAM, and the rack's power draw
-// drops while every byte of booked memory stays reachable.
+// Rack consolidation scenario with zombie servers.
+// Thin shim over the scenario registry: the walkthrough itself lives in
+// src/scenario/catalog_examples.cc and is also reachable as
+// `zombieland run ex_rack_consolidation`.
 //
-// Run: ./rack_consolidation
-#include <cstdio>
-#include <vector>
+// Run: ./example_rack_consolidation
+#include "src/scenario/driver.h"
 
-#include "src/cloud/consolidation.h"
-#include "src/cloud/placement.h"
-#include "src/cloud/rack.h"
-#include "src/common/table.h"
-
-using namespace zombie;         // NOLINT: example brevity
-using namespace zombie::cloud;  // NOLINT
-
-namespace {
-
-void PrintRack(Rack& rack, const char* title) {
-  std::printf("%s\n", title);
-  TextTable table({"server", "state", "VMs", "cpu util", "local mem GiB", "lent GiB",
-                   "draw %"});
-  for (const auto& server : rack.servers()) {
-    table.AddRow({server->hostname(),
-                  std::string(acpi::SleepStateName(server->machine().state())),
-                  std::to_string(server->vms().size()),
-                  TextTable::Num(server->CpuUtilization() * 100, 0) + "%",
-                  TextTable::Num(static_cast<double>(server->UsedLocalMemory()) / kGiB, 1),
-                  TextTable::Num(static_cast<double>(server->lent_memory()) / kGiB, 1),
-                  TextTable::Num(server->machine().PowerPercentNow(), 1)});
-  }
-  table.Print();
-  std::printf("rack draw: %.1f W\n\n", rack.TotalPowerWatts());
-}
-
-}  // namespace
-
-int main() {
-  std::printf("Rack consolidation with zombie servers\n");
-  std::printf("======================================\n\n");
-
-  Rack rack;
-  for (int i = 0; i < 6; ++i) {
-    rack.AddServer("node" + std::to_string(i + 1),
-                   acpi::MachineProfile::DellPrecisionT5810(), {8, 16 * kGiB});
-  }
-
-  // A skewed load: two busy hosts, two lightly-loaded stragglers.
-  auto make_vm = [](hv::VmId id, Bytes mem, std::uint32_t cpus) {
-    hv::VmSpec vm;
-    vm.id = id;
-    vm.name = "vm" + std::to_string(id);
-    vm.reserved_memory = mem;
-    vm.working_set = mem / 2;
-    vm.vcpus = cpus;
-    return vm;
-  };
-  rack.servers()[0]->HostVm(make_vm(1, 6 * kGiB, 6), 6 * kGiB);
-  rack.servers()[1]->HostVm(make_vm(2, 6 * kGiB, 5), 6 * kGiB);
-  rack.servers()[2]->HostVm(make_vm(3, 2 * kGiB, 1), 2 * kGiB);
-  rack.servers()[3]->HostVm(make_vm(4, 2 * kGiB, 1), 2 * kGiB);
-
-  PrintRack(rack, "Before consolidation:");
-
-  // Plan with the ZombieStack constraint: a migrated VM only needs 30% of
-  // its working set locally on the target.
-  NeatPlanner planner(
-      ConsolidationConfig{ConsolidationMode::kZombieStack, 0.20, 0.90, 0.30});
-  std::vector<Server*> hosts;
-  for (const auto& s : rack.servers()) {
-    hosts.push_back(s.get());
-  }
-  const ConsolidationPlan plan = planner.Plan(hosts);
-
-  std::printf("Consolidation plan: %zu migrations, %zu hosts to suspend\n",
-              plan.migrations.size(), plan.hosts_to_suspend.size());
-  for (const auto& move : plan.migrations) {
-    Server* from = rack.FindServer(move.from);
-    Server* to = rack.FindServer(move.to);
-    const hv::VmSpec vm = from->vms().at(move.vm);
-    std::printf("  migrate vm%llu: %s -> %s (local share: %.1f GiB of %.1f GiB)\n",
-                static_cast<unsigned long long>(move.vm), from->hostname().c_str(),
-                to->hostname().c_str(),
-                0.30 * static_cast<double>(vm.working_set) / kGiB,
-                static_cast<double>(vm.reserved_memory) / kGiB);
-    from->DropVm(move.vm);
-    to->HostVm(vm, static_cast<Bytes>(0.30 * static_cast<double>(vm.working_set)));
-  }
-  for (auto id : plan.hosts_to_suspend) {
-    auto status = rack.PushToZombie(id);
-    std::printf("  suspend %s to Sz: %s\n", rack.FindServer(id)->hostname().c_str(),
-                status.ToString().c_str());
-  }
-  std::printf("\n");
-
-  PrintRack(rack, "After consolidation:");
-
-  std::printf("Remote pool now holds %.1f GiB of zombie memory; the migrated VMs'\n"
-              "non-local pages are served from it over one-sided RDMA.\n",
-              static_cast<double>(rack.controller().FreeRemoteBytes()) / kGiB);
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ex_rack_consolidation", argc, argv);
 }

@@ -1,66 +1,11 @@
-// Explicit SD scenario: a VM gets a swap device backed by a zombie server's
-// RAM (the Infiniswap-style function of Section 4.5) and we compare it
-// against local SSD and HDD swap, running the Elasticsearch workload model
-// with 50% of its reserved memory as visible RAM.
+// Explicit SD scenario: remote-RAM swap vs local devices.
+// Thin shim over the scenario registry: the walkthrough itself lives in
+// src/scenario/catalog_examples.cc and is also reachable as
+// `zombieland run ex_remote_swap`.
 //
-// Run: ./remote_swap
-#include <cstdio>
+// Run: ./example_remote_swap
+#include "src/scenario/driver.h"
 
-#include "bench/bench_util.h"
-#include "src/common/table.h"
-#include "src/hv/backend.h"
-#include "src/workloads/app_models.h"
-#include "src/workloads/runner.h"
-
-using namespace zombie;             // NOLINT: example brevity
-using namespace zombie::workloads;  // NOLINT
-
-int main() {
-  std::printf("Explicit SD: remote-RAM swap vs local devices\n");
-  std::printf("=============================================\n\n");
-
-  const AppProfile profile = ElasticsearchProfile();
-  WorkloadRunner runner;
-  const RunResult baseline = runner.RunLocalOnly(profile);
-  std::printf("workload: %s, %.0f MiB reserved, WSS %.0f MiB, 50%% visible RAM\n",
-              std::string(AppName(profile.app)).c_str(),
-              static_cast<double>(profile.reserved_memory) / kMiB,
-              static_cast<double>(profile.working_set) / kMiB);
-  std::printf("baseline (all memory local): %.2f s simulated\n\n", baseline.seconds());
-
-  TextTable table({"swap device", "exec (s)", "penalty", "major faults", "writebacks"});
-
-  // Remote RAM served by a zombie server, allocated via GS_alloc_swap.
-  bench::Testbed testbed(profile.reserved_memory);
-  const RunResult remote = runner.RunExplicitSd(profile, 0.5, testbed.backend());
-  table.AddRow({"zombie remote RAM", TextTable::Num(remote.seconds(), 2),
-                TextTable::Penalty(PenaltyPercent(remote, baseline)),
-                std::to_string(remote.pager.major_faults),
-                std::to_string(remote.pager.writebacks)});
-
-  auto ssd = hv::MakeLocalSsdBackend();
-  const RunResult on_ssd = runner.RunExplicitSd(profile, 0.5, ssd.get());
-  table.AddRow({"local SSD", TextTable::Num(on_ssd.seconds(), 2),
-                TextTable::Penalty(PenaltyPercent(on_ssd, baseline)),
-                std::to_string(on_ssd.pager.major_faults),
-                std::to_string(on_ssd.pager.writebacks)});
-
-  auto hdd = hv::MakeLocalHddBackend();
-  const RunResult on_hdd = runner.RunExplicitSd(profile, 0.5, hdd.get());
-  table.AddRow({"local HDD", TextTable::Num(on_hdd.seconds(), 2),
-                TextTable::Penalty(PenaltyPercent(on_hdd, baseline)),
-                std::to_string(on_hdd.pager.major_faults),
-                std::to_string(on_hdd.pager.writebacks)});
-
-  table.Print();
-
-  // The RAM-Ext alternative for the same split, for contrast.
-  bench::Testbed re_bed(profile.reserved_memory);
-  const RunResult ram_ext = runner.RunRamExt(profile, 0.5, re_bed.backend());
-  std::printf(
-      "\nFor contrast, hypervisor-managed RAM Ext at the same 50%% split: %.2f s (%s)\n"
-      "-- transparent paging beats a guest-visible swap device because the guest\n"
-      "tunes itself down to the smaller RAM it sees (Section 6.4).\n",
-      ram_ext.seconds(), TextTable::Penalty(PenaltyPercent(ram_ext, baseline)).c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ex_remote_swap", argc, argv);
 }

@@ -1,65 +1,11 @@
-// Migration scenario: compare vanilla pre-copy live migration with the
-// ZombieStack protocol (Section 5.3) for a 7 GiB VM across a range of
-// working-set sizes and dirty rates, showing per-round transfer detail.
+// Migration scenario: vanilla pre-copy vs the ZombieStack protocol.
+// Thin shim over the scenario registry: the walkthrough itself lives in
+// src/scenario/catalog_examples.cc and is also reachable as
+// `zombieland run ex_vm_migration`.
 //
-// Run: ./vm_migration_demo
-#include <cstdio>
+// Run: ./example_vm_migration_demo
+#include "src/scenario/driver.h"
 
-#include "src/common/table.h"
-#include "src/migration/migration.h"
-
-using namespace zombie;             // NOLINT: example brevity
-using namespace zombie::migration;  // NOLINT
-
-int main() {
-  std::printf("VM migration: vanilla pre-copy vs ZombieStack\n");
-  std::printf("=============================================\n\n");
-
-  hv::VmSpec vm;
-  vm.id = 1;
-  vm.name = "demo-vm";
-  vm.reserved_memory = 7 * kGiB;
-  vm.working_set = 3 * kGiB;
-
-  // Round-by-round detail for the default dirty rate.
-  const MigrationEstimate native = PreCopyMigrate(vm);
-  std::printf("Pre-copy rounds (7 GiB VM, 3 GiB WSS):\n");
-  TextTable rounds({"round", "transferred (MiB)", "duration (s)"});
-  for (std::size_t i = 0; i < native.rounds.size(); ++i) {
-    const bool stop_and_copy = i + 1 == native.rounds.size();
-    rounds.AddRow({stop_and_copy ? "stop-and-copy" : std::to_string(i + 1),
-                   TextTable::Num(static_cast<double>(native.rounds[i].transferred) / kMiB, 0),
-                   TextTable::Num(ToSeconds(native.rounds[i].duration), 3)});
-  }
-  rounds.Print();
-  std::printf("total %.2f s, downtime %.0f ms, %.2f GiB moved\n\n", native.seconds(),
-              ToSeconds(native.downtime) * 1000,
-              static_cast<double>(native.bytes_moved) / kGiB);
-
-  const MigrationEstimate zombie = ZombieMigrate(vm, /*local_fraction=*/0.5,
-                                                 /*remote_buffers=*/56);
-  std::printf("ZombieStack: stop-and-copy of the hot local part only.\n");
-  std::printf("total %.2f s, downtime %.0f ms, %.2f GiB moved, 56 ownership updates\n\n",
-              zombie.seconds(), ToSeconds(zombie.downtime) * 1000,
-              static_cast<double>(zombie.bytes_moved) / kGiB);
-
-  // Sensitivity to the dirty rate: pre-copy degrades with write-heavy VMs,
-  // ZombieStack does not (the VM is stopped during its single copy).
-  std::printf("Sensitivity to the VM's dirty rate:\n");
-  TextTable sweep({"dirty WSS/s", "pre-copy (s)", "pre-copy downtime (ms)",
-                   "zombiestack (s)"});
-  for (double rate : {0.02, 0.08, 0.20, 0.40}) {
-    MigrationConfig config;
-    config.dirty_wss_fraction_per_sec = rate;
-    const auto pre = PreCopyMigrate(vm, config);
-    const auto zs = ZombieMigrate(vm, 0.5, 56, config);
-    sweep.AddRow({TextTable::Num(rate, 2), TextTable::Num(pre.seconds(), 2),
-                  TextTable::Num(ToSeconds(pre.downtime) * 1000, 0),
-                  TextTable::Num(zs.seconds(), 2)});
-  }
-  sweep.Print();
-  std::printf(
-      "\nThe remote cold pages never move: after the switch the destination host\n"
-      "addresses the same zombie buffers, only their ownership pointers change.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zombie::scenario::ScenarioShimMain("ex_vm_migration", argc, argv);
 }

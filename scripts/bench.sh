@@ -27,6 +27,12 @@ cmake --build build-bench -j "${jobs}" >/dev/null
 echo "==> micro_hotloop (full size) -> BENCH_hotloop.json"
 ./build-bench/micro_hotloop --json="${repo_root}/BENCH_hotloop.json"
 
+echo "==> scenario catalog (smoke) -> BENCH_scenarios.json"
+# One aggregate document with every registered scenario's structured report
+# (tables + headline metrics); the driver schema-validates each entry.
+./build-bench/zombieland run --all --smoke --format=json \
+  --out="${repo_root}/BENCH_scenarios.json"
+
 if [[ "${quick}" == "0" ]]; then
   echo "==> bench smoke pass (every paper-figure harness, tiny budgets)"
   ctest --test-dir build-bench -L bench_smoke --output-on-failure -j "${jobs}"
@@ -34,4 +40,4 @@ if [[ "${quick}" == "0" ]]; then
   ctest --test-dir build-bench -L perf_smoke --output-on-failure
 fi
 
-echo "==> bench.sh: done (see BENCH_hotloop.json)"
+echo "==> bench.sh: done (see BENCH_hotloop.json, BENCH_scenarios.json)"

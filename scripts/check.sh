@@ -17,12 +17,18 @@ if [[ "${1:-}" == "--fast" ]]; then
   fast=1
 fi
 
-echo "==> [1/3] tier-1: configure + build + ctest (build/)"
+echo "==> [1/4] tier-1: configure + build + ctest (build/)"
 cmake -B build -S .
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "==> [2/3] perf gate: micro_hotloop vs the checked-in floor"
+echo "==> [2/4] scenario gate: every registered scenario emits schema-valid JSON"
+# The driver validates each document against the report schema before
+# emitting it; a scenario that fails to run or emits bad JSON fails here.
+./build/zombieland run --all --smoke --format=json > /dev/null
+./build/zombieland list > /dev/null
+
+echo "==> [3/4] perf gate: micro_hotloop vs the checked-in floor"
 # Runs serially so the throughput measurement is not polluted by parallel
 # test load.  (Also part of stage 1; this re-run is the authoritative one.)
 ctest --test-dir build -L perf_smoke --output-on-failure
@@ -32,7 +38,7 @@ if [[ "${fast}" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [3/3] ASan/UBSan: configure + build + ctest (build-asan/)"
+echo "==> [4/4] ASan/UBSan: configure + build + ctest (build-asan/)"
 # perf_smoke is not registered under ZOMBIE_SANITIZE (instrumentation would
 # always trip the floor).
 cmake -B build-asan -S . -DZOMBIE_SANITIZE=ON

@@ -1,0 +1,551 @@
+#include "src/common/report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/table.h"
+
+namespace zombie::report {
+
+std::string_view FormatName(Format format) {
+  switch (format) {
+    case Format::kTable:
+      return "table";
+    case Format::kCsv:
+      return "csv";
+    case Format::kJson:
+      return "json";
+  }
+  return "unknown";
+}
+
+Result<Format> ParseFormat(std::string_view name) {
+  if (name == "table") {
+    return Format::kTable;
+  }
+  if (name == "csv") {
+    return Format::kCsv;
+  }
+  if (name == "json") {
+    return Format::kJson;
+  }
+  return Result<Format>(ErrorCode::kInvalidArgument,
+                        "unknown format '" + std::string(name) +
+                            "' (expected table, csv or json)");
+}
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+void Report::Text(std::string text) {
+  items_.push_back({Item::Kind::kText, texts_.size()});
+  texts_.push_back(std::move(text));
+}
+
+ReportTable& Report::AddTable(std::string id, std::string title,
+                              std::vector<std::string> columns) {
+  items_.push_back({Item::Kind::kTable, tables_.size()});
+  tables_.emplace_back(std::move(id), std::move(title), std::move(columns));
+  return tables_.back();
+}
+
+void Report::Metric(std::string key, double value) {
+  metrics_.emplace_back(std::move(key), value);
+}
+
+std::string Report::Render(Format format) const {
+  switch (format) {
+    case Format::kTable:
+      return RenderTableText();
+    case Format::kCsv:
+      return RenderCsv();
+    case Format::kJson:
+      return RenderJson();
+  }
+  return {};
+}
+
+std::string Report::RenderTableText() const {
+  std::string out;
+  for (const Item& item : items_) {
+    if (item.kind == Item::Kind::kText) {
+      out += texts_[item.index];
+      continue;
+    }
+    const ReportTable& table = tables_[item.index];
+    if (!table.title().empty()) {
+      out += table.title();
+      out += '\n';
+    }
+    TextTable text_table(table.columns());
+    for (const auto& row : table.rows()) {
+      text_table.AddRow(row);
+    }
+    out += text_table.Render();
+  }
+  return out;
+}
+
+namespace {
+
+std::string CsvCell(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos || cell.empty();
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvRow(std::string& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += CsvCell(cells[i]);
+  }
+  out += '\n';
+}
+
+// Trims whitespace; used for JSON notes and CSV comments.
+std::string Trimmed(const std::string& text) {
+  std::size_t begin = text.find_first_not_of(" \t\n\r");
+  if (begin == std::string::npos) {
+    return {};
+  }
+  std::size_t end = text.find_last_not_of(" \t\n\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::string SingleLine(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return text;
+}
+
+// JSON number: finite doubles as shortest round-trippable decimal,
+// non-finite as null (JSON has no inf/nan).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%.10g", v);
+  double parsed = 0.0;
+  if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+    return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Report::RenderCsv() const {
+  std::string out = "# scenario: " + scenario_ + "\n";
+  if (smoke_) {
+    out += "# smoke: true\n";
+  }
+  bool first_block = true;
+  for (const Item& item : items_) {
+    if (item.kind == Item::Kind::kText) {
+      const std::string note = Trimmed(texts_[item.index]);
+      if (!note.empty()) {
+        out += "# note: " + SingleLine(note) + "\n";
+      }
+      continue;
+    }
+    const ReportTable& table = tables_[item.index];
+    if (!first_block) {
+      out += '\n';
+    }
+    first_block = false;
+    out += "# table: " + table.id() + "\n";
+    CsvRow(out, table.columns());
+    for (const auto& row : table.rows()) {
+      CsvRow(out, row);
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Report::RenderJson() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"zombieland.scenario.report/v1\",\n";
+  out += "  \"scenario\": \"" + JsonEscape(scenario_) + "\",\n";
+  out += "  \"title\": \"" + JsonEscape(title_) + "\",\n";
+  out += std::string("  \"smoke\": ") + (smoke_ ? "true" : "false") + ",\n";
+
+  out += "  \"tables\": [";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const ReportTable& table = tables_[t];
+    out += t == 0 ? "\n" : ",\n";
+    out += "    {\"id\": \"" + JsonEscape(table.id()) + "\", \"title\": \"" +
+           JsonEscape(Trimmed(table.title())) + "\",\n     \"columns\": [";
+    for (std::size_t c = 0; c < table.columns().size(); ++c) {
+      if (c != 0) {
+        out += ", ";
+      }
+      out += "\"" + JsonEscape(table.columns()[c]) + "\"";
+    }
+    out += "],\n     \"rows\": [";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "       [";
+      const auto& row = table.rows()[r];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c != 0) {
+          out += ", ";
+        }
+        out += "\"" + JsonEscape(row[c]) + "\"";
+      }
+      out += "]";
+    }
+    out += "\n     ]}";
+  }
+  out += "\n  ],\n";
+
+  out += "  \"metrics\": {";
+  for (std::size_t m = 0; m < metrics_.size(); ++m) {
+    out += m == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(metrics_[m].first) +
+           "\": " + JsonNumber(metrics_[m].second);
+  }
+  out += metrics_.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"notes\": [";
+  bool first = true;
+  for (const Item& item : items_) {
+    if (item.kind != Item::Kind::kText) {
+      continue;
+    }
+    const std::string note = Trimmed(texts_[item.index]);
+    if (note.empty()) {
+      continue;
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(note) + "\"";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string Report::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Report::Penalty(double percent) {
+  if (!std::isfinite(percent) || percent > 1e6) {
+    return "inf";
+  }
+  if (percent >= 1000.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fk%%", percent / 1000.0);
+    return buf;
+  }
+  char buf[32];
+  if (percent >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f%%", percent);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%%", percent);
+  }
+  return buf;
+}
+
+std::string Report::Int(std::uint64_t v) { return std::to_string(v); }
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Validate() {
+    SkipWs();
+    Status status = Value();
+    if (!status.ok()) {
+      return status;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after top-level value");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  "JSON error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value() {
+    if (++depth_ > 64) {
+      return Error("nesting too deep");
+    }
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  Status Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Eat('}')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      Status status = String();
+      if (!status.ok()) {
+        return status;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Error("expected ':' after object key");
+      }
+      SkipWs();
+      status = Value();
+      if (!status.ok()) {
+        return status;
+      }
+      SkipWs();
+      if (Eat('}')) {
+        return Status::Ok();
+      }
+      if (!Eat(',')) {
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Status Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Eat(']')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      Status status = Value();
+      if (!status.ok()) {
+        return status;
+      }
+      SkipWs();
+      if (Eat(']')) {
+        return Status::Ok();
+      }
+      if (!Eat(',')) {
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Status String() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Error("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Error("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("bad literal");
+    }
+    pos_ += word.size();
+    return Status::Ok();
+  }
+
+  Status Number() {
+    const std::size_t start = pos_;
+    if (Eat('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected value");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Eat('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits required in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return start == pos_ ? Error("expected number") : Status::Ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) { return JsonParser(text).Validate(); }
+
+Status ValidateReportJson(std::string_view text) {
+  Status status = ValidateJson(text);
+  if (!status.ok()) {
+    return status;
+  }
+  for (std::string_view key :
+       {"\"schema\"", "\"scenario\"", "\"tables\""}) {
+    if (text.find(key) == std::string_view::npos) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "report JSON missing required key " + std::string(key));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace zombie::report

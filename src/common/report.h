@@ -1,0 +1,124 @@
+// The structured result layer of the scenario API: a Report is what every
+// experiment produces — an ordered mix of free text and named tables plus
+// headline scalar metrics — and it renders as a fixed-width TextTable stream
+// (byte-compatible with the historical bench binaries), as CSV blocks, or as
+// a JSON document (schema "zombieland.scenario.report/v1").
+//
+// All numeric cells go through the formatting helpers here (Num / Penalty /
+// Int) so precision/width conventions cannot drift between experiments;
+// TextTable::Num and TextTable::Penalty delegate to them.
+#ifndef ZOMBIELAND_SRC_COMMON_REPORT_H_
+#define ZOMBIELAND_SRC_COMMON_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace zombie::report {
+
+enum class Format { kTable = 0, kCsv, kJson };
+
+std::string_view FormatName(Format format);
+// Parses "table" / "csv" / "json" (case-sensitive, as typed on the CLI).
+Result<Format> ParseFormat(std::string_view name);
+
+// printf into a std::string (the note/banner helper of the scenario ports).
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// One named table inside a report.
+class ReportTable {
+ public:
+  ReportTable(std::string id, std::string title, std::vector<std::string> columns)
+      : id_(std::move(id)), title_(std::move(title)), columns_(std::move(columns)) {}
+
+  ReportTable& Row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  const std::string& id() const { return id_; }
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string id_;
+  std::string title_;  // printed verbatim (plus '\n') above the table, if any
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class Report {
+ public:
+  Report(std::string scenario, std::string title)
+      : scenario_(std::move(scenario)), title_(std::move(title)) {}
+
+  // Appends a verbatim text chunk.  In table mode the chunk is emitted
+  // exactly as given (callers include their own newlines, like the printf
+  // calls they replace); in JSON it becomes a trimmed "notes" entry.
+  void Text(std::string text);
+
+  // Appends a table.  The reference is stable until the next AddTable call.
+  ReportTable& AddTable(std::string id, std::string title,
+                        std::vector<std::string> columns);
+
+  // Records a headline scalar (JSON "metrics" object; invisible in table
+  // mode, where the accompanying Text note carries the number).
+  void Metric(std::string key, double value);
+
+  std::string Render(Format format) const;
+  std::string RenderTableText() const;  // byte-compatible printf stream
+  std::string RenderCsv() const;
+  std::string RenderJson() const;
+
+  const std::string& scenario() const { return scenario_; }
+  const std::string& title() const { return title_; }
+  const std::vector<ReportTable>& tables() const { return tables_; }
+
+  void set_smoke(bool smoke) { smoke_ = smoke; }
+  bool smoke() const { return smoke_; }
+
+  // -------------------------------------------------------------------------
+  // The shared numeric-cell formatters (single source of truth).
+  // -------------------------------------------------------------------------
+  // Fixed-point double: Num(12.345, 2) == "12.35".
+  static std::string Num(double v, int precision = 2);
+  // Penalty percentage in the paper's style: "8.00%", "12.3%", "9k%", "inf".
+  static std::string Penalty(double percent);
+  // Decimal integer (the std::to_string cells of the historical benches).
+  static std::string Int(std::uint64_t v);
+
+ private:
+  // Items interleave text chunks and tables in insertion order.
+  struct Item {
+    enum class Kind { kText, kTable } kind;
+    std::size_t index;  // into texts_ or tables_
+  };
+
+  std::string scenario_;
+  std::string title_;
+  bool smoke_ = false;
+  std::vector<Item> items_;
+  std::vector<std::string> texts_;
+  std::vector<ReportTable> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+// Minimal JSON syntax checker (objects, arrays, strings, numbers, literals)
+// used by the driver's --format=json self-check and the tests; returns
+// kInvalidArgument with a position on the first syntax error.
+Status ValidateJson(std::string_view text);
+
+// Schema check for a rendered report document: syntactically valid JSON that
+// contains the required top-level keys ("schema", "scenario", "tables").
+Status ValidateReportJson(std::string_view text);
+
+// JSON string escaping (exposed for the driver's aggregate documents).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace zombie::report
+
+#endif  // ZOMBIELAND_SRC_COMMON_REPORT_H_

@@ -1,6 +1,19 @@
 #include "src/common/result.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace zombie {
+
+namespace internal {
+
+void ResultCheckFailed(const char* what) {
+  std::fprintf(stderr, "zombieland: fatal Result/Status misuse: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* ErrorCodeName(ErrorCode code) {
   switch (code) {

@@ -3,13 +3,19 @@
 #ifndef ZOMBIELAND_SRC_COMMON_RESULT_H_
 #define ZOMBIELAND_SRC_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace zombie {
+
+namespace internal {
+// Prints `what` to stderr and aborts.  Result/Status misuse (value() on an
+// error, Result built from an OK status) must fail loudly in every build
+// type: with plain assert() it was undefined behaviour under -DNDEBUG.
+[[noreturn]] void ResultCheckFailed(const char* what);
+}  // namespace internal
 
 // Error codes shared by the rack-level protocol and the hypervisor layer.
 enum class ErrorCode {
@@ -50,22 +56,28 @@ class Result {
  public:
   Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
-    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+    if (std::get<Status>(data_).ok()) {
+      internal::ResultCheckFailed("Result<T> constructed from an OK Status");
+    }
   }
-  Result(ErrorCode code, std::string message) : data_(Status(code, std::move(message))) {}
+  Result(ErrorCode code, std::string message) : data_(Status(code, std::move(message))) {
+    if (code == ErrorCode::kOk) {
+      internal::ResultCheckFailed("Result<T> constructed from ErrorCode::kOk");
+    }
+  }
 
   bool ok() const { return std::holds_alternative<T>(data_); }
 
   const T& value() const& {
-    assert(ok());
+    CheckOk("Result<T>::value() called on an error Result");
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    CheckOk("Result<T>::value() called on an error Result");
     return std::get<T>(data_);
   }
   T&& take() && {
-    assert(ok());
+    CheckOk("Result<T>::take() called on an error Result");
     return std::get<T>(std::move(data_));
   }
 
@@ -77,11 +89,46 @@ class Result {
   }
   ErrorCode code() const { return ok() ? ErrorCode::kOk : std::get<Status>(data_).code(); }
 
-  const T& value_or(const T& fallback) const { return ok() ? value() : fallback; }
+  const T& value_or(const T& fallback) const& { return ok() ? value() : fallback; }
+  T value_or(T fallback) && {
+    return ok() ? std::get<T>(std::move(data_)) : std::move(fallback);
+  }
 
  private:
+  void CheckOk(const char* what) const {
+    if (!ok()) {
+      internal::ResultCheckFailed(what);
+    }
+  }
+
   std::variant<T, Status> data_;
 };
+
+// Evaluates `expr` (a Result<T> expression); on error, returns the error
+// Status from the enclosing function, otherwise move-assigns the value into
+// `lhs`.  `lhs` may declare a new variable:
+//
+//   ZOMBIE_ASSIGN_OR_RETURN(auto extent, manager.AllocExtension(bytes));
+//
+#define ZOMBIE_RESULT_CONCAT_INNER_(a, b) a##b
+#define ZOMBIE_RESULT_CONCAT_(a, b) ZOMBIE_RESULT_CONCAT_INNER_(a, b)
+#define ZOMBIE_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  ZOMBIE_ASSIGN_OR_RETURN_IMPL_(ZOMBIE_RESULT_CONCAT_(zombie_result_, __LINE__), \
+                                lhs, expr)
+#define ZOMBIE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).take()
+
+// Returns the Status from the enclosing function if `expr` is an error.
+#define ZOMBIE_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    if (auto zombie_status_ = (expr); !zombie_status_.ok()) { \
+      return zombie_status_;                      \
+    }                                             \
+  } while (false)
 
 }  // namespace zombie
 

@@ -1,8 +1,9 @@
 #include "src/common/table.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
+
+#include "src/common/report.h"
 
 namespace zombie {
 
@@ -50,27 +51,11 @@ void TextTable::Print() const {
 }
 
 std::string TextTable::Num(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
+  return report::Report::Num(v, precision);
 }
 
 std::string TextTable::Penalty(double percent) {
-  if (!std::isfinite(percent) || percent > 1e6) {
-    return "inf";
-  }
-  if (percent >= 1000.0) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0fk%%", percent / 1000.0);
-    return buf;
-  }
-  char buf[32];
-  if (percent >= 10.0) {
-    std::snprintf(buf, sizeof(buf), "%.1f%%", percent);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.2f%%", percent);
-  }
-  return buf;
+  return report::Report::Penalty(percent);
 }
 
 }  // namespace zombie

@@ -21,6 +21,9 @@ class TextTable {
   // Renders and writes to stdout.
   void Print() const;
 
+  // Numeric-cell formatters.  Both delegate to the shared report::Report
+  // helpers (src/common/report.h), the single source of truth for cell
+  // formatting — use those directly in new code.
   // Formats a double with the given precision ("12.34").
   static std::string Num(double v, int precision = 2);
   // Formats a penalty percentage like the paper: "8%", "9k%", "inf".

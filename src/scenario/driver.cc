@@ -1,0 +1,276 @@
+#include "src/scenario/driver.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/scenario/registry.h"
+
+namespace zombie::scenario {
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "zombieland — the NituTTIH18 scenario driver\n"
+    "\n"
+    "  zombieland list [--format=table|csv|json]\n"
+    "      Show every registered scenario.\n"
+    "  zombieland run <name>... [options]\n"
+    "  zombieland run --all [options]\n"
+    "      Run scenarios and print their reports.\n"
+    "\n"
+    "run options:\n"
+    "  --smoke             tiny access budgets (also: ZOMBIE_BENCH_SMOKE=1)\n"
+    "  --format=FORMAT     table (default), csv, or json\n"
+    "  --out=FILE          write the rendered output to FILE instead of stdout\n"
+    "  --set KEY=VALUE     scenario parameter override (repeatable)\n";
+
+struct ParsedArgs {
+  bool all = false;
+  RunOptions options;
+  std::string out_path;
+  std::vector<std::string> names;
+};
+
+// Registry lookup + run in one step.
+Result<report::Report> RunByName(std::string_view name, const RunOptions& options) {
+  ZOMBIE_ASSIGN_OR_RETURN(const Scenario* scenario,
+                          ScenarioRegistry::Instance().Find(name));
+  return scenario->Run(options);
+}
+
+void PrintRunError(std::string_view name, const Status& status) {
+  std::fprintf(stderr, "zombieland: scenario '%s' failed: %s\n",
+               std::string(name).c_str(), status.ToString().c_str());
+}
+
+// Parses one --set payload ("KEY=VALUE") into the params map.
+bool ParseSetParam(std::string_view kv, RunOptions& options) {
+  const std::size_t eq = kv.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    std::fprintf(stderr,
+                 "zombieland: malformed --set '%s' (want --set KEY=VALUE)\n",
+                 std::string(kv).c_str());
+    return false;
+  }
+  options.params[std::string(kv.substr(0, eq))] = std::string(kv.substr(eq + 1));
+  return true;
+}
+
+// Parses the shared run/list flags; returns false (after printing the
+// problem) on a malformed flag.
+bool ParseFlags(int argc, char** argv, int first, ParsedArgs& parsed) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--all") {
+      parsed.all = true;
+    } else if (arg == "--smoke") {
+      parsed.options.smoke = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      auto format = report::ParseFormat(arg.substr(std::strlen("--format=")));
+      if (!format.ok()) {
+        std::fprintf(stderr, "zombieland: %s\n", format.status().ToString().c_str());
+        return false;
+      }
+      parsed.options.format = format.value();
+    } else if (arg.rfind("--out=", 0) == 0) {
+      parsed.out_path = arg.substr(std::strlen("--out="));
+    } else if (arg == "--set") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "zombieland: --set needs a KEY=VALUE argument\n");
+        return false;
+      }
+      if (!ParseSetParam(argv[++i], parsed.options)) {
+        return false;
+      }
+    } else if (arg.rfind("--set=", 0) == 0) {
+      if (!ParseSetParam(arg.substr(std::strlen("--set=")), parsed.options)) {
+        return false;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "zombieland: unknown option '%s'\n%s", argv[i],
+                   std::string(kUsage).c_str());
+      return false;
+    } else {
+      parsed.names.emplace_back(arg);
+    }
+  }
+  if (parsed.options.smoke || EnvSmokeMode()) {
+    parsed.options.smoke = true;
+  }
+  return true;
+}
+
+bool WriteOutput(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "zombieland: cannot open '%s' for writing\n",
+                 out_path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+// Renders reports for several scenarios into one document.
+std::string Combine(const std::vector<report::Report>& reports,
+                    const RunOptions& options) {
+  if (options.format == report::Format::kJson) {
+    if (reports.size() == 1) {
+      return reports[0].RenderJson();
+    }
+    std::string out = "{\n  \"schema\": \"zombieland.scenario.reports/v1\",\n";
+    out += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") + ",\n";
+    out += "  \"reports\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += reports[i].RenderJson();
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i != 0) {
+      out += '\n';
+    }
+    out += reports[i].Render(options.format);
+  }
+  return out;
+}
+
+int CmdList(const ParsedArgs& parsed) {
+  report::Report report("list", "Registered scenarios");
+  auto& table = report.AddTable("scenarios", "", {"name", "title", "description"});
+  for (const Scenario* scenario : ScenarioRegistry::Instance().List()) {
+    table.Row({scenario->name(), scenario->spec().title, scenario->spec().description});
+  }
+  report.Text(report::StrPrintf(
+      "\n%zu scenarios; `zombieland run <name>` runs one, `zombieland run --all` "
+      "runs everything.\n",
+      ScenarioRegistry::Instance().size()));
+  const std::string text = report.Render(parsed.options.format);
+  return WriteOutput(text, parsed.out_path) ? 0 : 1;
+}
+
+int CmdRun(ParsedArgs& parsed) {
+  if (parsed.all) {
+    if (!parsed.names.empty()) {
+      std::fprintf(stderr, "zombieland: --all does not take scenario names\n");
+      return 2;
+    }
+    for (const Scenario* scenario : ScenarioRegistry::Instance().List()) {
+      parsed.names.push_back(scenario->name());
+    }
+  }
+  if (parsed.names.empty()) {
+    std::fprintf(stderr, "zombieland: run needs scenario names or --all\n%s",
+                 std::string(kUsage).c_str());
+    return 2;
+  }
+
+  std::vector<report::Report> reports;
+  reports.reserve(parsed.names.size());
+  for (const std::string& name : parsed.names) {
+    auto report = RunByName(name, parsed.options);
+    if (!report.ok()) {
+      PrintRunError(name, report.status());
+      return 1;
+    }
+    if (parsed.options.format == report::Format::kJson) {
+      const std::string doc = report.value().RenderJson();
+      if (Status status = report::ValidateReportJson(doc); !status.ok()) {
+        std::fprintf(stderr, "zombieland: scenario '%s' emitted invalid JSON: %s\n",
+                     name.c_str(), status.ToString().c_str());
+        return 1;
+      }
+    }
+    reports.push_back(std::move(report).take());
+  }
+
+  std::string out = Combine(reports, parsed.options);
+  if (parsed.options.format == report::Format::kJson) {
+    if (Status status = report::ValidateJson(out); !status.ok()) {
+      std::fprintf(stderr, "zombieland: combined JSON invalid: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  return WriteOutput(out, parsed.out_path) ? 0 : 1;
+}
+
+}  // namespace
+
+bool EnvSmokeMode() { return SmokeEnvEnabled(); }
+
+int ZombielandMain(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", std::string(kUsage).c_str());
+    return 2;
+  }
+  const std::string_view command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::printf("%s", std::string(kUsage).c_str());
+    return 0;
+  }
+
+  ParsedArgs parsed;
+  if (!ParseFlags(argc, argv, 2, parsed)) {
+    return 2;
+  }
+  if (command == "list") {
+    if (!parsed.names.empty()) {
+      std::fprintf(stderr, "zombieland: list does not take positional arguments\n");
+      return 2;
+    }
+    return CmdList(parsed);
+  }
+  if (command == "run") {
+    return CmdRun(parsed);
+  }
+  std::fprintf(stderr, "zombieland: unknown command '%s'\n%s", argv[1],
+               std::string(kUsage).c_str());
+  return 2;
+}
+
+int RunAndPrint(std::string_view name, const RunOptions& options) {
+  auto report = RunByName(name, options);
+  if (!report.ok()) {
+    PrintRunError(name, report.status());
+    return 1;
+  }
+  const std::string text = report.value().Render(options.format);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+int ScenarioShimMain(std::string_view name, int argc, char** argv) {
+  ParsedArgs parsed;
+  if (!ParseFlags(argc, argv, 1, parsed)) {
+    return 2;
+  }
+  if (!parsed.names.empty() || parsed.all) {
+    std::fprintf(stderr,
+                 "%s: this shim runs exactly one scenario; use the zombieland "
+                 "driver for anything else\n",
+                 argv[0]);
+    return 2;
+  }
+  auto report = RunByName(name, parsed.options);
+  if (!report.ok()) {
+    PrintRunError(name, report.status());
+    return 1;
+  }
+  return WriteOutput(report.value().Render(parsed.options.format), parsed.out_path)
+             ? 0
+             : 1;
+}
+
+}  // namespace zombie::scenario

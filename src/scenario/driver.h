@@ -1,0 +1,38 @@
+// The `zombieland` CLI driver: one binary for every registered scenario.
+//
+//   zombieland list [--format=table|csv|json]
+//   zombieland run <name>... [--smoke] [--format=table|csv|json]
+//                  [--out=FILE] [--set key=value]...
+//   zombieland run --all --smoke --format=json      # the CI smoke pass
+//
+// Smoke mode is also enabled by ZOMBIE_BENCH_SMOKE=1 (the historical bench
+// convention; the ctest bench_smoke label relies on it).  JSON output is
+// self-checked against the report schema before it is emitted — a scenario
+// whose document does not validate fails the run.
+#ifndef ZOMBIELAND_SRC_SCENARIO_DRIVER_H_
+#define ZOMBIELAND_SRC_SCENARIO_DRIVER_H_
+
+#include <string_view>
+
+#include "src/scenario/scenario.h"
+
+namespace zombie::scenario {
+
+// True when the ZOMBIE_BENCH_SMOKE environment variable is set and nonzero.
+bool EnvSmokeMode();
+
+// Full CLI entry point (the zombieland binary's main).
+int ZombielandMain(int argc, char** argv);
+
+// Entry point for the thin bench/example shim binaries: runs exactly one
+// scenario, table format by default, accepting --smoke/--format=/--set and
+// honouring ZOMBIE_BENCH_SMOKE.  Returns a process exit code.
+int ScenarioShimMain(std::string_view name, int argc, char** argv);
+
+// Runs one scenario with explicit options and prints the rendered report to
+// stdout (shims with bespoke argv handling build RunOptions themselves).
+int RunAndPrint(std::string_view name, const RunOptions& options);
+
+}  // namespace zombie::scenario
+
+#endif  // ZOMBIELAND_SRC_SCENARIO_DRIVER_H_

@@ -1,0 +1,70 @@
+#include "src/scenario/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zombie::scenario {
+
+ScenarioRegistry& ScenarioRegistry::Instance() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+Status ScenarioRegistry::Register(Scenario scenario) {
+  const std::string name = scenario.name();
+  auto [it, inserted] = scenarios_.emplace(name, std::move(scenario));
+  if (!inserted) {
+    return Status(ErrorCode::kConflict, "scenario '" + name + "' already registered");
+  }
+  return Status::Ok();
+}
+
+Result<const Scenario*> ScenarioRegistry::Find(std::string_view name) const {
+  auto it = scenarios_.find(name);
+  if (it == scenarios_.end()) {
+    std::string message = "unknown scenario '" + std::string(name) + "'";
+    // A prefix hint covers the common typo ("fig8" for "fig08", "table2" with
+    // "table2b" present).
+    std::string close;
+    for (const auto& [key, scenario] : scenarios_) {
+      if (key.substr(0, name.size()) == name || name.substr(0, key.size()) == key) {
+        close += close.empty() ? key : ", " + key;
+      }
+    }
+    if (!close.empty()) {
+      message += " (did you mean: " + close + "?)";
+    }
+    message += "; `zombieland list` shows all scenarios";
+    return Result<const Scenario*>(ErrorCode::kNotFound, message);
+  }
+  return &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::List() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    out.push_back(&scenario);
+  }
+  return out;
+}
+
+namespace internal {
+
+ScenarioRegistrar::ScenarioRegistrar(Result<Scenario> scenario) {
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "zombieland: scenario registration failed: %s\n",
+                 scenario.status().ToString().c_str());
+    std::abort();
+  }
+  if (Status status = ScenarioRegistry::Instance().Register(std::move(scenario).take());
+      !status.ok()) {
+    std::fprintf(stderr, "zombieland: scenario registration failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace zombie::scenario

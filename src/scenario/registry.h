@@ -1,0 +1,63 @@
+// ScenarioRegistry: the static catalog every paper figure/table/ablation and
+// example registers itself into.  `zombieland list` prints it; `zombieland
+// run <name>` looks a scenario up here.
+//
+// Registration is done at static-initialization time through
+// ZOMBIE_REGISTER_SCENARIO (the catalog objects are linked whole into each
+// consumer, so entries can never be dead-stripped).  A failed Build() aborts
+// at startup with the validation message — a misconfigured registry entry is
+// a programming error, not a runtime condition.
+#ifndef ZOMBIELAND_SRC_SCENARIO_REGISTRY_H_
+#define ZOMBIELAND_SRC_SCENARIO_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/scenario/scenario.h"
+
+namespace zombie::scenario {
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Instance();
+
+  // Fails with kConflict on duplicate names.
+  Status Register(Scenario scenario);
+
+  // kNotFound (with a hint listing close names) when missing.
+  Result<const Scenario*> Find(std::string_view name) const;
+
+  // All scenarios, name-sorted.
+  std::vector<const Scenario*> List() const;
+
+  std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  std::map<std::string, Scenario, std::less<>> scenarios_;
+};
+
+namespace internal {
+
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(Result<Scenario> scenario);
+};
+
+}  // namespace internal
+
+#define ZOMBIE_SCENARIO_CONCAT_INNER_(a, b) a##b
+#define ZOMBIE_SCENARIO_CONCAT_(a, b) ZOMBIE_SCENARIO_CONCAT_INNER_(a, b)
+
+// Registers the scenario built by `builder_expr` (a ScenarioBuilder chain,
+// without the trailing .Build() — the macro adds it).
+#define ZOMBIE_REGISTER_SCENARIO(builder_expr)                           \
+  static const ::zombie::scenario::internal::ScenarioRegistrar           \
+      ZOMBIE_SCENARIO_CONCAT_(zombie_scenario_registrar_, __COUNTER__) { \
+    (builder_expr).Build()                                               \
+  }
+
+}  // namespace zombie::scenario
+
+#endif  // ZOMBIELAND_SRC_SCENARIO_REGISTRY_H_

@@ -1,0 +1,269 @@
+#include "src/scenario/scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/scenario/testbed.h"
+
+namespace zombie::scenario {
+
+std::string_view MemoryModeName(MemoryMode mode) {
+  switch (mode) {
+    case MemoryMode::kLocalOnly:
+      return "local-only";
+    case MemoryMode::kRamExt:
+      return "ram-ext";
+    case MemoryMode::kExplicitSd:
+      return "explicit-sd";
+  }
+  return "unknown";
+}
+
+acpi::MachineProfile MachineProfileFor(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::kHpCompaqElite8300:
+      return acpi::MachineProfile::HpCompaqElite8300();
+    case MachineKind::kDellPrecisionT5810:
+      return acpi::MachineProfile::DellPrecisionT5810();
+  }
+  std::abort();
+}
+
+std::string_view MachineKindName(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::kHpCompaqElite8300:
+      return "HP Compaq Elite 8300";
+    case MachineKind::kDellPrecisionT5810:
+      return "Dell Precision T5810";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RunContext.
+// ---------------------------------------------------------------------------
+
+report::Report RunContext::MakeReport() const {
+  report::Report report(spec_.name, spec_.title);
+  report.set_smoke(smoke());
+  return report;
+}
+
+std::uint64_t RunContext::ScaledAccesses(std::uint64_t full) const {
+  return smoke() ? std::min(full, spec_.smoke_scale) : full;
+}
+
+workloads::AppProfile RunContext::Profile(workloads::App app) const {
+  workloads::AppProfile profile =
+      (app == workloads::App::kMicro && spec_.workload.fig8_micro)
+          ? workloads::Fig8MicroProfile()
+          : workloads::ProfileFor(app);
+  if (spec_.workload.reserved_memory.has_value()) {
+    profile.reserved_memory = *spec_.workload.reserved_memory;
+  }
+  if (spec_.workload.working_set.has_value()) {
+    profile.working_set = *spec_.workload.working_set;
+  }
+  if (spec_.workload.accesses.has_value()) {
+    profile.accesses = *spec_.workload.accesses;
+  }
+  profile.accesses = ScaledAccesses(profile.accesses);
+  return profile;
+}
+
+std::unique_ptr<Testbed> RunContext::MakeTestbed(Bytes remote_bytes) const {
+  return std::make_unique<Testbed>(spec_.topology, remote_bytes);
+}
+
+workloads::RunnerOptions RunContext::MakeRunnerOptions(hv::PolicyKind policy) const {
+  workloads::RunnerOptions options;
+  options.policy = policy;
+  options.mixed_depth = spec_.memory.mixed_depth;
+  return options;
+}
+
+std::vector<hv::PolicyKind> RunContext::Policies() const {
+  if (spec_.memory.policies.empty()) {
+    return {hv::PolicyKind::kMixed};
+  }
+  return spec_.memory.policies;
+}
+
+bool RunContext::HasParam(std::string_view key) const {
+  return options_.params.find(key) != options_.params.end();
+}
+
+std::string RunContext::Param(std::string_view key, std::string_view fallback) const {
+  auto it = options_.params.find(key);
+  return it == options_.params.end() ? std::string(fallback) : it->second;
+}
+
+std::uint64_t RunContext::ParamU64(std::string_view key, std::uint64_t fallback) const {
+  auto it = options_.params.find(key);
+  if (it == options_.params.end()) {
+    return fallback;
+  }
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double RunContext::ParamDouble(std::string_view key, double fallback) const {
+  auto it = options_.params.find(key);
+  if (it == options_.params.end()) {
+    return fallback;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario / builder.
+// ---------------------------------------------------------------------------
+
+Result<report::Report> Scenario::Run(const RunOptions& options) const {
+  RunContext context(spec_, options);
+  Result<report::Report> result = run_(context);
+  if (!result.ok()) {
+    return result;
+  }
+  result.value().set_smoke(options.smoke);
+  return result;
+}
+
+namespace {
+
+Status Invalid(const std::string& message) {
+  return Status(ErrorCode::kInvalidArgument, message);
+}
+
+bool ValidPolicy(hv::PolicyKind policy) {
+  switch (policy) {
+    case hv::PolicyKind::kFifo:
+    case hv::PolicyKind::kClock:
+    case hv::PolicyKind::kMixed:
+      return true;
+  }
+  return false;
+}
+
+bool ValidApp(workloads::App app) {
+  switch (app) {
+    case workloads::App::kMicro:
+    case workloads::App::kElasticsearch:
+    case workloads::App::kDataCaching:
+    case workloads::App::kSparkSql:
+      return true;
+  }
+  return false;
+}
+
+bool ValidMachine(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::kHpCompaqElite8300:
+    case MachineKind::kDellPrecisionT5810:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateSpec(const ScenarioSpec& spec) {
+  if (spec.name.empty()) {
+    return Invalid("scenario name must not be empty");
+  }
+  if (spec.name.find_first_of(" \t\n") != std::string::npos) {
+    return Invalid("scenario name must not contain whitespace: '" + spec.name + "'");
+  }
+  if (spec.title.empty()) {
+    return Invalid("scenario '" + spec.name + "': title must not be empty");
+  }
+  if (spec.smoke_scale == 0) {
+    return Invalid("scenario '" + spec.name + "': smoke_scale must be nonzero");
+  }
+
+  const TopologySpec& topology = spec.topology;
+  if (topology.zombies == 0) {
+    return Invalid("scenario '" + spec.name + "': topology needs at least one zombie");
+  }
+  if (topology.server_cpus == 0) {
+    return Invalid("scenario '" + spec.name + "': topology server_cpus must be nonzero");
+  }
+  if (topology.server_memory == 0) {
+    return Invalid("scenario '" + spec.name + "': topology server_memory must be nonzero");
+  }
+  if (topology.buff_size == 0 || topology.buff_size > topology.server_memory) {
+    return Invalid("scenario '" + spec.name +
+                   "': buff_size must be in (0, server_memory]");
+  }
+  if (!ValidMachine(topology.machine)) {
+    return Invalid("scenario '" + spec.name + "': unknown topology machine kind");
+  }
+
+  const WorkloadSpec& workload = spec.workload;
+  for (workloads::App app : workload.apps) {
+    if (!ValidApp(app)) {
+      return Invalid("scenario '" + spec.name + "': unknown workload app");
+    }
+  }
+  if (workload.reserved_memory.has_value() && *workload.reserved_memory == 0) {
+    return Invalid("scenario '" + spec.name +
+                   "': workload reserved_memory must be nonzero");
+  }
+  if (workload.working_set.has_value() && *workload.working_set == 0) {
+    return Invalid("scenario '" + spec.name + "': workload working_set must be nonzero");
+  }
+  if (workload.reserved_memory.has_value() && workload.working_set.has_value() &&
+      *workload.working_set > *workload.reserved_memory) {
+    return Invalid("scenario '" + spec.name +
+                   "': working_set must not exceed reserved_memory");
+  }
+  if (workload.accesses.has_value() && *workload.accesses == 0) {
+    return Invalid("scenario '" + spec.name + "': workload accesses must be nonzero");
+  }
+
+  const MemorySpec& memory = spec.memory;
+  for (hv::PolicyKind policy : memory.policies) {
+    if (!ValidPolicy(policy)) {
+      return Invalid("scenario '" + spec.name + "': unknown replacement policy");
+    }
+  }
+  if (memory.local_fractions.empty()) {
+    return Invalid("scenario '" + spec.name + "': local_fractions must not be empty");
+  }
+  for (double fraction : memory.local_fractions) {
+    if (!(fraction > 0.0) || fraction > 1.0) {
+      return Invalid("scenario '" + spec.name + "': local fraction " +
+                     report::Report::Num(fraction, 2) + " outside (0, 1]");
+    }
+  }
+  if (memory.mixed_depth == 0) {
+    return Invalid("scenario '" + spec.name + "': mixed_depth must be nonzero");
+  }
+
+  const EnergySpec& energy = spec.energy;
+  if (energy.machines.empty()) {
+    return Invalid("scenario '" + spec.name + "': energy machines must not be empty");
+  }
+  for (MachineKind machine : energy.machines) {
+    if (!ValidMachine(machine)) {
+      return Invalid("scenario '" + spec.name + "': unknown energy machine kind");
+    }
+  }
+  if (energy.modified_mem_ratio < 0.0) {
+    return Invalid("scenario '" + spec.name + "': modified_mem_ratio must be >= 0");
+  }
+
+  return Status::Ok();
+}
+
+Result<Scenario> ScenarioBuilder::Build() const {
+  if (Status status = ValidateSpec(spec_); !status.ok()) {
+    return Result<Scenario>(status);
+  }
+  if (!run_) {
+    return Result<Scenario>(ErrorCode::kInvalidArgument,
+                            "scenario '" + spec_.name + "': no run function");
+  }
+  return Scenario(spec_, run_);
+}
+
+}  // namespace zombie::scenario

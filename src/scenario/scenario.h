@@ -1,0 +1,160 @@
+// The scenario API: Scenario (a validated spec plus its run function),
+// ScenarioBuilder (fluent construction with validation), and RunContext (the
+// composition surface a run function uses: profiles with smoke scaling
+// applied, testbeds from the topology spec, runner options from the memory
+// spec, CLI parameter overrides).
+//
+// Registering a new experiment:
+//
+//   ZOMBIE_REGISTER_SCENARIO(
+//       ScenarioBuilder("fig42")
+//           .Title("Figure 42: ...")
+//           .Workload({.apps = {App::kMicro}})
+//           .Memory({.local_fractions = {0.2, 0.5, 0.8}})
+//           .Runner([](const RunContext& ctx) { ... return report; }))
+//
+// and `zombieland run fig42 --format=json` works with no new binary.
+#ifndef ZOMBIELAND_SRC_SCENARIO_SCENARIO_H_
+#define ZOMBIELAND_SRC_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/report.h"
+#include "src/common/result.h"
+#include "src/scenario/spec.h"
+#include "src/workloads/runner.h"
+
+namespace zombie::scenario {
+
+class Testbed;
+
+struct RunOptions {
+  bool smoke = false;
+  report::Format format = report::Format::kTable;
+  // CLI `--set key=value` overrides, read via RunContext::Param*().
+  std::map<std::string, std::string, std::less<>> params;
+};
+
+// Handed to a scenario's run function; owns nothing but views of the spec
+// and options.
+class RunContext {
+ public:
+  RunContext(const ScenarioSpec& spec, const RunOptions& options)
+      : spec_(spec), options_(options) {}
+
+  const ScenarioSpec& spec() const { return spec_; }
+  bool smoke() const { return options_.smoke; }
+
+  // A report pre-seeded with the scenario's name/title and smoke flag.
+  report::Report MakeReport() const;
+
+  // Smoke scaling: `full` accesses in a normal run, capped at
+  // spec.smoke_scale under --smoke.  The one implementation of what every
+  // bench binary used to re-implement via ZOMBIE_BENCH_SMOKE.
+  std::uint64_t ScaledAccesses(std::uint64_t full) const;
+
+  // The calibrated profile for `app` with the spec's workload overrides and
+  // smoke scaling applied.
+  workloads::AppProfile Profile(workloads::App app) const;
+
+  // Section 6.1 testbed built from the topology spec, with a `remote_bytes`
+  // extension allocated to the user server.
+  std::unique_ptr<Testbed> MakeTestbed(Bytes remote_bytes) const;
+
+  // WorkloadRunner options for one point of the policy sweep.
+  workloads::RunnerOptions MakeRunnerOptions(hv::PolicyKind policy) const;
+
+  // The memory spec's policy sweep ({kMixed} when none was given).
+  std::vector<hv::PolicyKind> Policies() const;
+
+  // CLI parameter overrides.
+  bool HasParam(std::string_view key) const;
+  std::string Param(std::string_view key, std::string_view fallback) const;
+  std::uint64_t ParamU64(std::string_view key, std::uint64_t fallback) const;
+  double ParamDouble(std::string_view key, double fallback) const;
+
+ private:
+  const ScenarioSpec& spec_;
+  const RunOptions& options_;
+};
+
+class Scenario {
+ public:
+  // Run functions return Result so a failing scenario (allocation failure,
+  // broken invariant mid-demo) surfaces as a non-zero driver exit instead of
+  // a green report; plain `return report;` converts implicitly on success.
+  using RunFn = std::function<Result<report::Report>(const RunContext&)>;
+
+  const ScenarioSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  // Runs the scenario: composes the testbed/workload/dc-sim layers through
+  // the RunContext and returns the structured report.
+  Result<report::Report> Run(const RunOptions& options = {}) const;
+
+ private:
+  friend class ScenarioBuilder;
+  Scenario(ScenarioSpec spec, RunFn run) : spec_(std::move(spec)), run_(std::move(run)) {}
+
+  ScenarioSpec spec_;
+  RunFn run_;
+};
+
+// Fluent builder; Build() validates the assembled spec and returns either
+// the scenario or an explanatory kInvalidArgument status.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::string name) { spec_.name = std::move(name); }
+
+  ScenarioBuilder& Title(std::string title) {
+    spec_.title = std::move(title);
+    return *this;
+  }
+  ScenarioBuilder& Description(std::string description) {
+    spec_.description = std::move(description);
+    return *this;
+  }
+  ScenarioBuilder& SmokeScale(std::uint64_t cap) {
+    spec_.smoke_scale = cap;
+    return *this;
+  }
+  ScenarioBuilder& Topology(TopologySpec topology) {
+    spec_.topology = std::move(topology);
+    return *this;
+  }
+  ScenarioBuilder& Workload(WorkloadSpec workload) {
+    spec_.workload = std::move(workload);
+    return *this;
+  }
+  ScenarioBuilder& Memory(MemorySpec memory) {
+    spec_.memory = std::move(memory);
+    return *this;
+  }
+  ScenarioBuilder& Energy(EnergySpec energy) {
+    spec_.energy = std::move(energy);
+    return *this;
+  }
+  ScenarioBuilder& Runner(Scenario::RunFn run) {
+    run_ = std::move(run);
+    return *this;
+  }
+
+  Result<Scenario> Build() const;
+
+ private:
+  ScenarioSpec spec_;
+  Scenario::RunFn run_;
+};
+
+// Spec validation, exposed for tests: OK or the first problem found.
+Status ValidateSpec(const ScenarioSpec& spec);
+
+}  // namespace zombie::scenario
+
+#endif  // ZOMBIELAND_SRC_SCENARIO_SCENARIO_H_

@@ -1,0 +1,102 @@
+// ScenarioSpec: the declarative experiment description of the scenario API.
+//
+// A spec is pure data — topology (rack shape, zombie count, buffer size),
+// workload (application profiles + overrides), memory configuration
+// (local-only / RAM-Ext / Explicit-SD, replacement policy sweep, local
+// fractions) and energy study (machine profiles, dc-sim trace) — validated
+// by ScenarioBuilder and interpreted by a Scenario's run function.  New
+// NituTTIH18 configurations are registry entries built from these values,
+// not new binaries.
+#ifndef ZOMBIELAND_SRC_SCENARIO_SPEC_H_
+#define ZOMBIELAND_SRC_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/acpi/energy_model.h"
+#include "src/common/units.h"
+#include "src/hv/replacement.h"
+#include "src/sim/trace.h"
+#include "src/workloads/app_models.h"
+
+namespace zombie::scenario {
+
+// The memory configurations of Section 6 (plus the baseline).
+enum class MemoryMode : std::uint8_t {
+  kLocalOnly = 0,  // all reserved memory resident (the Table-1 reference)
+  kRamExt,         // hypervisor paging into remote buffers (v1)
+  kExplicitSd,     // guest-visible swap device (v2)
+};
+
+std::string_view MemoryModeName(MemoryMode mode);
+
+// The two Table-3 testbed machines.
+enum class MachineKind : std::uint8_t {
+  kHpCompaqElite8300 = 0,
+  kDellPrecisionT5810,
+};
+
+acpi::MachineProfile MachineProfileFor(MachineKind kind);
+std::string_view MachineKindName(MachineKind kind);
+
+// Rack shape for scenarios that instantiate the Section 6.1 testbed.
+struct TopologySpec {
+  std::size_t zombies = 1;          // servers pushed to Sz lending their RAM
+  MachineKind machine = MachineKind::kHpCompaqElite8300;
+  std::uint32_t server_cpus = 8;
+  Bytes server_memory = 16 * kGiB;
+  Bytes buff_size = 4 * kMiB;       // the rack-uniform BUFF_SIZE
+  bool materialize_memory = false;  // real bytes vs accounting-only
+};
+
+// Application side: which calibrated profiles run, with optional overrides.
+struct WorkloadSpec {
+  std::vector<workloads::App> apps;
+  // Use the Fig. 8 iteration order for the micro-benchmark (random-entry
+  // with a hot subset) instead of the Table-1 sequential pass.
+  bool fig8_micro = false;
+  // Optional overrides of the calibrated profile (unset = profile value).
+  std::optional<Bytes> reserved_memory;
+  std::optional<Bytes> working_set;
+  std::optional<std::uint64_t> accesses;
+};
+
+// Memory configuration under test.
+struct MemorySpec {
+  MemoryMode mode = MemoryMode::kRamExt;
+  // The replacement-policy sweep; empty means {kMixed}.
+  std::vector<hv::PolicyKind> policies;
+  // Fractions of reserved memory kept in local RAM, each in (0, 1].
+  std::vector<double> local_fractions = {0.5};
+  std::size_t mixed_depth = 5;  // the Mixed policy's Clock-prefix x
+};
+
+// Datacenter energy study (Fig. 10 family).
+struct EnergySpec {
+  std::vector<MachineKind> machines = {MachineKind::kHpCompaqElite8300};
+  sim::TraceConfig trace;
+  // Also run the modified-trace transform (memory demand = ratio x CPU).
+  double modified_mem_ratio = 0.0;  // 0 = original shape only
+};
+
+struct ScenarioSpec {
+  std::string name;         // registry key, e.g. "fig08"
+  std::string title;        // one-line human title
+  std::string description;  // a sentence for `zombieland list`
+
+  // Smoke mode (--smoke / ZOMBIE_BENCH_SMOKE=1) caps every access stream at
+  // this many accesses so a full catalog run stays executable in CI.  This
+  // replaces the per-binary zombie::bench::SmokeIters copies.
+  std::uint64_t smoke_scale = 20'000;
+
+  TopologySpec topology;
+  WorkloadSpec workload;
+  MemorySpec memory;
+  EnergySpec energy;
+};
+
+}  // namespace zombie::scenario
+
+#endif  // ZOMBIELAND_SRC_SCENARIO_SPEC_H_

@@ -23,8 +23,10 @@
 #include "src/cloud/rack_energy.h"
 #include "src/cloud/runtime.h"
 #include "src/cloud/server.h"
+#include "src/common/env.h"
 #include "src/common/event_queue.h"
 #include "src/common/logging.h"
+#include "src/common/report.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/sim_clock.h"
@@ -49,6 +51,11 @@
 #include "src/remotemem/secondary_controller.h"
 #include "src/remotemem/types.h"
 #include "src/remotemem/wire.h"
+#include "src/scenario/driver.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/spec.h"
+#include "src/scenario/testbed.h"
 #include "src/sim/cooling.h"
 #include "src/sim/dc_sim.h"
 #include "src/sim/trace.h"

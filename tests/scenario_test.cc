@@ -1,0 +1,445 @@
+// Tests for the scenario subsystem (PR 3): ScenarioBuilder validation,
+// registry lookup/listing, the Report JSON/CSV emitters (round-trip), the
+// hardened Result<T> helpers, centralized smoke scaling, and golden
+// byte-compares of the fig08/table1 table-mode smoke output against the
+// pre-port bench binaries.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/report.h"
+#include "src/common/result.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/scenario.h"
+
+#include "tests/golden/fig08_smoke_table.inc"
+#include "tests/golden/table1_smoke_table.inc"
+
+namespace zombie::scenario {
+namespace {
+
+using report::Format;
+using report::Report;
+
+Scenario::RunFn NopRunner() {
+  return [](const RunContext& ctx) { return ctx.MakeReport(); };
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioBuilderTest, MinimalSpecBuilds) {
+  auto scenario = ScenarioBuilder("t").Title("a title").Runner(NopRunner()).Build();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  EXPECT_EQ(scenario.value().name(), "t");
+}
+
+TEST(ScenarioBuilderTest, RejectsEmptyName) {
+  auto scenario = ScenarioBuilder("").Title("t").Runner(NopRunner()).Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_EQ(scenario.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ScenarioBuilderTest, RejectsWhitespaceName) {
+  auto scenario = ScenarioBuilder("bad name").Title("t").Runner(NopRunner()).Build();
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(ScenarioBuilderTest, RejectsMissingTitle) {
+  auto scenario = ScenarioBuilder("t").Runner(NopRunner()).Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("title"), std::string::npos);
+}
+
+TEST(ScenarioBuilderTest, RejectsMissingRunner) {
+  auto scenario = ScenarioBuilder("t").Title("t").Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("run function"), std::string::npos);
+}
+
+TEST(ScenarioBuilderTest, RejectsBadLocalFraction) {
+  for (double bad : {0.0, -0.25, 1.5}) {
+    SCOPED_TRACE(bad);
+    auto scenario = ScenarioBuilder("t")
+                        .Title("t")
+                        .Memory({.local_fractions = {0.5, bad}})
+                        .Runner(NopRunner())
+                        .Build();
+    ASSERT_FALSE(scenario.ok());
+    EXPECT_NE(scenario.status().message().find("local fraction"), std::string::npos);
+  }
+}
+
+TEST(ScenarioBuilderTest, RejectsEmptyLocalFractions) {
+  auto scenario = ScenarioBuilder("t")
+                      .Title("t")
+                      .Memory({.local_fractions = {}})
+                      .Runner(NopRunner())
+                      .Build();
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(ScenarioBuilderTest, RejectsZeroReservedMemory) {
+  auto scenario = ScenarioBuilder("t")
+                      .Title("t")
+                      .Workload({.reserved_memory = Bytes{0}})
+                      .Runner(NopRunner())
+                      .Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("reserved_memory"), std::string::npos);
+}
+
+TEST(ScenarioBuilderTest, RejectsWorkingSetLargerThanReserved) {
+  auto scenario = ScenarioBuilder("t")
+                      .Title("t")
+                      .Workload({.reserved_memory = 8 * kMiB, .working_set = 16 * kMiB})
+                      .Runner(NopRunner())
+                      .Build();
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(ScenarioBuilderTest, RejectsUnknownPolicy) {
+  auto scenario = ScenarioBuilder("t")
+                      .Title("t")
+                      .Memory({.policies = {static_cast<hv::PolicyKind>(99)}})
+                      .Runner(NopRunner())
+                      .Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("policy"), std::string::npos);
+}
+
+TEST(ScenarioBuilderTest, RejectsZeroSmokeScale) {
+  auto scenario =
+      ScenarioBuilder("t").Title("t").SmokeScale(0).Runner(NopRunner()).Build();
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(ScenarioBuilderTest, RejectsZeroServerMemoryAndOversizedBuff) {
+  auto zero_mem = ScenarioBuilder("t")
+                      .Title("t")
+                      .Topology({.server_memory = 0})
+                      .Runner(NopRunner())
+                      .Build();
+  EXPECT_FALSE(zero_mem.ok());
+  auto big_buff = ScenarioBuilder("t")
+                      .Title("t")
+                      .Topology({.server_memory = 1 * kGiB, .buff_size = 2 * kGiB})
+                      .Runner(NopRunner())
+                      .Build();
+  EXPECT_FALSE(big_buff.ok());
+}
+
+TEST(ScenarioBuilderTest, RejectsEmptyEnergyMachines) {
+  auto scenario = ScenarioBuilder("t")
+                      .Title("t")
+                      .Energy({.machines = {}, .trace = {}})
+                      .Runner(NopRunner())
+                      .Build();
+  EXPECT_FALSE(scenario.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Smoke scaling (the centralized ZOMBIE_BENCH_SMOKE replacement).
+// ---------------------------------------------------------------------------
+
+TEST(RunContextTest, ScaledAccessesCapsOnlyInSmokeMode) {
+  ScenarioSpec spec;
+  spec.smoke_scale = 1000;
+  RunOptions full;
+  EXPECT_EQ(RunContext(spec, full).ScaledAccesses(5'000'000), 5'000'000u);
+  RunOptions smoke;
+  smoke.smoke = true;
+  EXPECT_EQ(RunContext(spec, smoke).ScaledAccesses(5'000'000), 1000u);
+  EXPECT_EQ(RunContext(spec, smoke).ScaledAccesses(500), 500u);
+}
+
+TEST(RunContextTest, ProfileAppliesOverridesAndSmoke) {
+  ScenarioSpec spec;
+  spec.workload.reserved_memory = 8 * kMiB;
+  spec.workload.working_set = 4 * kMiB;
+  RunOptions smoke;
+  smoke.smoke = true;
+  const auto profile =
+      RunContext(spec, smoke).Profile(workloads::App::kElasticsearch);
+  EXPECT_EQ(profile.reserved_memory, 8 * kMiB);
+  EXPECT_EQ(profile.working_set, 4 * kMiB);
+  EXPECT_LE(profile.accesses, spec.smoke_scale);
+}
+
+TEST(RunContextTest, ParamsParseAndFallBack) {
+  ScenarioSpec spec;
+  RunOptions options;
+  options.params["servers"] = "42";
+  options.params["ratio"] = "2.5";
+  RunContext ctx(spec, options);
+  EXPECT_TRUE(ctx.HasParam("servers"));
+  EXPECT_FALSE(ctx.HasParam("tasks"));
+  EXPECT_EQ(ctx.ParamU64("servers", 7), 42u);
+  EXPECT_EQ(ctx.ParamU64("tasks", 7), 7u);
+  EXPECT_EQ(ctx.ParamDouble("ratio", 1.0), 2.5);
+  EXPECT_EQ(ctx.Param("missing", "x"), "x");
+}
+
+// ---------------------------------------------------------------------------
+// Registry lookup / listing.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioRegistryTest, CatalogHasAtLeastFifteenScenarios) {
+  EXPECT_GE(ScenarioRegistry::Instance().size(), 15u);
+}
+
+TEST(ScenarioRegistryTest, FindsEveryListedScenarioByName) {
+  const auto all = ScenarioRegistry::Instance().List();
+  ASSERT_FALSE(all.empty());
+  for (const Scenario* scenario : all) {
+    auto found = ScenarioRegistry::Instance().Find(scenario->name());
+    ASSERT_TRUE(found.ok()) << scenario->name();
+    EXPECT_EQ(found.value(), scenario);
+  }
+}
+
+TEST(ScenarioRegistryTest, ListIsNameSorted) {
+  const auto all = ScenarioRegistry::Instance().List();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name(), all[i]->name());
+  }
+}
+
+TEST(ScenarioRegistryTest, UnknownNameIsNotFoundWithHint) {
+  auto found = ScenarioRegistry::Instance().Find("fig0");
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.status().code(), ErrorCode::kNotFound);
+  // Prefix hint: fig01..fig10 all match.
+  EXPECT_NE(found.status().message().find("fig08"), std::string::npos);
+}
+
+TEST(ScenarioRegistryTest, PaperFiguresAreRegistered) {
+  for (const char* name : {"fig01", "fig02", "fig03", "fig04", "fig08", "fig09",
+                           "fig10", "table1", "table2", "table2b", "table3",
+                           "ablation_buff_size", "ablation_local_floor",
+                           "ablation_mixed_depth", "ext_cooling", "ex_quickstart",
+                           "ex_rack_consolidation", "ex_remote_swap",
+                           "ex_vm_migration", "ex_datacenter_energy"}) {
+    EXPECT_TRUE(ScenarioRegistry::Instance().Find(name).ok()) << name;
+  }
+}
+
+TEST(ScenarioRegistryTest, DuplicateRegistrationConflicts) {
+  ScenarioRegistry registry;
+  auto scenario = ScenarioBuilder("dup").Title("t").Runner(NopRunner()).Build();
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(registry.Register(scenario.value()).ok());
+  EXPECT_EQ(registry.Register(scenario.value()).code(), ErrorCode::kConflict);
+}
+
+// ---------------------------------------------------------------------------
+// Report emitters.
+// ---------------------------------------------------------------------------
+
+Report SampleReport() {
+  Report r("sample", "A \"quoted\" title\nwith newline");
+  r.Text("== banner ==\n\n");
+  auto& table = r.AddTable("t1", "first table:", {"name", "value"});
+  table.Row({"plain", "1.00"});
+  table.Row({"comma, cell", "2.50"});
+  table.Row({"has \"quotes\"", "inf"});
+  r.Text("\n");
+  auto& second = r.AddTable("t2", "", {"x"});
+  second.Row({"y"});
+  r.Metric("best_percent", 12.5);
+  r.Metric("not_finite", 1.0 / 0.0);
+  r.Text("\ntrailing note\n");
+  return r;
+}
+
+TEST(ReportTest, JsonIsSchemaValid) {
+  const Report r = SampleReport();
+  const std::string json = r.RenderJson();
+  EXPECT_TRUE(report::ValidateJson(json).ok())
+      << report::ValidateJson(json).ToString() << "\n" << json;
+  EXPECT_TRUE(report::ValidateReportJson(json).ok());
+  // Escaped title and non-finite metric handling.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"not_finite\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"best_percent\": 12.5"), std::string::npos);
+}
+
+TEST(ReportTest, JsonRoundTripsCellsAndColumns) {
+  const std::string json = SampleReport().RenderJson();
+  // Every cell value must survive into the document (with escaping).
+  EXPECT_NE(json.find("\"comma, cell\""), std::string::npos);
+  EXPECT_NE(json.find("has \\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"columns\": [\"name\", \"value\"]"), std::string::npos);
+}
+
+TEST(ReportTest, ValidatorRejectsMalformedJson) {
+  EXPECT_FALSE(report::ValidateJson("{\"a\": }").ok());
+  EXPECT_FALSE(report::ValidateJson("{\"a\": 1,}").ok());
+  EXPECT_FALSE(report::ValidateJson("{\"a\": \"unterminated}").ok());
+  EXPECT_FALSE(report::ValidateJson("[1, 2").ok());
+  EXPECT_FALSE(report::ValidateJson("{} trailing").ok());
+  EXPECT_TRUE(report::ValidateJson("[1, 2.5, -3e4, true, null, \"s\"]").ok());
+  EXPECT_TRUE(report::ValidateJson("{\"nested\": {\"a\": [{}]}}").ok());
+  // Schema check needs the report keys.
+  EXPECT_FALSE(report::ValidateReportJson("{\"schema\": 1}").ok());
+}
+
+// A tiny CSV reader for the round-trip check: splits `text` into rows of
+// cells, honouring RFC-4180 quoting, skipping comment/blank lines.
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '#') {  // comment line
+      while (i < text.size() && text[i] != '\n') {
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (text[i] == '\n') {
+      ++i;
+      continue;
+    }
+    std::vector<std::string> row;
+    std::string cell;
+    while (i < text.size() && text[i] != '\n') {
+      if (text[i] == '"') {
+        ++i;
+        while (i < text.size()) {
+          if (text[i] == '"' && i + 1 < text.size() && text[i + 1] == '"') {
+            cell += '"';
+            i += 2;
+          } else if (text[i] == '"') {
+            ++i;
+            break;
+          } else {
+            cell += text[i++];
+          }
+        }
+      } else if (text[i] == ',') {
+        row.push_back(cell);
+        cell.clear();
+        ++i;
+      } else {
+        cell += text[i++];
+      }
+    }
+    row.push_back(cell);
+    rows.push_back(row);
+    ++i;
+  }
+  return rows;
+}
+
+TEST(ReportTest, CsvRoundTrip) {
+  const Report r = SampleReport();
+  const auto rows = ParseCsv(r.RenderCsv());
+  // t1: header + 3 rows; t2: header + 1 row.
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"plain", "1.00"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"comma, cell", "2.50"}));
+  EXPECT_EQ(rows[3], (std::vector<std::string>{"has \"quotes\"", "inf"}));
+  EXPECT_EQ(rows[4], (std::vector<std::string>{"x"}));
+  EXPECT_EQ(rows[5], (std::vector<std::string>{"y"}));
+}
+
+TEST(ReportTest, NumAndPenaltyFormatting) {
+  EXPECT_EQ(Report::Num(12.345, 2), "12.35");
+  EXPECT_EQ(Report::Num(7, 0), "7");
+  EXPECT_EQ(Report::Penalty(8.0), "8.00%");
+  EXPECT_EQ(Report::Penalty(42.25), "42.2%");
+  EXPECT_EQ(Report::Penalty(9000.0), "9k%");
+  EXPECT_EQ(Report::Penalty(1.0 / 0.0), "inf");
+  EXPECT_EQ(Report::Int(123), "123");
+}
+
+// ---------------------------------------------------------------------------
+// Result<T> hardening helpers.
+// ---------------------------------------------------------------------------
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) {
+    return Result<int>(ErrorCode::kInvalidArgument, "not positive");
+  }
+  return v;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  ZOMBIE_ASSIGN_OR_RETURN(const int parsed, ParsePositive(v));
+  ZOMBIE_RETURN_IF_ERROR(Status::Ok());
+  *out = parsed * 2;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesValueAndError) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  const Status failed = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(failed.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(out, 42);  // untouched on the error path
+}
+
+TEST(ResultTest, ValueOrOnBothReferenceKinds) {
+  const Result<std::string> good(std::string("yes"));
+  const std::string fallback = "no";
+  EXPECT_EQ(good.value_or(fallback), "yes");
+  Result<std::string> bad(ErrorCode::kNotFound, "missing");
+  EXPECT_EQ(bad.value_or(fallback), "no");
+  EXPECT_EQ(Result<std::string>(std::string("moved")).value_or("no"), "moved");
+  EXPECT_EQ(Result<std::string>(ErrorCode::kTimeout, "t").value_or("fb"), "fb");
+}
+
+// ---------------------------------------------------------------------------
+// Golden byte-compares: fig08/table1 table output against the pre-port
+// binaries' smoke-mode stdout.
+// ---------------------------------------------------------------------------
+
+std::string RunTableSmoke(const char* name) {
+  auto found = ScenarioRegistry::Instance().Find(name);
+  if (!found.ok()) {
+    ADD_FAILURE() << found.status().ToString();
+    return {};
+  }
+  RunOptions options;
+  options.smoke = true;
+  auto report = found.value()->Run(options);
+  if (!report.ok()) {
+    ADD_FAILURE() << report.status().ToString();
+    return {};
+  }
+  return report.value().RenderTableText();
+}
+
+TEST(ScenarioGoldenTest, Fig08TableSmokeMatchesPrePortBinary) {
+  // The .inc capture drops the trailing newline of the original stdout.
+  EXPECT_EQ(RunTableSmoke("fig08"), std::string(kFig08SmokeGolden) + "\n");
+}
+
+TEST(ScenarioGoldenTest, Table1TableSmokeMatchesPrePortBinary) {
+  EXPECT_EQ(RunTableSmoke("table1"), std::string(kTable1SmokeGolden) + "\n");
+}
+
+// Every registered scenario must produce a schema-valid JSON document in
+// smoke mode (the ctest scenario_cli gate re-checks this through the CLI).
+TEST(ScenarioGoldenTest, EveryScenarioEmitsSchemaValidJsonInSmokeMode) {
+  RunOptions options;
+  options.smoke = true;
+  for (const Scenario* scenario : ScenarioRegistry::Instance().List()) {
+    SCOPED_TRACE(scenario->name());
+    auto report = scenario->Run(options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const std::string json = report.value().RenderJson();
+    EXPECT_TRUE(report::ValidateReportJson(json).ok())
+        << report::ValidateReportJson(json).ToString();
+    EXPECT_TRUE(report.value().smoke());
+  }
+}
+
+}  // namespace
+}  // namespace zombie::scenario

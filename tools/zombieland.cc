@@ -1,0 +1,7 @@
+// The zombieland CLI: list and run registered scenarios (see
+// src/scenario/driver.h and BUILDING.md, "Running scenarios").
+#include "src/scenario/driver.h"
+
+int main(int argc, char** argv) {
+  return zombie::scenario::ZombielandMain(argc, argv);
+}
