@@ -1,0 +1,36 @@
+# ctest gate: `zombieland run --all --smoke --format=json` must be
+# byte-identical between -j 1 and -j 4 (parallel workers collect reports in
+# registration order, so the rendered document may not depend on scheduling).
+#
+# Invoked as:
+#   cmake -DZOMBIELAND=<path> -DWORK_DIR=<dir> -P parallel_determinism.cmake
+if(NOT DEFINED ZOMBIELAND OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "parallel_determinism.cmake needs -DZOMBIELAND= and -DWORK_DIR=")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(serial "${WORK_DIR}/run_all_j1.json")
+set(parallel "${WORK_DIR}/run_all_j4.json")
+
+execute_process(
+  COMMAND "${ZOMBIELAND}" run --all --smoke --format=json -j 1 --out=${serial}
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "zombieland run --all -j 1 failed (exit ${serial_rc})")
+endif()
+
+execute_process(
+  COMMAND "${ZOMBIELAND}" run --all --smoke --format=json -j 4 --out=${parallel}
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "zombieland run --all -j 4 failed (exit ${parallel_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${serial}" "${parallel}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "-j 4 JSON differs from -j 1 (compare ${serial} vs ${parallel})")
+endif()
+message(STATUS "parallel determinism: -j 4 output byte-identical to -j 1")

@@ -30,7 +30,9 @@ echo "==> micro_hotloop (full size) -> BENCH_hotloop.json"
 echo "==> scenario catalog (smoke) -> BENCH_scenarios.json"
 # One aggregate document with every registered scenario's structured report
 # (tables + headline metrics); the driver schema-validates each entry.
-./build-bench/zombieland run --all --smoke --format=json \
+# --timings records wall-clock seconds per scenario in the document's
+# "timings" object, so the artifact doubles as a perf trajectory.
+./build-bench/zombieland run --all --smoke --format=json --timings \
   --out="${repo_root}/BENCH_scenarios.json"
 
 if [[ "${quick}" == "0" ]]; then

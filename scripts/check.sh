@@ -1,48 +1,102 @@
 #!/usr/bin/env bash
-# Full local verification: the tier-1 build+test and an ASan/UBSan pass (both
-# include the bench_smoke label).  Run from anywhere inside the repo.
+# Full local verification, split into the stages the CI workflow runs as its
+# matrix (.github/workflows/ci.yml).  Run from anywhere inside the repo.
 #
-#   scripts/check.sh            # everything
-#   scripts/check.sh --fast     # tier-1 only (skip sanitizers)
+#   scripts/check.sh                  # tier1 scenario perf asan (everything)
+#   scripts/check.sh --fast           # tier1 scenario perf (skip sanitizers)
+#   scripts/check.sh tier1 scenario   # just the named stages
 #
-# Exit code is nonzero if any stage fails.
+# Stages:
+#   tier1     configure + build + ctest (build/), perf_smoke excluded — the
+#             perf gate runs exactly once, in its own serial stage
+#   scenario  every registered scenario emits schema-valid JSON; -j 4 output
+#             is byte-identical to -j 1 (part of ctest too; re-run via the
+#             CLI here so the gate works without ZOMBIE_BUILD_TESTS)
+#   perf      micro_hotloop vs the checked-in floor, serial.  Skipped when
+#             ZOMBIE_SKIP_PERF=1 (escape hatch for CI runners with noisy
+#             neighbors; the workflow sets it, local runs default to off)
+#   asan      ASan/UBSan configure + build + ctest (build-asan/)
+#   bench     Release build (build-bench/) + the bench_smoke label
+#
+# ccache is used automatically when present.  Exit code is nonzero if any
+# stage fails.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
-fast=0
-if [[ "${1:-}" == "--fast" ]]; then
-  fast=1
+
+cmake_args=()
+if command -v ccache >/dev/null 2>&1; then
+  cmake_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
-echo "==> [1/4] tier-1: configure + build + ctest (build/)"
-cmake -B build -S .
-cmake --build build -j "${jobs}"
-ctest --test-dir build --output-on-failure -j "${jobs}"
-
-echo "==> [2/4] scenario gate: every registered scenario emits schema-valid JSON"
-# The driver validates each document against the report schema before
-# emitting it; a scenario that fails to run or emits bad JSON fails here.
-./build/zombieland run --all --smoke --format=json > /dev/null
-./build/zombieland list > /dev/null
-
-echo "==> [3/4] perf gate: micro_hotloop vs the checked-in floor"
-# Runs serially so the throughput measurement is not polluted by parallel
-# test load.  (Also part of stage 1; this re-run is the authoritative one.)
-ctest --test-dir build -L perf_smoke --output-on-failure
-
-if [[ "${fast}" == "1" ]]; then
-  echo "==> --fast: skipping sanitizer stage"
-  exit 0
+stages=()
+for arg in "$@"; do
+  case "${arg}" in
+    --fast) stages+=(tier1 scenario perf) ;;
+    tier1|scenario|perf|asan|bench) stages+=("${arg}") ;;
+    *)
+      echo "check.sh: unknown argument '${arg}'" >&2
+      echo "usage: scripts/check.sh [--fast] [tier1|scenario|perf|asan|bench ...]" >&2
+      exit 2
+      ;;
+  esac
+done
+if [[ ${#stages[@]} -eq 0 ]]; then
+  stages=(tier1 scenario perf asan)
 fi
 
-echo "==> [4/4] ASan/UBSan: configure + build + ctest (build-asan/)"
-# perf_smoke is not registered under ZOMBIE_SANITIZE (instrumentation would
-# always trip the floor).
-cmake -B build-asan -S . -DZOMBIE_SANITIZE=ON
-cmake --build build-asan -j "${jobs}"
-ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+total=${#stages[@]}
+n=0
+for stage in "${stages[@]}"; do
+  n=$((n + 1))
+  case "${stage}" in
+    tier1)
+      echo "==> [${n}/${total}] tier-1: configure + build + ctest (build/)"
+      cmake -B build -S . "${cmake_args[@]}"
+      cmake --build build -j "${jobs}"
+      # perf_smoke is excluded here; the perf stage runs it serially so the
+      # throughput measurement is not polluted by parallel test load.
+      ctest --test-dir build --output-on-failure -j "${jobs}" -LE perf_smoke
+      ;;
+    scenario)
+      echo "==> [${n}/${total}] scenario gate: schema-valid JSON, -j 4 == -j 1"
+      # The driver validates each document against the report schema before
+      # emitting it; a scenario that fails to run or emits bad JSON fails
+      # here.  The parallel run must be byte-identical to the serial one.
+      cmake -B build -S . "${cmake_args[@]}" >/dev/null
+      cmake --build build -j "${jobs}" --target zombieland
+      ./build/zombieland run --all --smoke --format=json -j 1 --out=build/check_j1.json
+      ./build/zombieland run --all --smoke --format=json -j 4 --out=build/check_j4.json
+      cmp build/check_j1.json build/check_j4.json
+      ./build/zombieland list > /dev/null
+      ./build/zombieland params fig08 > /dev/null
+      ;;
+    perf)
+      if [[ "${ZOMBIE_SKIP_PERF:-0}" == "1" ]]; then
+        echo "==> [${n}/${total}] perf gate: skipped (ZOMBIE_SKIP_PERF=1)"
+        continue
+      fi
+      echo "==> [${n}/${total}] perf gate: micro_hotloop vs the checked-in floor"
+      ctest --test-dir build -L perf_smoke --output-on-failure
+      ;;
+    asan)
+      echo "==> [${n}/${total}] ASan/UBSan: configure + build + ctest (build-asan/)"
+      # perf_smoke is not registered under ZOMBIE_SANITIZE (instrumentation
+      # would always trip the floor).
+      cmake -B build-asan -S . -DZOMBIE_SANITIZE=ON "${cmake_args[@]}"
+      cmake --build build-asan -j "${jobs}"
+      ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+      ;;
+    bench)
+      echo "==> [${n}/${total}] bench smoke: Release build + bench_smoke label"
+      cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release "${cmake_args[@]}"
+      cmake --build build-bench -j "${jobs}"
+      ctest --test-dir build-bench -L bench_smoke --output-on-failure -j "${jobs}"
+      ;;
+  esac
+done
 
 echo "==> check.sh: all stages passed"

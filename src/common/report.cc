@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/common/table.h"
 
@@ -62,6 +63,44 @@ ReportTable& Report::AddTable(std::string id, std::string title,
   items_.push_back({Item::Kind::kTable, tables_.size()});
   tables_.emplace_back(std::move(id), std::move(title), std::move(columns));
   return tables_.back();
+}
+
+void ReportTable::SetCell(std::size_t row, std::size_t column, std::string value) {
+  if (row >= rows_.size() || column >= rows_[row].size()) {
+    std::fprintf(stderr, "report: SetCell(%zu, %zu) outside the %zux%zu grid of '%s'\n",
+                 row, column, rows_.size(), columns_.size(), id_.c_str());
+    std::abort();
+  }
+  rows_[row][column] = std::move(value);
+}
+
+SweepTable Report::AddSweepTable(std::string id, std::string title,
+                                 std::string row_header,
+                                 std::vector<std::string> row_labels,
+                                 std::vector<std::string> columns) {
+  std::vector<std::string> header;
+  header.reserve(columns.size() + 1);
+  header.push_back(std::move(row_header));
+  for (std::string& column : columns) {
+    header.push_back(std::move(column));
+  }
+  const std::size_t value_columns = header.size() - 1;
+  ReportTable& table = AddTable(std::move(id), std::move(title), std::move(header));
+  for (std::string& label : row_labels) {
+    std::vector<std::string> row(value_columns + 1);
+    row[0] = std::move(label);
+    table.Row(std::move(row));
+  }
+  return SweepTable(*this, tables_.size() - 1, row_labels.size(), value_columns);
+}
+
+void SweepTable::Set(std::size_t row, std::size_t column, std::string value) {
+  if (row >= rows_ || column >= columns_) {
+    std::fprintf(stderr, "report: sweep cell (%zu, %zu) outside the %zux%zu grid\n",
+                 row, column, rows_, columns_);
+    std::abort();
+  }
+  report_->tables_[table_index_].SetCell(row, column + 1, std::move(value));
 }
 
 void Report::Metric(std::string key, double value) {

@@ -39,6 +39,9 @@ class ReportTable {
     return *this;
   }
 
+  // Overwrites one cell of a pre-gridded table (see Report::AddSweepTable).
+  void SetCell(std::size_t row, std::size_t column, std::string value);
+
   const std::string& id() const { return id_; }
   const std::string& title() const { return title_; }
   const std::vector<std::string>& columns() const { return columns_; }
@@ -49,6 +52,34 @@ class ReportTable {
   std::string title_;  // printed verbatim (plus '\n') above the table, if any
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+class Report;
+
+// The sweep-aware table section: a pivot grid pre-sized from a sweep's axes
+// (one row per row-axis value, one value column per column-axis value or per
+// measure), filled cell-by-cell as sweep points complete — in any order —
+// and rendered exactly like a regular table.  This is how a swept scenario
+// emits one consolidated table instead of N concatenated per-point ones.
+// The handle addresses its table by index, so it stays valid across later
+// Add* calls on the same report.
+class SweepTable {
+ public:
+  // Sets the value cell at (row-axis index, column-axis index).  Column 0 of
+  // the underlying table holds the row label; `column` here counts value
+  // columns only.  Out-of-grid coordinates abort (a programming error).
+  void Set(std::size_t row, std::size_t column, std::string value);
+
+ private:
+  friend class Report;
+  SweepTable(Report& report, std::size_t table_index, std::size_t rows,
+             std::size_t columns)
+      : report_(&report), table_index_(table_index), rows_(rows), columns_(columns) {}
+
+  Report* report_;
+  std::size_t table_index_;
+  std::size_t rows_;
+  std::size_t columns_;
 };
 
 class Report {
@@ -64,6 +95,13 @@ class Report {
   // Appends a table.  The reference is stable until the next AddTable call.
   ReportTable& AddTable(std::string id, std::string title,
                         std::vector<std::string> columns);
+
+  // Appends a pre-gridded sweep pivot table: header {row_header, columns...},
+  // one row per entry of `row_labels` (cells start empty), filled through the
+  // returned handle.  The handle stays valid until the next Add* call.
+  SweepTable AddSweepTable(std::string id, std::string title, std::string row_header,
+                           std::vector<std::string> row_labels,
+                           std::vector<std::string> columns);
 
   // Records a headline scalar (JSON "metrics" object; invisible in table
   // mode, where the accompanying Text note carries the number).
@@ -92,6 +130,8 @@ class Report {
   static std::string Int(std::uint64_t v);
 
  private:
+  friend class SweepTable;
+
   // Items interleave text chunks and tables in insertion order.
   struct Item {
     enum class Kind { kText, kTable } kind;

@@ -2,6 +2,7 @@
 // configuration and the Sz estimate), Fig. 10 (datacenter energy saving of
 // Neat/Oasis/ZombieStack) and the footnote-1 cooling extension.  Ports of
 // the historical bench binaries; table-mode output is byte-identical.
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -104,24 +105,6 @@ ZOMBIE_REGISTER_SCENARIO(
 // twice the CPU demand (bottom).
 // ---------------------------------------------------------------------------
 
-// Renders one machines-x-policies table and returns the per-machine results
-// (in spec machine order) so callers can reuse them without re-simulating.
-std::vector<std::vector<DcResult>> Fig10Comparison(Report& r, const RunContext& ctx,
-                                                   const char* id, const char* title,
-                                                   const Trace& trace) {
-  std::vector<std::vector<DcResult>> per_machine;
-  auto& table = r.AddTable(id, title, {"machine", "Neat", "Oasis", "ZombieStack"});
-  for (MachineKind kind : ctx.spec().energy.machines) {
-    const acpi::MachineProfile profile = MachineProfileFor(kind);
-    const std::vector<DcResult> results = RunAllPolicies(trace, profile);
-    table.Row({profile.name(), Report::Num(results[1].saving_percent, 0) + "%",
-               Report::Num(results[2].saving_percent, 0) + "%",
-               Report::Num(results[3].saving_percent, 0) + "%"});
-    per_machine.push_back(results);
-  }
-  return per_machine;
-}
-
 Report RunFig10(const RunContext& ctx) {
   using acpi::MachineProfile;
 
@@ -132,11 +115,39 @@ Report RunFig10(const RunContext& ctx) {
   const Trace modified =
       WithMemoryRatio(original, ctx.spec().energy.modified_mem_ratio);
 
-  Fig10Comparison(r, ctx, "original", "(top) Original trace shape:", original);
-  r.Text("\n");
-  const auto modified_results = Fig10Comparison(
-      r, ctx, "modified", "(bottom) Modified traces (memory demand = 2x CPU demand):",
-      modified);
+  // trace_shape (outer axis) groups the grid into the paper's (top)/(bottom)
+  // tables; machine is the row axis.
+  const std::vector<std::string> machines = ctx.Axis("machine");
+  std::vector<std::string> machine_rows;
+  for (const std::string& key : machines) {
+    machine_rows.push_back(MachineProfileFor(MachineKindFromKey(key)).name());
+  }
+
+  std::optional<report::SweepTable> table;
+  std::vector<DcResult> dell_modified;
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
+    const bool modified_shape = pt.Value("trace_shape") == "modified";
+    if (pt.AxisIndex("machine") == 0) {
+      if (pt.index() > 0) {  // blank line between consecutive shape tables
+        r.Text("\n");
+      }
+      table = r.AddSweepTable(
+          modified_shape ? "modified" : "original",
+          modified_shape ? "(bottom) Modified traces (memory demand = 2x CPU demand):"
+                         : "(top) Original trace shape:",
+          "machine", machine_rows, {"Neat", "Oasis", "ZombieStack"});
+    }
+    const MachineKind kind = MachineKindFromKey(pt.Value("machine"));
+    const std::vector<DcResult> results =
+        RunAllPolicies(modified_shape ? modified : original, MachineProfileFor(kind));
+    const std::size_t row = pt.AxisIndex("machine");
+    for (std::size_t p = 0; p < 3; ++p) {
+      table->Set(row, p, Report::Num(results[p + 1].saving_percent, 0) + "%");
+    }
+    if (modified_shape && kind == MachineKind::kDellPrecisionT5810) {
+      dell_modified = results;
+    }
+  }
 
   r.Text(
       "\nPaper: (top) Neat 36/36, Oasis 40/40, ZombieStack 54/56;\n"
@@ -145,15 +156,8 @@ Report RunFig10(const RunContext& ctx) {
       "memory-heavy traces (ZombieStack up to ~86% better than Neat).\n");
 
   // The headline relative improvements of the abstract, from the Dell run of
-  // the modified-trace table (re-simulated only if the spec dropped Dell).
-  std::vector<DcResult> results;
-  const auto& machines = ctx.spec().energy.machines;
-  for (std::size_t m = 0; m < machines.size(); ++m) {
-    if (machines[m] == MachineKind::kDellPrecisionT5810) {
-      results = modified_results[m];
-      break;
-    }
-  }
+  // the modified-trace table (re-simulated only if the sweep dropped Dell).
+  std::vector<DcResult> results = std::move(dell_modified);
   if (results.empty()) {
     results =
         RunAllPolicies(modified, MachineProfileFor(MachineKind::kDellPrecisionT5810));
@@ -189,10 +193,15 @@ ZOMBIE_REGISTER_SCENARIO(
         .Title("Figure 10: % energy saving vs no-consolidation baseline")
         .Description("Neat vs Oasis vs ZombieStack on both machines, original "
                      "and memory-heavy traces")
-        .Energy({.machines = {MachineKind::kHpCompaqElite8300,
-                              MachineKind::kDellPrecisionT5810},
-                 .trace = Fig10Trace(),
-                 .modified_mem_ratio = 2.0})
+        .Energy({.trace = Fig10Trace(), .modified_mem_ratio = 2.0})
+        .Param({.name = "trace_shape",
+                .description = "trace transform axis",
+                .choices = {"original", "modified"}})
+        .Param({.name = "machine",
+                .description = "Table-3 machine profile axis",
+                .choices = {"hp", "dell"}})
+        .Sweep({.axes = {{"trace_shape", {"original", "modified"}},
+                         {"machine", {"hp", "dell"}}}})
         .Runner(RunFig10));
 
 // ---------------------------------------------------------------------------

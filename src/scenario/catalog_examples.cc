@@ -454,6 +454,18 @@ ZOMBIE_REGISTER_SCENARIO(
                      "--set servers/tasks/mem_ratio to reshape it")
         .Energy({.machines = {MachineKind::kDellPrecisionT5810},
                  .trace = DatacenterTrace()})
+        .Param({.name = "servers",
+                .type = ParamType::kU64,
+                .description = "rack size (default: trace config)",
+                .range = ParamRange{.min = 1}})
+        .Param({.name = "tasks",
+                .type = ParamType::kU64,
+                .description = "task count (default: trace config)",
+                .range = ParamRange{.min = 1}})
+        .Param({.name = "mem_ratio",
+                .type = ParamType::kDouble,
+                .description = "pin memory bookings to ratio x CPU bookings",
+                .range = ParamRange{.min = 0.0}})
         .Runner(RunDatacenterEnergy));
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Registry entries for the migration experiments: Fig. 9 (migration time vs
 // working-set size) and the BUFF_SIZE granularity ablation.  Ports of the
 // historical bench binaries; table-mode output is byte-identical.
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -86,11 +87,16 @@ Report RunAblationBuffSize(const RunContext& ctx) {
   r.Text("Scenario: two zombies lend ~14 GiB each; a user allocates 8 GiB and\n");
   r.Text("later migrates the VM (56% local).\n\n");
 
-  auto& table = r.AddTable(
-      "buff_size", "",
-      {"BUFF_SIZE", "buffers/alloc", "hosts spanned", "reclaim blast (buffers)",
+  std::vector<std::string> rows;
+  for (std::uint64_t mib : ctx.AxisU64s("buff_mib")) {
+    rows.push_back(Report::Num(static_cast<double>(mib), 0) + " MiB");
+  }
+  auto table = r.AddSweepTable(
+      "buff_size", "", "BUFF_SIZE", rows,
+      {"buffers/alloc", "hosts spanned", "reclaim blast (buffers)",
        "migration ownership cost (ms)"});
-  for (Bytes buff : std::vector<Bytes>{16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB}) {
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
+    const Bytes buff = pt.U64("buff_mib") * kMiB;
     cloud::RackConfig config;
     config.buff_size = buff;
     config.materialize_memory = ctx.spec().topology.materialize_memory;
@@ -127,9 +133,11 @@ Report RunAblationBuffSize(const RunContext& ctx) {
         static_cast<double>(extent.value()->buffer_count()) *
         ToSeconds(zombie::migration::MigrationConfig{}.ownership_update_cost) * 1000;
 
-    table.Row({Report::Num(static_cast<double>(buff) / kMiB, 0) + " MiB",
-               std::to_string(extent.value()->buffer_count()), std::to_string(hosts),
-               std::to_string(z1_buffers), Report::Num(ownership_ms, 1)});
+    const std::size_t row = pt.AxisIndex("buff_mib");
+    table.Set(row, 0, std::to_string(extent.value()->buffer_count()));
+    table.Set(row, 1, std::to_string(hosts));
+    table.Set(row, 2, std::to_string(z1_buffers));
+    table.Set(row, 3, Report::Num(ownership_ms, 1));
   }
 
   r.Text(
@@ -145,6 +153,11 @@ ZOMBIE_REGISTER_SCENARIO(
         .Description("Remote-buffer size trade-off: reclaim blast radius vs "
                      "migration ownership-update cost")
         .Topology({.zombies = 2})
+        .Param({.name = "buff_mib",
+                .type = ParamType::kU64,
+                .description = "rack-uniform BUFF_SIZE in MiB",
+                .range = ParamRange{.min = 1}})
+        .Sweep({.axes = {{"buff_mib", {"16", "64", "256", "1024"}}}})
         .Runner(RunAblationBuffSize));
 
 }  // namespace

@@ -4,9 +4,12 @@
 // the local-memory-floor / Mixed-depth ablations.  Ports of the historical
 // bench binaries; table-mode output is byte-identical.
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/report.h"
@@ -43,81 +46,67 @@ int PercentOf(double fraction) {
 // ---------------------------------------------------------------------------
 
 Report RunFig08(const RunContext& ctx) {
-  using hv::PolicyKind;
-
   Report r = ctx.MakeReport();
   r.Text("== Figure 8: FIFO vs Clock vs Mixed (micro-benchmark, RAM Ext) ==\n\n");
 
   const AppProfile profile = ctx.Profile(App::kMicro);
-  const std::vector<double>& locals = ctx.spec().memory.local_fractions;
-  const std::vector<PolicyKind> policies = ctx.Policies();
-
-  std::map<PolicyKind, std::map<int, RunResult>> results;
-  for (PolicyKind policy : policies) {
-    for (double fraction : locals) {
-      auto testbed = ctx.MakeTestbed(profile.reserved_memory);
-      WorkloadRunner runner(ctx.MakeRunnerOptions(policy));
-      results[policy][PercentOf(fraction)] =
-          runner.RunRamExt(profile, fraction, testbed->backend());
-    }
+  const std::vector<std::string> policies = ctx.Axis("policy");
+  std::vector<std::string> locals;
+  for (double fraction : ctx.AxisDoubles("local_fraction")) {
+    locals.push_back(std::to_string(PercentOf(fraction)));
   }
 
-  auto& top = r.AddTable("exec_seconds",
-                         "(top) Execution time, seconds of simulated time:",
-                         {"% local", "FIFO", "Clock", "Mixed"});
-  for (double fraction : locals) {
-    const int local = PercentOf(fraction);
-    top.Row({std::to_string(local),
-             Report::Num(results[PolicyKind::kFifo][local].seconds(), 2),
-             Report::Num(results[PolicyKind::kClock][local].seconds(), 2),
-             Report::Num(results[PolicyKind::kMixed][local].seconds(), 2)});
-  }
+  auto top = r.AddSweepTable("exec_seconds",
+                             "(top) Execution time, seconds of simulated time:",
+                             "% local", locals, policies);
+  auto mid = r.AddSweepTable("faults_thousands", "\n(middle) Page faults (thousands):",
+                             "% local", locals, policies);
+  auto bottom = r.AddSweepTable("policy_cycles",
+                                "\n(bottom) Policy time per page fault (CPU cycles):",
+                                "% local", locals, policies);
 
-  auto& mid = r.AddTable("faults_thousands", "\n(middle) Page faults (thousands):",
-                         {"% local", "FIFO", "Clock", "Mixed"});
-  for (double fraction : locals) {
-    const int local = PercentOf(fraction);
-    auto faults = [&](PolicyKind p) {
-      return Report::Num(static_cast<double>(results[p][local].pager.faults) / 1000.0,
-                         1);
-    };
-    mid.Row({std::to_string(local), faults(PolicyKind::kFifo),
-             faults(PolicyKind::kClock), faults(PolicyKind::kMixed)});
-  }
-
-  auto& bottom =
-      r.AddTable("policy_cycles", "\n(bottom) Policy time per page fault (CPU cycles):",
-                 {"% local", "FIFO", "Clock", "Mixed"});
-  for (double fraction : locals) {
-    const int local = PercentOf(fraction);
-    auto cycles = [&](PolicyKind p) {
-      return std::to_string(results[p][local].pager.PolicyCyclesPerFault());
-    };
-    bottom.Row({std::to_string(local), cycles(PolicyKind::kFifo),
-                cycles(PolicyKind::kClock), cycles(PolicyKind::kMixed)});
+  std::vector<std::vector<double>> exec(policies.size(),
+                                        std::vector<double>(locals.size(), 0.0));
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
+    const std::size_t p = pt.AxisIndex("policy");
+    const std::size_t f = pt.AxisIndex("local_fraction");
+    auto testbed = ctx.MakeTestbed(profile.reserved_memory);
+    WorkloadRunner runner(ctx.MakeRunnerOptions(PolicyKindFromName(pt.Value("policy"))));
+    const RunResult run =
+        runner.RunRamExt(profile, pt.Double("local_fraction"), testbed->backend());
+    top.Set(f, p, Report::Num(run.seconds(), 2));
+    mid.Set(f, p, Report::Num(static_cast<double>(run.pager.faults) / 1000.0, 1));
+    bottom.Set(f, p, std::to_string(run.pager.PolicyCyclesPerFault()));
+    exec[p][f] = run.seconds();
   }
 
   // The paper's headline: Mixed outperforms FIFO by up to 30% and Clock by
-  // up to 36%.
-  double best_vs_fifo = 0.0;
-  double best_vs_clock = 0.0;
-  for (double fraction : locals) {
-    const int local = PercentOf(fraction);
-    const double mixed = results[PolicyKind::kMixed][local].seconds();
-    if (mixed <= 0.0) {
-      continue;
+  // up to 36%.  Only meaningful while all three policies are on the axis.
+  const auto policy_index = [&](std::string_view name) {
+    return std::find(policies.begin(), policies.end(), name) - policies.begin();
+  };
+  const std::size_t fifo = policy_index("FIFO");
+  const std::size_t clock = policy_index("Clock");
+  const std::size_t mixed = policy_index("Mixed");
+  if (fifo < policies.size() && clock < policies.size() && mixed < policies.size()) {
+    double best_vs_fifo = 0.0;
+    double best_vs_clock = 0.0;
+    for (std::size_t f = 0; f < locals.size(); ++f) {
+      if (exec[mixed][f] <= 0.0) {
+        continue;
+      }
+      best_vs_fifo = std::max(
+          best_vs_fifo, 100.0 * (exec[fifo][f] - exec[mixed][f]) / exec[fifo][f]);
+      best_vs_clock = std::max(
+          best_vs_clock, 100.0 * (exec[clock][f] - exec[mixed][f]) / exec[clock][f]);
     }
-    const double fifo = results[PolicyKind::kFifo][local].seconds();
-    const double clock = results[PolicyKind::kClock][local].seconds();
-    best_vs_fifo = std::max(best_vs_fifo, 100.0 * (fifo - mixed) / fifo);
-    best_vs_clock = std::max(best_vs_clock, 100.0 * (clock - mixed) / clock);
+    r.Metric("mixed_vs_fifo_best_percent", best_vs_fifo);
+    r.Metric("mixed_vs_clock_best_percent", best_vs_clock);
+    r.Text(StrPrintf(
+        "\nMixed beats FIFO by up to %.0f%% and Clock by up to %.0f%% "
+        "(paper: 30%% / 36%%).\n",
+        best_vs_fifo, best_vs_clock));
   }
-  r.Metric("mixed_vs_fifo_best_percent", best_vs_fifo);
-  r.Metric("mixed_vs_clock_best_percent", best_vs_clock);
-  r.Text(StrPrintf(
-      "\nMixed beats FIFO by up to %.0f%% and Clock by up to %.0f%% "
-      "(paper: 30%% / 36%%).\n",
-      best_vs_fifo, best_vs_clock));
   return r;
 }
 
@@ -127,10 +116,17 @@ ZOMBIE_REGISTER_SCENARIO(
         .Description("Replacement-policy sweep over the local-memory fraction "
                      "(exec time, faults, policy cycles)")
         .Workload({.apps = {App::kMicro}, .fig8_micro = true})
-        .Memory({.mode = MemoryMode::kRamExt,
-                 .policies = {hv::PolicyKind::kFifo, hv::PolicyKind::kClock,
-                              hv::PolicyKind::kMixed},
-                 .local_fractions = {0.2, 0.4, 0.6, 0.8, 1.0}})
+        .Memory({.mode = MemoryMode::kRamExt})
+        .Param({.name = "policy",
+                .description = "replacement policy axis",
+                .choices = {"FIFO", "Clock", "Mixed"}})
+        .Param({.name = "local_fraction",
+                .type = ParamType::kDouble,
+                .default_value = "",
+                .description = "fraction of reserved memory kept in local RAM",
+                .range = ParamRange{0.0, 1.0, /*min_exclusive=*/true}})
+        .Sweep({.axes = {{"policy", {"FIFO", "Clock", "Mixed"}},
+                         {"local_fraction", {"0.2", "0.4", "0.6", "0.8", "1.0"}}}})
         .Runner(RunFig08));
 
 // ---------------------------------------------------------------------------
@@ -143,27 +139,30 @@ Report RunTable1(const RunContext& ctx) {
   Report r = ctx.MakeReport();
   r.Text("== Table 1: RAM-Ext penalty vs % of reserved memory kept local ==\n\n");
 
-  const std::vector<double>& locals = ctx.spec().memory.local_fractions;
-  auto& table = r.AddTable("penalty", "",
-                           {"% in local mem", "micro-bench.", "Elastic search",
-                            "Data caching", "Spark SQL"});
-
-  // Column-major runs: per app, baseline first, then the sweep.
-  std::vector<std::vector<std::string>> cells(locals.size());
-  for (App app : ctx.spec().workload.apps) {
-    const AppProfile profile = ctx.Profile(app);
-    WorkloadRunner runner;
-    const RunResult baseline = runner.RunLocalOnly(profile);
-    for (std::size_t i = 0; i < locals.size(); ++i) {
-      auto testbed = ctx.MakeTestbed(profile.reserved_memory);
-      const RunResult run = runner.RunRamExt(profile, locals[i], testbed->backend());
-      cells[i].push_back(Report::Penalty(PenaltyPercent(run, baseline)));
-    }
+  std::vector<std::string> rows;
+  for (double fraction : ctx.AxisDoubles("local_fraction")) {
+    rows.push_back(std::to_string(PercentOf(fraction)) + "%");
   }
-  for (std::size_t i = 0; i < locals.size(); ++i) {
-    std::vector<std::string> row = {std::to_string(PercentOf(locals[i])) + "%"};
-    row.insert(row.end(), cells[i].begin(), cells[i].end());
-    table.Row(row);
+  auto table = r.AddSweepTable(
+      "penalty", "", "% in local mem", rows,
+      {"micro-bench.", "Elastic search", "Data caching", "Spark SQL"});
+
+  const std::vector<App>& apps = ctx.spec().workload.apps;
+  std::map<App, RunResult> baselines;
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const AppProfile profile = ctx.Profile(apps[a]);
+      WorkloadRunner runner;
+      auto [baseline, inserted] = baselines.try_emplace(apps[a]);
+      if (inserted) {
+        baseline->second = runner.RunLocalOnly(profile);
+      }
+      auto testbed = ctx.MakeTestbed(profile.reserved_memory);
+      const RunResult run =
+          runner.RunRamExt(profile, pt.Double("local_fraction"), testbed->backend());
+      table.Set(pt.AxisIndex("local_fraction"), a,
+                Report::Penalty(PenaltyPercent(run, baseline->second)));
+    }
   }
 
   r.Text(
@@ -179,8 +178,13 @@ ZOMBIE_REGISTER_SCENARIO(
         .Description("All four workloads under hypervisor paging into remote "
                      "buffers (Mixed policy)")
         .Workload({.apps = AllApps()})
-        .Memory({.mode = MemoryMode::kRamExt,
-                 .local_fractions = {0.2, 0.4, 0.5, 0.6, 0.8}})
+        .Memory({.mode = MemoryMode::kRamExt})
+        .Param({.name = "local_fraction",
+                .type = ParamType::kDouble,
+                .default_value = "",
+                .description = "fraction of reserved memory kept in local RAM",
+                .range = ParamRange{0.0, 1.0, /*min_exclusive=*/true}})
+        .Sweep({.axes = {{"local_fraction", {"0.2", "0.4", "0.5", "0.6", "0.8"}}}})
         .Runner(RunTable1));
 
 // ---------------------------------------------------------------------------
@@ -193,38 +197,51 @@ Report RunTable2(const RunContext& ctx) {
   Report r = ctx.MakeReport();
   r.Text("== Table 2: RAM Ext vs Explicit SD and local swap technologies ==\n");
 
-  const std::vector<double>& locals = ctx.spec().memory.local_fractions;
-  for (App app : ctx.spec().workload.apps) {
+  std::vector<std::string> rows;
+  for (double fraction : ctx.AxisDoubles("local_fraction")) {
+    rows.push_back(std::to_string(PercentOf(fraction)) + "%");
+  }
+
+  // The app axis groups the grid into one consolidated table per workload;
+  // the swap-technology columns are code paths, not parameter values.
+  std::optional<report::SweepTable> table;
+  RunResult baseline;
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
+    const App app = AppFromName(pt.Value("app"));
     const AppProfile profile = ctx.Profile(app);
     WorkloadRunner runner;
-    const RunResult baseline = runner.RunLocalOnly(profile);
-
-    auto& table = r.AddTable(
-        std::string("penalty_") + std::string(AppName(app)),
-        StrPrintf("\n-- %s --", std::string(AppName(app)).c_str()),
-        {"% in local mem", "v1-RE", "v2-ESD", "v2-LFSD", "v2-LSSD"});
-    for (double fraction : locals) {
-      auto re_bed = ctx.MakeTestbed(profile.reserved_memory);
-      const double re = PenaltyPercent(
-          runner.RunRamExt(profile, fraction, re_bed->backend()), baseline);
-
-      // Explicit SD over remote RAM: the swap device is a best-effort
-      // GS_alloc_swap extent on the zombie server.
-      auto esd_bed = ctx.MakeTestbed(profile.reserved_memory);
-      const double esd = PenaltyPercent(
-          runner.RunExplicitSd(profile, fraction, esd_bed->backend()), baseline);
-
-      auto ssd = hv::MakeLocalSsdBackend();
-      const double lfsd =
-          PenaltyPercent(runner.RunExplicitSd(profile, fraction, ssd.get()), baseline);
-
-      auto hdd = hv::MakeLocalHddBackend();
-      const double lssd =
-          PenaltyPercent(runner.RunExplicitSd(profile, fraction, hdd.get()), baseline);
-
-      table.Row({std::to_string(PercentOf(fraction)) + "%", Report::Penalty(re),
-                 Report::Penalty(esd), Report::Penalty(lfsd), Report::Penalty(lssd)});
+    if (pt.AxisIndex("local_fraction") == 0) {
+      baseline = runner.RunLocalOnly(profile);
+      table = r.AddSweepTable(
+          std::string("penalty_") + std::string(AppName(app)),
+          StrPrintf("\n-- %s --", std::string(AppName(app)).c_str()),
+          "% in local mem", rows, {"v1-RE", "v2-ESD", "v2-LFSD", "v2-LSSD"});
     }
+    const double fraction = pt.Double("local_fraction");
+    const std::size_t row = pt.AxisIndex("local_fraction");
+
+    auto re_bed = ctx.MakeTestbed(profile.reserved_memory);
+    table->Set(row, 0,
+               Report::Penalty(PenaltyPercent(
+                   runner.RunRamExt(profile, fraction, re_bed->backend()), baseline)));
+
+    // Explicit SD over remote RAM: the swap device is a best-effort
+    // GS_alloc_swap extent on the zombie server.
+    auto esd_bed = ctx.MakeTestbed(profile.reserved_memory);
+    table->Set(row, 1,
+               Report::Penalty(PenaltyPercent(
+                   runner.RunExplicitSd(profile, fraction, esd_bed->backend()),
+                   baseline)));
+
+    auto ssd = hv::MakeLocalSsdBackend();
+    table->Set(row, 2,
+               Report::Penalty(PenaltyPercent(
+                   runner.RunExplicitSd(profile, fraction, ssd.get()), baseline)));
+
+    auto hdd = hv::MakeLocalHddBackend();
+    table->Set(row, 3,
+               Report::Penalty(PenaltyPercent(
+                   runner.RunExplicitSd(profile, fraction, hdd.get()), baseline)));
   }
 
   r.Text(
@@ -240,8 +257,20 @@ ZOMBIE_REGISTER_SCENARIO(
         .Description("v1-RE vs v2-ESD vs local SSD/HDD swap across workloads "
                      "and local-memory ratios")
         .Workload({.apps = AllApps()})
-        .Memory({.mode = MemoryMode::kExplicitSd,
-                 .local_fractions = {0.2, 0.4, 0.5, 0.6, 0.8}})
+        .Memory({.mode = MemoryMode::kExplicitSd})
+        .Param({.name = "app",
+                .description = "workload axis",
+                .choices = {"micro-bench", "Elasticsearch", "Data caching",
+                            "Spark SQL"}})
+        .Param({.name = "local_fraction",
+                .type = ParamType::kDouble,
+                .default_value = "",
+                .description = "fraction of reserved memory kept in local RAM",
+                .range = ParamRange{0.0, 1.0, /*min_exclusive=*/true}})
+        .Sweep({.axes = {{"app",
+                          {"micro-bench", "Elasticsearch", "Data caching",
+                           "Spark SQL"}},
+                         {"local_fraction", {"0.2", "0.4", "0.5", "0.6", "0.8"}}}})
         .Runner(RunTable2));
 
 // ---------------------------------------------------------------------------
@@ -258,13 +287,13 @@ std::uint64_t RemotePages(const RunResult& run) {
 Report RunTable2b(const RunContext& ctx) {
   Report r = ctx.MakeReport();
   r.Text("== Section 6.4: remote swap traffic, RAM Ext (v1) vs Explicit SD (v2) ==\n\n");
-  r.Text("Both VMs run with 50% of reserved memory local.\n\n");
-
-  const double fraction = ctx.spec().memory.local_fractions[0];
-  auto& table = r.AddTable("traffic", "",
-                           {"workload", "v1-RE pages", "v2-ESD pages", "extra traffic"});
-  for (App app : ctx.spec().workload.apps) {
-    const AppProfile profile = ctx.Profile(app);
+  const double fraction = ctx.ParamDouble("local_fraction", 0.5);
+  r.Text(StrPrintf("Both VMs run with %.0f%% of reserved memory local.\n\n",
+                   fraction * 100));
+  auto table = r.AddSweepTable("traffic", "", "workload", ctx.Axis("app"),
+                               {"v1-RE pages", "v2-ESD pages", "extra traffic"});
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
+    const AppProfile profile = ctx.Profile(AppFromName(pt.Value("app")));
     WorkloadRunner runner;
 
     auto re_bed = ctx.MakeTestbed(profile.reserved_memory);
@@ -278,9 +307,11 @@ Report RunTable2b(const RunContext& ctx) {
     const double extra =
         v1 == 0 ? 0.0 : 100.0 * (static_cast<double>(v2) - static_cast<double>(v1)) /
                             static_cast<double>(v1);
-    table.Row({std::string(AppName(app)), std::to_string(v1), std::to_string(v2),
-               Report::Num(extra, 0) + "%"});
-    r.Metric(std::string("extra_traffic_percent_") + std::string(AppName(app)), extra);
+    const std::size_t row = pt.AxisIndex("app");
+    table.Set(row, 0, std::to_string(v1));
+    table.Set(row, 1, std::to_string(v2));
+    table.Set(row, 2, Report::Num(extra, 0) + "%");
+    r.Metric("extra_traffic_percent_" + pt.Value("app"), extra);
   }
 
   r.Text(
@@ -297,7 +328,19 @@ ZOMBIE_REGISTER_SCENARIO(
         .Description("Remote pages moved per workload: the v2 swap-traffic "
                      "amplification (>122% for Elasticsearch)")
         .Workload({.apps = AllApps()})
-        .Memory({.mode = MemoryMode::kExplicitSd, .local_fractions = {0.5}})
+        .Memory({.mode = MemoryMode::kExplicitSd})
+        .Param({.name = "app",
+                .description = "workload axis",
+                .choices = {"micro-bench", "Elasticsearch", "Data caching",
+                            "Spark SQL"}})
+        .Param({.name = "local_fraction",
+                .type = ParamType::kDouble,
+                .default_value = "0.5",
+                .description = "fraction of reserved memory kept in local RAM",
+                .range = ParamRange{0.0, 1.0, /*min_exclusive=*/true}})
+        .Sweep({.axes = {{"app",
+                          {"micro-bench", "Elasticsearch", "Data caching",
+                           "Spark SQL"}}}})
         .Runner(RunTable2b));
 
 // ---------------------------------------------------------------------------
@@ -313,10 +356,15 @@ Report RunAblationLocalFloor(const RunContext& ctx) {
   r.Text("Worst observed RAM-Ext penalty across the four workloads when the\n");
   r.Text("filter admits hosts down to each floor:\n\n");
 
-  const std::vector<double>& floors = ctx.spec().memory.local_fractions;
-  auto& table = r.AddTable(
-      "floor", "", {"floor", "worst penalty", "worst app", "packing gain vs floor=1.0"});
-  for (double floor : floors) {
+  std::vector<std::string> rows;
+  for (double floor : ctx.AxisDoubles("floor")) {
+    rows.push_back(Report::Num(floor * 100, 0) + "%");
+  }
+  auto table = r.AddSweepTable(
+      "floor", "", "floor", rows,
+      {"worst penalty", "worst app", "packing gain vs floor=1.0"});
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
+    const double floor = pt.Double("floor");
     double worst = 0.0;
     App worst_app = App::kMicro;
     for (App app : ctx.spec().workload.apps) {
@@ -334,9 +382,10 @@ Report RunAblationLocalFloor(const RunContext& ctx) {
     }
     // Packing gain: with floor f, a host's RAM admits 1/f times the VMs
     // (memory-bound rack), versus full-local placement.
-    const double gain = (1.0 / floor - 1.0) * 100.0;
-    table.Row({Report::Num(floor * 100, 0) + "%", Report::Penalty(worst),
-               std::string(AppName(worst_app)), Report::Num(gain, 0) + "%"});
+    const std::size_t row = pt.AxisIndex("floor");
+    table.Set(row, 0, Report::Penalty(worst));
+    table.Set(row, 1, std::string(AppName(worst_app)));
+    table.Set(row, 2, Report::Num((1.0 / floor - 1.0) * 100.0, 0) + "%");
   }
 
   r.Text(
@@ -352,8 +401,13 @@ ZOMBIE_REGISTER_SCENARIO(
         .Description("Worst-case RAM-Ext penalty vs the admission floor; why "
                      "the paper settles on 50%")
         .Workload({.apps = AllApps()})
-        .Memory({.mode = MemoryMode::kRamExt,
-                 .local_fractions = {0.3, 0.4, 0.5, 0.6, 0.7}})
+        .Memory({.mode = MemoryMode::kRamExt})
+        .Param({.name = "floor",
+                .type = ParamType::kDouble,
+                .description = "admission floor: lowest local-memory fraction "
+                               "the placement filter accepts",
+                .range = ParamRange{0.0, 1.0, /*min_exclusive=*/true}})
+        .Sweep({.axes = {{"floor", {"0.3", "0.4", "0.5", "0.6", "0.7"}}}})
         .Runner(RunAblationLocalFloor));
 
 // ---------------------------------------------------------------------------
@@ -365,22 +419,28 @@ ZOMBIE_REGISTER_SCENARIO(
 Report RunAblationMixedDepth(const RunContext& ctx) {
   Report r = ctx.MakeReport();
   r.Text("== Ablation: Mixed policy depth x (paper default: 5) ==\n\n");
-  r.Text("Workload: Fig. 8 micro-benchmark, 40% local memory, remote RAM backend.\n\n");
-
   const AppProfile profile = ctx.Profile(App::kMicro);
-  const double fraction = ctx.spec().memory.local_fractions[0];
+  const double fraction = ctx.ParamDouble("local_fraction", 0.4);
+  r.Text(StrPrintf(
+      "Workload: Fig. 8 micro-benchmark, %.0f%% local memory, remote RAM backend.\n\n",
+      fraction * 100));
   hv::DeviceBackend remote("remote-ram", {2500 * kNanosecond, 2500 * kNanosecond});
 
-  auto& table =
-      r.AddTable("depth", "", {"x", "exec (s)", "faults (k)", "policy cycles/fault"});
-  for (std::size_t depth : std::vector<std::size_t>{1, 2, 5, 16, 64, 256}) {
+  std::vector<std::string> rows;
+  for (std::uint64_t depth : ctx.AxisU64s("depth")) {
+    rows.push_back(std::to_string(depth));
+  }
+  auto table = r.AddSweepTable("depth", "", "x", rows,
+                               {"exec (s)", "faults (k)", "policy cycles/fault"});
+  for (const SweepPoint& pt : ctx.SweepPoints()) {
     workloads::RunnerOptions options = ctx.MakeRunnerOptions(hv::PolicyKind::kMixed);
-    options.mixed_depth = depth;
+    options.mixed_depth = pt.U64("depth");
     WorkloadRunner runner(options);
     const auto run = runner.RunRamExt(profile, fraction, &remote);
-    table.Row({std::to_string(depth), Report::Num(run.seconds(), 2),
-               Report::Num(static_cast<double>(run.pager.faults) / 1000.0, 0),
-               std::to_string(run.pager.PolicyCyclesPerFault())});
+    const std::size_t row = pt.AxisIndex("depth");
+    table.Set(row, 0, Report::Num(run.seconds(), 2));
+    table.Set(row, 1, Report::Num(static_cast<double>(run.pager.faults) / 1000.0, 0));
+    table.Set(row, 2, std::to_string(run.pager.PolicyCyclesPerFault()));
   }
 
   r.Text(
@@ -396,9 +456,17 @@ ZOMBIE_REGISTER_SCENARIO(
         .Description("Clock-prefix depth sweep on the Fig. 8 micro-benchmark "
                      "at 40% local memory")
         .Workload({.apps = {App::kMicro}, .fig8_micro = true})
-        .Memory({.mode = MemoryMode::kRamExt,
-                 .policies = {hv::PolicyKind::kMixed},
-                 .local_fractions = {0.4}})
+        .Memory({.mode = MemoryMode::kRamExt, .policies = {hv::PolicyKind::kMixed}})
+        .Param({.name = "depth",
+                .type = ParamType::kU64,
+                .description = "Mixed policy Clock-prefix depth x",
+                .range = ParamRange{.min = 1}})
+        .Param({.name = "local_fraction",
+                .type = ParamType::kDouble,
+                .default_value = "0.4",
+                .description = "fraction of reserved memory kept in local RAM",
+                .range = ParamRange{0.0, 1.0, /*min_exclusive=*/true}})
+        .Sweep({.axes = {{"depth", {"1", "2", "5", "16", "64", "256"}}}})
         .Runner(RunAblationMixedDepth));
 
 }  // namespace

@@ -1,8 +1,13 @@
 #include "src/scenario/driver.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/env.h"
@@ -17,6 +22,8 @@ constexpr std::string_view kUsage =
     "\n"
     "  zombieland list [--format=table|csv|json]\n"
     "      Show every registered scenario.\n"
+    "  zombieland params <name>...\n"
+    "      Show a scenario's declared --set parameters and sweep axes.\n"
     "  zombieland run <name>... [options]\n"
     "  zombieland run --all [options]\n"
     "      Run scenarios and print their reports.\n"
@@ -25,13 +32,21 @@ constexpr std::string_view kUsage =
     "  --smoke             tiny access budgets (also: ZOMBIE_BENCH_SMOKE=1)\n"
     "  --format=FORMAT     table (default), csv, or json\n"
     "  --out=FILE          write the rendered output to FILE instead of stdout\n"
-    "  --set KEY=VALUE     scenario parameter override (repeatable)\n";
+    "  --set KEY=VALUE     scenario parameter override (repeatable); on a\n"
+    "                      sweep-axis parameter, VALUE may be a v1,v2,...\n"
+    "                      list replacing the axis\n"
+    "  -j N, --jobs=N      run up to N scenarios in parallel (reports are\n"
+    "                      still emitted in a deterministic order)\n"
+    "  --timings           (json) add per-scenario wall-clock seconds to the\n"
+    "                      combined document\n";
 
 struct ParsedArgs {
   bool all = false;
   RunOptions options;
   std::string out_path;
   std::vector<std::string> names;
+  int jobs = 1;
+  bool timings = false;
 };
 
 // Registry lookup + run in one step.
@@ -89,6 +104,34 @@ bool ParseFlags(int argc, char** argv, int first, ParsedArgs& parsed) {
       if (!ParseSetParam(arg.substr(std::strlen("--set=")), parsed.options)) {
         return false;
       }
+    } else if (arg == "-j" || arg == "--jobs" || arg.rfind("-j=", 0) == 0 ||
+               arg.rfind("--jobs=", 0) == 0 ||
+               (arg.rfind("-j", 0) == 0 && arg.rfind("--", 0) != 0)) {
+      // Accepted spellings: -j N, -jN, -j=N, --jobs N, --jobs=N.
+      std::string_view value;
+      if (const std::size_t eq = arg.find('='); eq != std::string_view::npos) {
+        value = arg.substr(eq + 1);
+      } else if (arg.size() > 2 && arg.rfind("-j", 0) == 0 && arg[1] == 'j') {
+        value = arg.substr(2);
+      } else {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "zombieland: %s needs a job count\n",
+                       std::string(arg).c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      char* end = nullptr;
+      const std::string owned(value);
+      const long jobs = std::strtol(owned.c_str(), &end, 10);
+      if (end != owned.c_str() + owned.size() || jobs < 1) {
+        std::fprintf(stderr, "zombieland: bad job count '%s' (want an integer >= 1)\n",
+                     owned.c_str());
+        return false;
+      }
+      parsed.jobs = static_cast<int>(jobs);
+    } else if (arg == "--timings") {
+      parsed.timings = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "zombieland: unknown option '%s'\n%s", argv[i],
                    std::string(kUsage).c_str());
@@ -119,15 +162,28 @@ bool WriteOutput(const std::string& text, const std::string& out_path) {
   return ok;
 }
 
-// Renders reports for several scenarios into one document.
+// Renders reports for several scenarios into one document.  When `timings`
+// is non-null (--timings, JSON only) the combined document gains a
+// "timings" object mapping scenario name -> wall-clock seconds, so the CI
+// artifact doubles as a perf trajectory.
 std::string Combine(const std::vector<report::Report>& reports,
-                    const RunOptions& options) {
+                    const RunOptions& options,
+                    const std::vector<double>* timings = nullptr) {
   if (options.format == report::Format::kJson) {
-    if (reports.size() == 1) {
+    if (reports.size() == 1 && timings == nullptr) {
       return reports[0].RenderJson();
     }
     std::string out = "{\n  \"schema\": \"zombieland.scenario.reports/v1\",\n";
     out += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") + ",\n";
+    if (timings != nullptr) {
+      out += "  \"timings\": {";
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += "    \"" + report::JsonEscape(reports[i].scenario()) +
+               "\": " + report::StrPrintf("%.3f", (*timings)[i]);
+      }
+      out += reports.empty() ? "},\n" : "\n  },\n";
+    }
     out += "  \"reports\": [";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       out += i == 0 ? "\n" : ",\n";
@@ -160,6 +216,45 @@ int CmdList(const ParsedArgs& parsed) {
   return WriteOutput(text, parsed.out_path) ? 0 : 1;
 }
 
+// Per-scenario RunOptions for a multi-scenario run: every scenario receives
+// only the --set keys it declares (so `run --all --set servers=400` reshapes
+// the scenarios that understand `servers` without failing the rest).  A key
+// declared by no target scenario is an error.
+Result<std::vector<RunOptions>> PerScenarioOptions(
+    const std::vector<const Scenario*>& scenarios, const RunOptions& options) {
+  std::vector<RunOptions> per_scenario;
+  per_scenario.reserve(scenarios.size());
+  for (const Scenario* scenario : scenarios) {
+    RunOptions filtered = options;
+    if (scenarios.size() > 1) {
+      std::erase_if(filtered.params, [&](const auto& kv) {
+        const auto& params = scenario->spec().params;
+        return std::none_of(params.begin(), params.end(),
+                            [&](const ParamSpec& p) { return p.name == kv.first; });
+      });
+    }
+    if (Status status = ValidateRunParams(scenario->spec(), filtered); !status.ok()) {
+      return Result<std::vector<RunOptions>>(status);
+    }
+    per_scenario.push_back(std::move(filtered));
+  }
+  for (const auto& [key, value] : options.params) {
+    const bool declared = std::any_of(
+        scenarios.begin(), scenarios.end(), [&](const Scenario* scenario) {
+          const auto& params = scenario->spec().params;
+          return std::any_of(params.begin(), params.end(),
+                             [&](const ParamSpec& p) { return p.name == key; });
+        });
+    if (!declared) {
+      return Result<std::vector<RunOptions>>(
+          ErrorCode::kInvalidArgument,
+          "--set " + key + ": no scenario in this run declares that parameter; "
+              "`zombieland params <name>` lists each scenario's parameters");
+    }
+  }
+  return per_scenario;
+}
+
 int CmdRun(ParsedArgs& parsed) {
   if (parsed.all) {
     if (!parsed.names.empty()) {
@@ -176,26 +271,80 @@ int CmdRun(ParsedArgs& parsed) {
     return 2;
   }
 
-  std::vector<report::Report> reports;
-  reports.reserve(parsed.names.size());
+  // Resolve every name up front so an unknown scenario (with its "did you
+  // mean" hint) fails before any work starts.
+  std::vector<const Scenario*> scenarios;
+  scenarios.reserve(parsed.names.size());
   for (const std::string& name : parsed.names) {
-    auto report = RunByName(name, parsed.options);
-    if (!report.ok()) {
-      PrintRunError(name, report.status());
+    auto found = ScenarioRegistry::Instance().Find(name);
+    if (!found.ok()) {
+      PrintRunError(name, found.status());
+      return 1;
+    }
+    scenarios.push_back(found.value());
+  }
+  auto per_scenario = PerScenarioOptions(scenarios, parsed.options);
+  if (!per_scenario.ok()) {
+    std::fprintf(stderr, "zombieland: %s\n", per_scenario.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<RunOptions>& options = per_scenario.value();
+
+  // Run — one scenario per worker, up to -j N in flight.  Results land in a
+  // slot per scenario, so reports are collected (and validated, rendered,
+  // and combined) in registration order no matter which worker finished
+  // first: the -j 4 document is byte-identical to the -j 1 one.
+  std::vector<Result<report::Report>> results(
+      scenarios.size(), Result<report::Report>(ErrorCode::kUnavailable, "not run"));
+  std::vector<double> seconds(scenarios.size(), 0.0);
+  const int jobs = std::clamp<int>(parsed.jobs, 1, static_cast<int>(scenarios.size()));
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scenarios.size()) {
+        return;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      results[i] = scenarios[i]->Run(options[i]);
+      seconds[i] = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 start)
+                       .count();
+    }
+  };
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+
+  std::vector<report::Report> reports;
+  reports.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (!results[i].ok()) {
+      PrintRunError(parsed.names[i], results[i].status());
       return 1;
     }
     if (parsed.options.format == report::Format::kJson) {
-      const std::string doc = report.value().RenderJson();
+      const std::string doc = results[i].value().RenderJson();
       if (Status status = report::ValidateReportJson(doc); !status.ok()) {
         std::fprintf(stderr, "zombieland: scenario '%s' emitted invalid JSON: %s\n",
-                     name.c_str(), status.ToString().c_str());
+                     parsed.names[i].c_str(), status.ToString().c_str());
         return 1;
       }
     }
-    reports.push_back(std::move(report).take());
+    reports.push_back(std::move(results[i]).take());
   }
 
-  std::string out = Combine(reports, parsed.options);
+  std::string out =
+      Combine(reports, parsed.options, parsed.timings ? &seconds : nullptr);
   if (parsed.options.format == report::Format::kJson) {
     if (Status status = report::ValidateJson(out); !status.ok()) {
       std::fprintf(stderr, "zombieland: combined JSON invalid: %s\n",
@@ -203,6 +352,55 @@ int CmdRun(ParsedArgs& parsed) {
       return 1;
     }
   }
+  return WriteOutput(out, parsed.out_path) ? 0 : 1;
+}
+
+// `zombieland params <name>`: the declared --set parameters and sweep axes
+// of a scenario — the introspection surface of the typed parameter table.
+int CmdParams(const ParsedArgs& parsed) {
+  if (parsed.names.empty()) {
+    std::fprintf(stderr, "zombieland: params needs at least one scenario name\n%s",
+                 std::string(kUsage).c_str());
+    return 2;
+  }
+  std::vector<report::Report> reports;
+  for (const std::string& name : parsed.names) {
+    auto found = ScenarioRegistry::Instance().Find(name);
+    if (!found.ok()) {
+      PrintRunError(name, found.status());
+      return 1;
+    }
+    const ScenarioSpec& spec = found.value()->spec();
+    report::Report report("params_" + spec.name, "Parameters of '" + spec.name + "'");
+    if (spec.params.empty()) {
+      report.Text("scenario '" + spec.name + "' declares no --set parameters\n");
+    } else {
+      auto& table = report.AddTable("params", "",
+                                    {"param", "type", "default", "description"});
+      for (const ParamSpec& param : spec.params) {
+        table.Row({param.name, std::string(ParamTypeName(param.type)),
+                   param.default_value, param.description});
+      }
+    }
+    if (!spec.sweep.empty()) {
+      auto& axes = report.AddTable(
+          "sweep", report::StrPrintf("\nSweep axes (%s):",
+                                     std::string(SweepModeName(spec.sweep.mode)).c_str()),
+          {"axis", "values"});
+      for (const SweepAxis& axis : spec.sweep.axes) {
+        std::string values;
+        for (const std::string& value : axis.values) {
+          values += values.empty() ? value : "," + value;
+        }
+        axes.Row({axis.param, values});
+      }
+      report.Text(
+          "\n--set <axis>=v1,v2,... replaces an axis; --set <param>=value "
+          "overrides a default.\n");
+    }
+    reports.push_back(std::move(report));
+  }
+  const std::string out = Combine(reports, parsed.options);
   return WriteOutput(out, parsed.out_path) ? 0 : 1;
 }
 
@@ -234,6 +432,9 @@ int ZombielandMain(int argc, char** argv) {
   }
   if (command == "run") {
     return CmdRun(parsed);
+  }
+  if (command == "params") {
+    return CmdParams(parsed);
   }
   std::fprintf(stderr, "zombieland: unknown command '%s'\n%s", argv[1],
                std::string(kUsage).c_str());

@@ -1,9 +1,32 @@
 #include "src/scenario/registry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
 
 namespace zombie::scenario {
+
+namespace {
+
+// Levenshtein distance, iterative two-row form — the registry is small, so
+// O(|a|*|b|) per candidate is fine.
+std::size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> curr(b.size() + 1);
+  std::iota(prev.begin(), prev.end(), std::size_t{0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    curr[0] = i + 1;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::size_t subst = prev[j] + (a[i] == b[j] ? 0 : 1);
+      curr[j + 1] = std::min({prev[j + 1] + 1, curr[j] + 1, subst});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
 
 ScenarioRegistry& ScenarioRegistry::Instance() {
   static ScenarioRegistry* registry = new ScenarioRegistry();
@@ -23,13 +46,25 @@ Result<const Scenario*> ScenarioRegistry::Find(std::string_view name) const {
   auto it = scenarios_.find(name);
   if (it == scenarios_.end()) {
     std::string message = "unknown scenario '" + std::string(name) + "'";
-    // A prefix hint covers the common typo ("fig8" for "fig08", "table2" with
-    // "table2b" present).
-    std::string close;
+    // "Did you mean": the closest registry names by edit distance.  Prefix
+    // relationships ("fig8" for "fig08", "table2" with "table2b" present)
+    // count as distance 1 so abbreviations always surface.
+    std::vector<std::pair<std::size_t, std::string_view>> candidates;
     for (const auto& [key, scenario] : scenarios_) {
-      if (key.substr(0, name.size()) == name || name.substr(0, key.size()) == key) {
-        close += close.empty() ? key : ", " + key;
+      const bool prefix = !name.empty() && (key.substr(0, name.size()) == name ||
+                                            name.substr(0, key.size()) == key);
+      const std::size_t distance = prefix ? 1 : EditDistance(name, key);
+      if (distance <= std::max<std::size_t>(2, name.size() / 2)) {
+        candidates.emplace_back(distance, key);
       }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    if (candidates.size() > 5) {
+      candidates.resize(5);
+    }
+    std::string close;
+    for (const auto& [distance, key] : candidates) {
+      close += close.empty() ? std::string(key) : ", " + std::string(key);
     }
     if (!close.empty()) {
       message += " (did you mean: " + close + "?)";

@@ -1,8 +1,12 @@
 #include "src/scenario/scenario.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
+#include "src/common/report.h"
 #include "src/scenario/testbed.h"
 
 namespace zombie::scenario {
@@ -37,6 +41,236 @@ std::string_view MachineKindName(MachineKind kind) {
       return "Dell Precision T5810";
   }
   return "unknown";
+}
+
+MachineKind MachineKindFromKey(std::string_view key) {
+  if (key == "hp") {
+    return MachineKind::kHpCompaqElite8300;
+  }
+  if (key == "dell") {
+    return MachineKind::kDellPrecisionT5810;
+  }
+  std::fprintf(stderr, "zombieland: unknown machine key '%s'\n",
+               std::string(key).c_str());
+  std::abort();
+}
+
+hv::PolicyKind PolicyKindFromName(std::string_view name) {
+  for (hv::PolicyKind kind :
+       {hv::PolicyKind::kFifo, hv::PolicyKind::kClock, hv::PolicyKind::kMixed}) {
+    if (hv::PolicyKindName(kind) == name) {
+      return kind;
+    }
+  }
+  std::fprintf(stderr, "zombieland: unknown replacement policy '%s'\n",
+               std::string(name).c_str());
+  std::abort();
+}
+
+workloads::App AppFromName(std::string_view name) {
+  for (workloads::App app : workloads::AllApps()) {
+    if (workloads::AppName(app) == name) {
+      return app;
+    }
+  }
+  std::fprintf(stderr, "zombieland: unknown app '%s'\n", std::string(name).c_str());
+  std::abort();
+}
+
+std::string_view ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kU64:
+      return "u64";
+    case ParamType::kDouble:
+      return "double";
+    case ParamType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string_view SweepModeName(SweepMode mode) {
+  switch (mode) {
+    case SweepMode::kCross:
+      return "cross";
+    case SweepMode::kZip:
+      return "zip";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Typed parameter values.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const ParamSpec* FindParamSpec(const ScenarioSpec& spec, std::string_view name) {
+  for (const ParamSpec& param : spec.params) {
+    if (param.name == name) {
+      return &param;
+    }
+  }
+  return nullptr;
+}
+
+const SweepAxis* FindSweepAxis(const SweepSpec& sweep, std::string_view name) {
+  for (const SweepAxis& axis : sweep.axes) {
+    if (axis.param == name) {
+      return &axis;
+    }
+  }
+  return nullptr;
+}
+
+bool ParsesAsU64(std::string_view value, std::uint64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  const std::string owned(value);
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(owned.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    return false;  // digits-only but above 2^64-1: reject, don't saturate
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParsesAsDouble(std::string_view value, double* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string owned(value);
+  const double parsed = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || !std::isfinite(parsed)) {
+    return false;  // trailing junk, or nan/inf — never a valid parameter
+  }
+  *out = parsed;
+  return true;
+}
+
+Status CheckParamRange(const ParamSpec& param, std::string_view value, double v) {
+  if (!param.range.has_value()) {
+    return Status::Ok();
+  }
+  const ParamRange& range = *param.range;
+  const bool below = range.min_exclusive ? v <= range.min : v < range.min;
+  if (below || v > range.max) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "parameter '" + param.name + "': " + std::string(value) +
+                      " outside " + (range.min_exclusive ? "(" : "[") +
+                      report::Report::Num(range.min, 0) + ", " +
+                      report::Report::Num(range.max, 0) + "]");
+  }
+  return Status::Ok();
+}
+
+// Splits a CLI axis override ("v1,v2,v3") into its values.
+std::vector<std::string> SplitList(std::string_view list) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    if (comma == std::string_view::npos) {
+      out.emplace_back(list.substr(begin));
+      break;
+    }
+    out.emplace_back(list.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status CheckParamValue(const ParamSpec& param, std::string_view value) {
+  if (!param.choices.empty() &&
+      std::find(param.choices.begin(), param.choices.end(), value) ==
+          param.choices.end()) {
+    std::string allowed;
+    for (const std::string& choice : param.choices) {
+      allowed += allowed.empty() ? choice : ", " + choice;
+    }
+    return Status(ErrorCode::kInvalidArgument,
+                  "parameter '" + param.name + "': '" + std::string(value) +
+                      "' is not one of {" + allowed + "}");
+  }
+  switch (param.type) {
+    case ParamType::kU64: {
+      std::uint64_t parsed = 0;
+      if (!ParsesAsU64(value, &parsed)) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "parameter '" + param.name + "': '" + std::string(value) +
+                          "' is not an unsigned 64-bit integer");
+      }
+      return CheckParamRange(param, value, static_cast<double>(parsed));
+    }
+    case ParamType::kDouble: {
+      double parsed = 0.0;
+      if (!ParsesAsDouble(value, &parsed)) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "parameter '" + param.name + "': '" + std::string(value) +
+                          "' is not a finite number");
+      }
+      return CheckParamRange(param, value, parsed);
+    }
+    case ParamType::kString:
+      return Status::Ok();
+  }
+  return Status(ErrorCode::kInvalidArgument,
+                "parameter '" + param.name + "': unknown type");
+}
+
+Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options) {
+  for (const auto& [key, value] : options.params) {
+    const ParamSpec* param = FindParamSpec(spec, key);
+    if (param == nullptr) {
+      std::string known;
+      for (const ParamSpec& p : spec.params) {
+        known += known.empty() ? p.name : ", " + p.name;
+      }
+      return Status(ErrorCode::kInvalidArgument,
+                    "scenario '" + spec.name + "' has no parameter '" + key +
+                        "'" +
+                        (known.empty() ? " (it declares none)"
+                                       : " (declared: " + known + ")") +
+                        "; `zombieland params " + spec.name + "` lists them");
+    }
+    if (FindSweepAxis(spec.sweep, key) != nullptr) {
+      // Axis override: a comma list replacing the axis values.
+      for (const std::string& v : SplitList(value)) {
+        ZOMBIE_RETURN_IF_ERROR(CheckParamValue(*param, v));
+      }
+      continue;
+    }
+    ZOMBIE_RETURN_IF_ERROR(CheckParamValue(*param, value));
+  }
+  // Axis overrides must not break a zipped sweep's equal-length invariant.
+  if (spec.sweep.mode == SweepMode::kZip && !spec.sweep.empty()) {
+    std::size_t length = 0;
+    bool first = true;
+    for (const SweepAxis& axis : spec.sweep.axes) {
+      auto it = options.params.find(axis.param);
+      const std::size_t n =
+          it == options.params.end() ? axis.values.size() : SplitList(it->second).size();
+      if (first) {
+        length = n;
+        first = false;
+      } else if (n != length) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "scenario '" + spec.name + "': zipped sweep axes must have "
+                          "equal lengths after --set overrides");
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------
@@ -95,23 +329,156 @@ bool RunContext::HasParam(std::string_view key) const {
 
 std::string RunContext::Param(std::string_view key, std::string_view fallback) const {
   auto it = options_.params.find(key);
-  return it == options_.params.end() ? std::string(fallback) : it->second;
+  if (it != options_.params.end()) {
+    return it->second;
+  }
+  if (const ParamSpec* param = FindParamSpec(spec_, key);
+      param != nullptr && !param->default_value.empty()) {
+    return param->default_value;
+  }
+  return std::string(fallback);
 }
 
 std::uint64_t RunContext::ParamU64(std::string_view key, std::uint64_t fallback) const {
-  auto it = options_.params.find(key);
-  if (it == options_.params.end()) {
+  const std::string value = Param(key, "");
+  if (value.empty()) {
     return fallback;
   }
-  return std::strtoull(it->second.c_str(), nullptr, 10);
+  return std::strtoull(value.c_str(), nullptr, 10);
 }
 
 double RunContext::ParamDouble(std::string_view key, double fallback) const {
-  auto it = options_.params.find(key);
-  if (it == options_.params.end()) {
+  const std::string value = Param(key, "");
+  if (value.empty()) {
     return fallback;
   }
-  return std::strtod(it->second.c_str(), nullptr);
+  return std::strtod(value.c_str(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep expansion.
+// ---------------------------------------------------------------------------
+
+std::size_t SweepPoint::Find(std::string_view param) const {
+  if (sweep_ != nullptr) {
+    for (std::size_t a = 0; a < sweep_->axes.size(); ++a) {
+      if (sweep_->axes[a].param == param) {
+        return a;
+      }
+    }
+  }
+  std::fprintf(stderr, "zombieland: sweep point has no axis '%s'\n",
+               std::string(param).c_str());
+  std::abort();
+}
+
+std::size_t SweepPoint::AxisIndex(std::string_view param) const {
+  return axis_indices_[Find(param)];
+}
+
+const std::string& SweepPoint::Value(std::string_view param) const {
+  return values_[Find(param)];
+}
+
+std::uint64_t SweepPoint::U64(std::string_view param) const {
+  return std::strtoull(Value(param).c_str(), nullptr, 10);
+}
+
+double SweepPoint::Double(std::string_view param) const {
+  return std::strtod(Value(param).c_str(), nullptr);
+}
+
+std::vector<std::string> RunContext::Axis(std::string_view param) const {
+  const SweepAxis* axis = FindSweepAxis(spec_.sweep, param);
+  if (axis == nullptr) {
+    std::fprintf(stderr, "zombieland: scenario '%s' has no sweep axis '%s'\n",
+                 spec_.name.c_str(), std::string(param).c_str());
+    std::abort();
+  }
+  // A CLI `--set <param>=v1,v2,...` replaces the axis values (the driver
+  // validated them against the parameter type before the run).
+  if (auto it = options_.params.find(param); it != options_.params.end()) {
+    return SplitList(it->second);
+  }
+  return axis->values;
+}
+
+std::vector<double> RunContext::AxisDoubles(std::string_view param) const {
+  std::vector<double> out;
+  for (const std::string& value : Axis(param)) {
+    out.push_back(std::strtod(value.c_str(), nullptr));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> RunContext::AxisU64s(std::string_view param) const {
+  std::vector<std::uint64_t> out;
+  for (const std::string& value : Axis(param)) {
+    out.push_back(std::strtoull(value.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> RunContext::SweepPoints() const {
+  const SweepSpec& sweep = spec_.sweep;
+  if (sweep.empty()) {
+    return {};
+  }
+  std::vector<std::vector<std::string>> axes;
+  axes.reserve(sweep.axes.size());
+  for (const SweepAxis& axis : sweep.axes) {
+    axes.push_back(Axis(axis.param));
+  }
+
+  std::vector<SweepPoint> points;
+  auto make_point = [&](const std::vector<std::size_t>& indices) {
+    SweepPoint point;
+    point.sweep_ = &sweep;
+    point.index_ = points.size();
+    point.axis_indices_ = indices;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      point.values_.push_back(axes[a][indices[a]]);
+    }
+    points.push_back(std::move(point));
+  };
+
+  if (sweep.mode == SweepMode::kZip) {
+    // Equal lengths are enforced by ValidateSpec for spec values; a CLI
+    // override that breaks the zip is caught here rather than crashing.
+    std::size_t length = axes[0].size();
+    for (const auto& axis : axes) {
+      if (axis.size() != length) {
+        std::fprintf(stderr,
+                     "zombieland: scenario '%s': zipped axes have unequal "
+                     "lengths after --set overrides\n",
+                     spec_.name.c_str());
+        std::abort();
+      }
+    }
+    std::vector<std::size_t> indices(axes.size(), 0);
+    for (std::size_t i = 0; i < length; ++i) {
+      std::fill(indices.begin(), indices.end(), i);
+      make_point(indices);
+    }
+    return points;
+  }
+
+  // Cross product, first axis outermost (odometer order).
+  std::vector<std::size_t> indices(axes.size(), 0);
+  while (true) {
+    make_point(indices);
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++indices[a] < axes[a].size()) {
+        break;
+      }
+      indices[a] = 0;
+      if (a == 0) {
+        return points;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -119,6 +486,9 @@ double RunContext::ParamDouble(std::string_view key, double fallback) const {
 // ---------------------------------------------------------------------------
 
 Result<report::Report> Scenario::Run(const RunOptions& options) const {
+  if (Status status = ValidateRunParams(spec_, options); !status.ok()) {
+    return Result<report::Report>(status);
+  }
   RunContext context(spec_, options);
   Result<report::Report> result = run_(context);
   if (!result.ok()) {
@@ -250,6 +620,58 @@ Status ValidateSpec(const ScenarioSpec& spec) {
   }
   if (energy.modified_mem_ratio < 0.0) {
     return Invalid("scenario '" + spec.name + "': modified_mem_ratio must be >= 0");
+  }
+
+  for (std::size_t p = 0; p < spec.params.size(); ++p) {
+    const ParamSpec& param = spec.params[p];
+    if (param.name.empty()) {
+      return Invalid("scenario '" + spec.name + "': parameter name must not be empty");
+    }
+    if (param.name.find_first_of(" \t\n=,") != std::string::npos) {
+      return Invalid("scenario '" + spec.name + "': parameter '" + param.name +
+                     "' must not contain whitespace, '=' or ','");
+    }
+    for (std::size_t q = 0; q < p; ++q) {
+      if (spec.params[q].name == param.name) {
+        return Invalid("scenario '" + spec.name + "': duplicate parameter '" +
+                       param.name + "'");
+      }
+    }
+    if (!param.default_value.empty()) {
+      if (Status status = CheckParamValue(param, param.default_value); !status.ok()) {
+        return Invalid("scenario '" + spec.name + "': default " + status.message());
+      }
+    }
+  }
+
+  const SweepSpec& sweep = spec.sweep;
+  for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+    const SweepAxis& axis = sweep.axes[a];
+    const ParamSpec* param = FindParamSpec(spec, axis.param);
+    if (param == nullptr) {
+      return Invalid("scenario '" + spec.name + "': sweep axis '" + axis.param +
+                     "' is not a declared parameter");
+    }
+    if (axis.values.empty()) {
+      return Invalid("scenario '" + spec.name + "': sweep axis '" + axis.param +
+                     "' has no values");
+    }
+    for (std::size_t b = 0; b < a; ++b) {
+      if (sweep.axes[b].param == axis.param) {
+        return Invalid("scenario '" + spec.name + "': duplicate sweep axis '" +
+                       axis.param + "'");
+      }
+    }
+    for (const std::string& value : axis.values) {
+      if (Status status = CheckParamValue(*param, value); !status.ok()) {
+        return Invalid("scenario '" + spec.name + "': sweep " + status.message());
+      }
+    }
+    if (sweep.mode == SweepMode::kZip &&
+        axis.values.size() != sweep.axes[0].values.size()) {
+      return Invalid("scenario '" + spec.name +
+                     "': zipped sweep axes must have equal lengths");
+    }
   }
 
   return Status::Ok();

@@ -41,6 +41,33 @@ struct RunOptions {
   std::map<std::string, std::string, std::less<>> params;
 };
 
+// One point of an expanded sweep: a binding of every axis parameter to one
+// of its values.  Run functions iterate RunContext::SweepPoints() instead of
+// hand-writing nested loops over the axes.
+class SweepPoint {
+ public:
+  // Flat index in expansion order (cross product: first axis outermost).
+  std::size_t index() const { return index_; }
+
+  // Index of this point's value within the named axis (useful as a
+  // SweepTable row/column coordinate).  Aborts on an unknown axis.
+  std::size_t AxisIndex(std::string_view param) const;
+
+  // This point's value for the named axis, raw and typed.
+  const std::string& Value(std::string_view param) const;
+  std::uint64_t U64(std::string_view param) const;
+  double Double(std::string_view param) const;
+
+ private:
+  friend class RunContext;
+  const SweepSpec* sweep_ = nullptr;
+  std::size_t index_ = 0;
+  std::vector<std::string> values_;        // per axis, in axis order
+  std::vector<std::size_t> axis_indices_;  // per axis, in axis order
+
+  std::size_t Find(std::string_view param) const;  // aborts when missing
+};
+
 // Handed to a scenario's run function; owns nothing but views of the spec
 // and options.
 class RunContext {
@@ -73,11 +100,29 @@ class RunContext {
   // The memory spec's policy sweep ({kMixed} when none was given).
   std::vector<hv::PolicyKind> Policies() const;
 
-  // CLI parameter overrides.
+  // CLI parameter overrides.  HasParam is true only for keys set on the CLI;
+  // the Param* getters resolve CLI value -> declared default -> `fallback`.
   bool HasParam(std::string_view key) const;
   std::string Param(std::string_view key, std::string_view fallback) const;
   std::uint64_t ParamU64(std::string_view key, std::uint64_t fallback) const;
   double ParamDouble(std::string_view key, double fallback) const;
+
+  // -------------------------------------------------------------------------
+  // Sweep expansion (the combinator behind declarative parameter grids).
+  // -------------------------------------------------------------------------
+
+  // The effective values of one sweep axis: the spec's list, unless a CLI
+  // `--set <param>=v1,v2,...` override replaced it.  Aborts on a parameter
+  // that is not a sweep axis (a programming error; the driver validates CLI
+  // overrides before the run starts).
+  std::vector<std::string> Axis(std::string_view param) const;
+  // Typed forms of Axis() for building row/column labels.
+  std::vector<double> AxisDoubles(std::string_view param) const;
+  std::vector<std::uint64_t> AxisU64s(std::string_view param) const;
+
+  // The expanded grid: cross product (first axis outermost) or zipped,
+  // honouring CLI axis overrides.  Empty when the spec declares no sweep.
+  std::vector<SweepPoint> SweepPoints() const;
 
  private:
   const ScenarioSpec& spec_;
@@ -140,6 +185,23 @@ class ScenarioBuilder {
     spec_.energy = std::move(energy);
     return *this;
   }
+  // Declares a `--set` parameter (validated key, typed value, introspectable
+  // via `zombieland params <name>`).
+  ScenarioBuilder& Param(ParamSpec param) {
+    spec_.params.push_back(std::move(param));
+    return *this;
+  }
+  ScenarioBuilder& Param(std::string name, ParamType type, std::string default_value,
+                         std::string description) {
+    spec_.params.push_back({std::move(name), type, std::move(default_value),
+                            std::move(description), /*choices=*/{}});
+    return *this;
+  }
+  // Declares the sweep grid; every axis must name a declared parameter.
+  ScenarioBuilder& Sweep(SweepSpec sweep) {
+    spec_.sweep = std::move(sweep);
+    return *this;
+  }
   ScenarioBuilder& Runner(Scenario::RunFn run) {
     run_ = std::move(run);
     return *this;
@@ -154,6 +216,14 @@ class ScenarioBuilder {
 
 // Spec validation, exposed for tests: OK or the first problem found.
 Status ValidateSpec(const ScenarioSpec& spec);
+
+// Checks one rendered parameter value against a declared parameter's type.
+Status CheckParamValue(const ParamSpec& param, std::string_view value);
+
+// Validates CLI `--set` overrides against a spec: every key must name a
+// declared parameter, values must parse as the declared type, and comma
+// lists (axis replacement) are only allowed on sweep-axis parameters.
+Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options);
 
 }  // namespace zombie::scenario
 

@@ -11,8 +11,10 @@
 #define ZOMBIELAND_SRC_SCENARIO_SPEC_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/acpi/energy_model.h"
@@ -40,6 +42,15 @@ enum class MachineKind : std::uint8_t {
 
 acpi::MachineProfile MachineProfileFor(MachineKind kind);
 std::string_view MachineKindName(MachineKind kind);
+
+// Lookups from sweep-axis values to the enums the run functions need
+// ("hp" / "dell" machine keys, PolicyKindName / AppName strings).  They
+// abort on unknown names — axis values are validated against the
+// parameter's choices before a run starts, so reaching one with a bad name
+// is a programming error.
+MachineKind MachineKindFromKey(std::string_view key);
+hv::PolicyKind PolicyKindFromName(std::string_view name);
+workloads::App AppFromName(std::string_view name);
 
 // Rack shape for scenarios that instantiate the Section 6.1 testbed.
 struct TopologySpec {
@@ -81,6 +92,67 @@ struct EnergySpec {
   double modified_mem_ratio = 0.0;  // 0 = original shape only
 };
 
+// ---------------------------------------------------------------------------
+// Typed parameters and sweeps.
+//
+// A scenario declares its tunable parameters as ParamSpec entries; every
+// CLI `--set key=value` must name a declared parameter and parse as its
+// type (`zombieland params <name>` lists them).  A SweepSpec turns declared
+// parameters into axes of a parameter grid: the framework expands the grid
+// (cross product or zipped) and the run function iterates the resulting
+// SweepPoints instead of hand-writing nested loops.
+// ---------------------------------------------------------------------------
+
+enum class ParamType : std::uint8_t { kU64 = 0, kDouble, kString };
+
+std::string_view ParamTypeName(ParamType type);
+
+// Numeric validity window for a kU64/kDouble parameter.  Bounds are
+// inclusive unless min_exclusive is set — the paper's fraction parameters
+// live in (0, 1].
+struct ParamRange {
+  double min = -std::numeric_limits<double>::infinity();
+  double max = std::numeric_limits<double>::infinity();
+  bool min_exclusive = false;
+};
+
+struct ParamSpec {
+  std::string name;           // the `--set` key and sweep-axis handle
+  ParamType type = ParamType::kString;
+  std::string default_value;  // rendered form; must parse as `type`
+  std::string description;    // one line for `zombieland params`
+  // Non-empty = closed set: every value (default, sweep axis, --set) must be
+  // one of these.  The enum-backed string parameters (policy, app, machine)
+  // use this so a typo fails validation instead of aborting mid-run.
+  std::vector<std::string> choices;
+  // Optional numeric window; every value (default, sweep axis, --set) must
+  // land inside it.  Non-finite doubles (nan/inf) are always rejected.
+  std::optional<ParamRange> range;
+};
+
+// How a multi-axis sweep combines its axes.
+enum class SweepMode : std::uint8_t {
+  kCross = 0,  // cartesian product, first axis outermost
+  kZip,        // axes advance in lockstep (all must have equal length)
+};
+
+std::string_view SweepModeName(SweepMode mode);
+
+// One axis of the grid: a declared parameter plus the values it takes.
+// Values are in rendered form and validated against the parameter's type;
+// `--set <param>=v1,v2,...` replaces them at run time.
+struct SweepAxis {
+  std::string param;
+  std::vector<std::string> values;
+};
+
+struct SweepSpec {
+  SweepMode mode = SweepMode::kCross;
+  std::vector<SweepAxis> axes;
+
+  bool empty() const { return axes.empty(); }
+};
+
 struct ScenarioSpec {
   std::string name;         // registry key, e.g. "fig08"
   std::string title;        // one-line human title
@@ -95,6 +167,11 @@ struct ScenarioSpec {
   WorkloadSpec workload;
   MemorySpec memory;
   EnergySpec energy;
+
+  // Declared `--set` parameters (validated, introspectable) and the sweep
+  // grid built from them (empty = not a swept scenario).
+  std::vector<ParamSpec> params;
+  SweepSpec sweep;
 };
 
 }  // namespace zombie::scenario

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/report.h"
@@ -14,6 +16,7 @@
 #include "src/scenario/registry.h"
 #include "src/scenario/scenario.h"
 
+#include "tests/golden/ablation_mixed_depth_smoke_table.inc"
 #include "tests/golden/fig08_smoke_table.inc"
 #include "tests/golden/table1_smoke_table.inc"
 
@@ -142,6 +145,276 @@ TEST(ScenarioBuilderTest, RejectsEmptyEnergyMachines) {
 }
 
 // ---------------------------------------------------------------------------
+// Sweep combinator: builder validation.
+// ---------------------------------------------------------------------------
+
+ScenarioBuilder SweptBuilder() {
+  return std::move(ScenarioBuilder("swept")
+                       .Title("t")
+                       .Param("policy", ParamType::kString, "", "")
+                       .Param("fraction", ParamType::kDouble, "", "")
+                       .Runner(NopRunner()));
+}
+
+TEST(SweepSpecTest, CrossSweepBuilds) {
+  auto scenario = SweptBuilder()
+                      .Sweep({.axes = {{"policy", {"FIFO", "Mixed"}},
+                                       {"fraction", {"0.2", "0.5"}}}})
+                      .Build();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+}
+
+TEST(SweepSpecTest, RejectsUndeclaredAxisParameter) {
+  auto scenario = SweptBuilder().Sweep({.axes = {{"nope", {"1"}}}}).Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("not a declared parameter"),
+            std::string::npos);
+}
+
+TEST(SweepSpecTest, RejectsEmptyAxis) {
+  auto scenario = SweptBuilder().Sweep({.axes = {{"policy", {}}}}).Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("no values"), std::string::npos);
+}
+
+TEST(SweepSpecTest, RejectsDuplicateAxis) {
+  auto scenario = SweptBuilder()
+                      .Sweep({.axes = {{"policy", {"FIFO"}}, {"policy", {"Mixed"}}}})
+                      .Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("duplicate sweep axis"),
+            std::string::npos);
+}
+
+TEST(SweepSpecTest, RejectsMistypedAxisValue) {
+  auto scenario =
+      SweptBuilder().Sweep({.axes = {{"fraction", {"0.2", "lots"}}}}).Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("not a finite number"),
+            std::string::npos);
+}
+
+TEST(SweepSpecTest, RejectsUnequalZipLengths) {
+  auto scenario = SweptBuilder()
+                      .Sweep({.mode = SweepMode::kZip,
+                              .axes = {{"policy", {"FIFO", "Mixed"}},
+                                       {"fraction", {"0.2"}}}})
+                      .Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("equal lengths"), std::string::npos);
+}
+
+TEST(SweepSpecTest, RejectsValueOutsideChoices) {
+  auto scenario = ScenarioBuilder("t")
+                      .Title("t")
+                      .Param({.name = "policy", .choices = {"FIFO", "Clock"}})
+                      .Sweep({.axes = {{"policy", {"FIFO", "Mixed"}}}})
+                      .Runner(NopRunner())
+                      .Build();
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("not one of"), std::string::npos);
+}
+
+TEST(SweepSpecTest, RejectsDuplicateAndMistypedParams) {
+  auto dup = ScenarioBuilder("t")
+                 .Title("t")
+                 .Param("x", ParamType::kU64, "", "")
+                 .Param("x", ParamType::kU64, "", "")
+                 .Runner(NopRunner())
+                 .Build();
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate parameter"), std::string::npos);
+  auto bad_default = ScenarioBuilder("t")
+                         .Title("t")
+                         .Param("x", ParamType::kU64, "-3", "")
+                         .Runner(NopRunner())
+                         .Build();
+  ASSERT_FALSE(bad_default.ok());
+  EXPECT_NE(bad_default.status().message().find("unsigned 64-bit integer"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep combinator: expansion.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec SweptSpec(SweepMode mode) {
+  ScenarioSpec spec;
+  spec.name = "swept";
+  spec.title = "t";
+  spec.params = {{"policy", ParamType::kString, "", "", {}},
+                 {"fraction", ParamType::kDouble, "", "", {}}};
+  spec.sweep = {mode,
+                {{"policy", {"FIFO", "Clock", "Mixed"}},
+                 {"fraction", {"0.2", "0.5", "0.8"}}}};
+  return spec;
+}
+
+TEST(SweepExpansionTest, CrossProductCountAndOrder) {
+  const ScenarioSpec spec = SweptSpec(SweepMode::kCross);
+  RunOptions options;
+  RunContext ctx(spec, options);
+  const auto points = ctx.SweepPoints();
+  ASSERT_EQ(points.size(), 9u);  // 3 policies x 3 fractions
+  // First axis outermost: policy changes every 3 points.
+  EXPECT_EQ(points[0].Value("policy"), "FIFO");
+  EXPECT_EQ(points[0].Value("fraction"), "0.2");
+  EXPECT_EQ(points[2].Value("fraction"), "0.8");
+  EXPECT_EQ(points[3].Value("policy"), "Clock");
+  EXPECT_EQ(points[8].Value("policy"), "Mixed");
+  EXPECT_EQ(points[8].AxisIndex("policy"), 2u);
+  EXPECT_EQ(points[8].AxisIndex("fraction"), 2u);
+  EXPECT_EQ(points[4].index(), 4u);
+  EXPECT_EQ(points[4].Double("fraction"), 0.5);
+}
+
+TEST(SweepExpansionTest, ZipCountAndLockstep) {
+  const ScenarioSpec spec = SweptSpec(SweepMode::kZip);
+  RunOptions options;
+  RunContext ctx(spec, options);
+  const auto points = ctx.SweepPoints();
+  ASSERT_EQ(points.size(), 3u);  // zipped, not 9
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].AxisIndex("policy"), i);
+    EXPECT_EQ(points[i].AxisIndex("fraction"), i);
+  }
+  EXPECT_EQ(points[1].Value("policy"), "Clock");
+  EXPECT_EQ(points[1].Value("fraction"), "0.5");
+}
+
+TEST(SweepExpansionTest, NoSweepMeansNoPoints) {
+  ScenarioSpec spec;
+  RunOptions options;
+  EXPECT_TRUE(RunContext(spec, options).SweepPoints().empty());
+}
+
+TEST(SweepExpansionTest, SetOverrideReplacesAxisValues) {
+  const ScenarioSpec spec = SweptSpec(SweepMode::kCross);
+  RunOptions options;
+  options.params["fraction"] = "0.1,0.9";
+  RunContext ctx(spec, options);
+  EXPECT_EQ(ctx.Axis("fraction"), (std::vector<std::string>{"0.1", "0.9"}));
+  const auto doubles = ctx.AxisDoubles("fraction");
+  ASSERT_EQ(doubles.size(), 2u);
+  EXPECT_EQ(doubles[1], 0.9);
+  EXPECT_EQ(ctx.SweepPoints().size(), 6u);  // 3 policies x 2 fractions
+}
+
+TEST(SweepExpansionTest, U64AxisParses) {
+  ScenarioSpec spec;
+  spec.name = "t";
+  spec.title = "t";
+  spec.params = {{"depth", ParamType::kU64, "", "", {}}};
+  spec.sweep = {SweepMode::kCross, {{"depth", {"1", "16", "256"}}}};
+  RunOptions options;
+  RunContext ctx(spec, options);
+  EXPECT_EQ(ctx.AxisU64s("depth"), (std::vector<std::uint64_t>{1, 16, 256}));
+  EXPECT_EQ(ctx.SweepPoints()[2].U64("depth"), 256u);
+}
+
+// ---------------------------------------------------------------------------
+// CLI --set validation against the declared parameter table.
+// ---------------------------------------------------------------------------
+
+TEST(RunParamsTest, RejectsUndeclaredKeyNamingDeclaredOnes) {
+  const ScenarioSpec spec = SweptSpec(SweepMode::kCross);
+  RunOptions options;
+  options.params["polcy"] = "FIFO";
+  const Status status = ValidateRunParams(spec, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("no parameter 'polcy'"), std::string::npos);
+  EXPECT_NE(status.message().find("policy"), std::string::npos);
+}
+
+TEST(RunParamsTest, RejectsNonFiniteOverflowAndOutOfRangeValues) {
+  ParamSpec fraction{"f", ParamType::kDouble, "", "", {},
+                     ParamRange{0.0, 1.0, /*min_exclusive=*/true}};
+  EXPECT_FALSE(CheckParamValue(fraction, "nan").ok());
+  EXPECT_FALSE(CheckParamValue(fraction, "inf").ok());
+  EXPECT_FALSE(CheckParamValue(fraction, "0").ok());     // exclusive min
+  EXPECT_FALSE(CheckParamValue(fraction, "1.5").ok());
+  EXPECT_TRUE(CheckParamValue(fraction, "1").ok());      // inclusive max
+  EXPECT_TRUE(CheckParamValue(fraction, "0.25").ok());
+  ParamSpec depth{"d", ParamType::kU64, "", "", {}, ParamRange{.min = 1}};
+  EXPECT_FALSE(CheckParamValue(depth, "0").ok());
+  EXPECT_FALSE(CheckParamValue(depth, "18446744073709551617").ok());  // > 2^64-1
+  EXPECT_TRUE(CheckParamValue(depth, "18446744073709551615").ok());
+}
+
+TEST(RunParamsTest, RejectsMistypedValueAndAcceptsAxisList) {
+  const ScenarioSpec spec = SweptSpec(SweepMode::kCross);
+  RunOptions bad;
+  bad.params["fraction"] = "0.2,zero";
+  EXPECT_FALSE(ValidateRunParams(spec, bad).ok());
+  RunOptions good;
+  good.params["fraction"] = "0.25,0.75";
+  EXPECT_TRUE(ValidateRunParams(spec, good).ok());
+}
+
+TEST(RunParamsTest, RejectsZipBreakingOverride) {
+  const ScenarioSpec spec = SweptSpec(SweepMode::kZip);
+  RunOptions options;
+  options.params["fraction"] = "0.25,0.75";  // policy axis still has 3 values
+  const Status status = ValidateRunParams(spec, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("equal lengths"), std::string::npos);
+}
+
+TEST(RunParamsTest, RunFailsCleanlyOnUnknownSetKey) {
+  auto found = ScenarioRegistry::Instance().Find("fig08");
+  ASSERT_TRUE(found.ok());
+  RunOptions options;
+  options.smoke = true;
+  options.params["bogus"] = "1";
+  auto report = found.value()->Run(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RunParamsTest, DeclaredDefaultBacksParamGetters) {
+  ScenarioSpec spec;
+  spec.params = {{"ratio", ParamType::kDouble, "2.5", "", {}},
+                 {"count", ParamType::kU64, "7", "", {}}};
+  RunOptions options;
+  RunContext ctx(spec, options);
+  EXPECT_FALSE(ctx.HasParam("ratio"));  // HasParam stays CLI-only
+  EXPECT_EQ(ctx.ParamDouble("ratio", 1.0), 2.5);
+  EXPECT_EQ(ctx.ParamU64("count", 1), 7u);
+  options.params["ratio"] = "4.0";
+  EXPECT_EQ(RunContext(spec, options).ParamDouble("ratio", 1.0), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// The sweep-aware report section.
+// ---------------------------------------------------------------------------
+
+TEST(SweepTableTest, FillsPivotCellsInAnyOrder) {
+  Report r("s", "t");
+  auto grid = r.AddSweepTable("g", "", "row", {"a", "b"}, {"x", "y"});
+  grid.Set(1, 1, "b-y");
+  grid.Set(0, 0, "a-x");
+  grid.Set(0, 1, "a-y");
+  grid.Set(1, 0, "b-x");
+  ASSERT_EQ(r.tables().size(), 1u);
+  const auto& table = r.tables()[0];
+  EXPECT_EQ(table.columns(), (std::vector<std::string>{"row", "x", "y"}));
+  EXPECT_EQ(table.rows()[0], (std::vector<std::string>{"a", "a-x", "a-y"}));
+  EXPECT_EQ(table.rows()[1], (std::vector<std::string>{"b", "b-x", "b-y"}));
+}
+
+TEST(SweepTableTest, HandleSurvivesLaterTableAdditions) {
+  Report r("s", "t");
+  auto first = r.AddSweepTable("g1", "", "row", {"a"}, {"x"});
+  // Force tables_ growth: the handle must keep addressing its own table.
+  for (int i = 0; i < 16; ++i) {
+    r.AddTable("t" + std::to_string(i), "", {"c"});
+  }
+  first.Set(0, 0, "value");
+  EXPECT_EQ(r.tables()[0].rows()[0],
+            (std::vector<std::string>{"a", "value"}));
+}
+
+// ---------------------------------------------------------------------------
 // Smoke scaling (the centralized ZOMBIE_BENCH_SMOKE replacement).
 // ---------------------------------------------------------------------------
 
@@ -214,6 +487,22 @@ TEST(ScenarioRegistryTest, UnknownNameIsNotFoundWithHint) {
   EXPECT_EQ(found.status().code(), ErrorCode::kNotFound);
   // Prefix hint: fig01..fig10 all match.
   EXPECT_NE(found.status().message().find("fig08"), std::string::npos);
+}
+
+TEST(ScenarioRegistryTest, SuggestsClosestNameByEditDistance) {
+  // A transposition typo has edit distance 2 but no prefix relation.
+  auto found = ScenarioRegistry::Instance().Find("tabel2");
+  ASSERT_FALSE(found.ok());
+  EXPECT_NE(found.status().message().find("did you mean"), std::string::npos);
+  EXPECT_NE(found.status().message().find("table2"), std::string::npos);
+  // The closest match leads the list.
+  auto fig8 = ScenarioRegistry::Instance().Find("fig8");
+  ASSERT_FALSE(fig8.ok());
+  EXPECT_NE(fig8.status().message().find("did you mean: fig08"), std::string::npos);
+  // Nothing close: no suggestion block at all.
+  auto garbage = ScenarioRegistry::Instance().Find("qqqqqqqqqqqq");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().message().find("did you mean"), std::string::npos);
 }
 
 TEST(ScenarioRegistryTest, PaperFiguresAreRegistered) {
@@ -423,6 +712,14 @@ TEST(ScenarioGoldenTest, Fig08TableSmokeMatchesPrePortBinary) {
 
 TEST(ScenarioGoldenTest, Table1TableSmokeMatchesPrePortBinary) {
   EXPECT_EQ(RunTableSmoke("table1"), std::string(kTable1SmokeGolden) + "\n");
+}
+
+// fig08 (above) and this ablation are SweepSpec-driven since PR 4; their
+// consolidated sweep tables must render byte-identically to the pre-port
+// hand-written loops.
+TEST(ScenarioGoldenTest, AblationMixedDepthSweepMatchesPrePortOutput) {
+  EXPECT_EQ(RunTableSmoke("ablation_mixed_depth"),
+            std::string(kAblationMixedDepthSmokeGolden) + "\n");
 }
 
 // Every registered scenario must produce a schema-valid JSON document in
