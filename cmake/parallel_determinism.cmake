@@ -1,6 +1,13 @@
-# ctest gate: `zombieland run --all --smoke --format=json` must be
-# byte-identical between -j 1 and -j 4 (parallel workers collect reports in
-# registration order, so the rendered document may not depend on scheduling).
+# ctest gate: parallel execution may not change a byte of output.
+#   * `zombieland run --all --smoke --format=json` must be byte-identical
+#     between -j 1 and -j 4 (scenario-level parallelism: workers collect
+#     reports in registration order);
+#   * `zombieland run fig08 --smoke` must be byte-identical between -j 1 and
+#     -j 4 in both json and table formats (point-level parallelism: a single
+#     swept scenario schedules its sweep points across the workers, cells
+#     and per-point records are index-addressed in grid order);
+#   * `zombieland diff` of two identical documents must report zero deltas
+#     (exercises the JSON reader over a real full-catalog document).
 #
 # Invoked as:
 #   cmake -DZOMBIELAND=<path> -DWORK_DIR=<dir> -P parallel_determinism.cmake
@@ -9,28 +16,52 @@ if(NOT DEFINED ZOMBIELAND OR NOT DEFINED WORK_DIR)
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Runs one serial/parallel pair and fails unless the outputs are identical.
+function(check_pair label serial_file parallel_file)
+  execute_process(
+    COMMAND "${ZOMBIELAND}" run ${ARGN} -j 1 --out=${serial_file}
+    RESULT_VARIABLE serial_rc)
+  if(NOT serial_rc EQUAL 0)
+    message(FATAL_ERROR "zombieland run ${label} -j 1 failed (exit ${serial_rc})")
+  endif()
+  execute_process(
+    COMMAND "${ZOMBIELAND}" run ${ARGN} -j 4 --out=${parallel_file}
+    RESULT_VARIABLE parallel_rc)
+  if(NOT parallel_rc EQUAL 0)
+    message(FATAL_ERROR "zombieland run ${label} -j 4 failed (exit ${parallel_rc})")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${serial_file}" "${parallel_file}"
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${label}: -j 4 output differs from -j 1 (compare ${serial_file} vs ${parallel_file})")
+  endif()
+  message(STATUS "parallel determinism (${label}): -j 4 byte-identical to -j 1")
+endfunction()
+
 set(serial "${WORK_DIR}/run_all_j1.json")
 set(parallel "${WORK_DIR}/run_all_j4.json")
+check_pair("--all json" "${serial}" "${parallel}"
+           --all --smoke --format=json)
+check_pair("fig08 json (point-level)"
+           "${WORK_DIR}/fig08_j1.json" "${WORK_DIR}/fig08_j4.json"
+           fig08 --smoke --format=json)
+check_pair("fig08 table (point-level)"
+           "${WORK_DIR}/fig08_j1.txt" "${WORK_DIR}/fig08_j4.txt"
+           fig08 --smoke --format=table)
 
+# Identical documents must diff clean (and the diff itself must succeed).
 execute_process(
-  COMMAND "${ZOMBIELAND}" run --all --smoke --format=json -j 1 --out=${serial}
-  RESULT_VARIABLE serial_rc)
-if(NOT serial_rc EQUAL 0)
-  message(FATAL_ERROR "zombieland run --all -j 1 failed (exit ${serial_rc})")
+  COMMAND "${ZOMBIELAND}" diff "${serial}" "${parallel}"
+  RESULT_VARIABLE diff_cmd_rc
+  OUTPUT_VARIABLE diff_output)
+if(NOT diff_cmd_rc EQUAL 0)
+  message(FATAL_ERROR "zombieland diff failed (exit ${diff_cmd_rc})")
 endif()
-
-execute_process(
-  COMMAND "${ZOMBIELAND}" run --all --smoke --format=json -j 4 --out=${parallel}
-  RESULT_VARIABLE parallel_rc)
-if(NOT parallel_rc EQUAL 0)
-  message(FATAL_ERROR "zombieland run --all -j 4 failed (exit ${parallel_rc})")
-endif()
-
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files "${serial}" "${parallel}"
-  RESULT_VARIABLE diff_rc)
-if(NOT diff_rc EQUAL 0)
+if(NOT diff_output MATCHES ", 0 changed")
   message(FATAL_ERROR
-    "-j 4 JSON differs from -j 1 (compare ${serial} vs ${parallel})")
+    "zombieland diff of identical documents reported deltas:\n${diff_output}")
 endif()
-message(STATUS "parallel determinism: -j 4 output byte-identical to -j 1")
+message(STATUS "cross-run diff: identical documents report zero deltas")

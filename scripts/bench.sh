@@ -29,9 +29,14 @@ echo "==> micro_hotloop (full size) -> BENCH_hotloop.json"
 
 echo "==> scenario catalog (smoke) -> BENCH_scenarios.json"
 # One aggregate document with every registered scenario's structured report
-# (tables + headline metrics); the driver schema-validates each entry.
-# --timings records wall-clock seconds per scenario in the document's
-# "timings" object, so the artifact doubles as a perf trajectory.
+# (tables + headline metrics + one "points" record per sweep point: axis
+# values, per-point metrics, wall-clock); the driver schema-validates each
+# entry.  --timings records wall-clock seconds per scenario in the
+# document's "timings" object and per point in each report's points
+# section, so the artifact doubles as a perf trajectory — and
+# `zombieland diff <old> <new>` compares two of these documents point by
+# point for cross-run regression tracking (CI runs it against this
+# checked-in baseline on every push).
 ./build-bench/zombieland run --all --smoke --format=json --timings \
   --out="${repo_root}/BENCH_scenarios.json"
 

@@ -188,25 +188,32 @@ std::string SingleLine(std::string text) {
   return text;
 }
 
-// JSON number: finite doubles as shortest round-trippable decimal,
-// non-finite as null (JSON has no inf/nan).
+}  // namespace
+
 std::string JsonNumber(double v) {
   if (!std::isfinite(v)) {
-    return "null";
+    return "null";  // JSON has no inf/nan
   }
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Prefer the shorter %g form when it round-trips.
-  char shorter[64];
-  std::snprintf(shorter, sizeof(shorter), "%.10g", v);
-  double parsed = 0.0;
-  if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
-    return shorter;
+  // Integral values (fault counts, percents) render in plain form — %g's
+  // fewest-digits pick would turn 5060 into "5.06e+03".  Below 2^53 every
+  // integral double is exact, so this always round-trips.
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0 /* 2^53 */) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest round-trip: the first precision whose rendering parses back to
+  // the same double.  17 significant digits always round-trips, so the loop
+  // cannot fall through.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) {
+      break;
+    }
   }
   return buf;
 }
-
-}  // namespace
 
 std::string Report::RenderCsv() const {
   std::string out = "# scenario: " + scenario_ + "\n";
@@ -312,6 +319,39 @@ std::string Report::RenderJson() const {
            "\": " + JsonNumber(metrics_[m].second);
   }
   out += metrics_.empty() ? "},\n" : "\n  },\n";
+
+  // Per-point records, grid order (swept scenarios only).  wall_seconds is
+  // emitted only under --timings so determinism gates compare byte-stable
+  // documents.
+  if (!points_.empty()) {
+    out += "  \"points\": [";
+    for (std::size_t p = 0; p < points_.size(); ++p) {
+      const SweepPointRecord& point = points_[p];
+      out += p == 0 ? "\n" : ",\n";
+      out += "    {\"axes\": {";
+      for (std::size_t a = 0; a < point.axes.size(); ++a) {
+        if (a != 0) {
+          out += ", ";
+        }
+        out += "\"" + JsonEscape(point.axes[a].first) + "\": \"" +
+               JsonEscape(point.axes[a].second) + "\"";
+      }
+      out += "}, \"metrics\": {";
+      for (std::size_t m = 0; m < point.metrics.size(); ++m) {
+        if (m != 0) {
+          out += ", ";
+        }
+        out += "\"" + JsonEscape(point.metrics[m].first) +
+               "\": " + JsonNumber(point.metrics[m].second);
+      }
+      out += "}";
+      if (point_timings_) {
+        out += ", \"wall_seconds\": " + StrPrintf("%.3f", point.wall_seconds);
+      }
+      out += "}";
+    }
+    out += "\n  ],\n";
+  }
 
   out += "  \"notes\": [";
   bool first = true;
@@ -571,6 +611,293 @@ class JsonParser {
 }  // namespace
 
 Status ValidateJson(std::string_view text) { return JsonParser(text).Validate(); }
+
+// ---------------------------------------------------------------------------
+// DOM-building parser (same grammar as the validator above).
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue value;
+    if (Status status = Value(value); !status.ok()) {
+      return Result<JsonValue>(status);
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Result<JsonValue>(Error("trailing content after top-level value"));
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  "JSON error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(JsonValue& out) {
+    if (++depth_ > 64) {
+      return Error("nesting too deep");
+    }
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out);
+      case '[':
+        return Array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return String(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return Literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return Literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return Number(out);
+    }
+  }
+
+  Status Object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Eat('}')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      if (Status status = String(key); !status.ok()) {
+        return status;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Error("expected ':' after object key");
+      }
+      SkipWs();
+      JsonValue value;
+      if (Status status = Value(value); !status.ok()) {
+        return status;
+      }
+      out.members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Eat('}')) {
+        return Status::Ok();
+      }
+      if (!Eat(',')) {
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Status Array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Eat(']')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (Status status = Value(value); !status.ok()) {
+        return status;
+      }
+      out.items.push_back(std::move(value));
+      SkipWs();
+      if (Eat(']')) {
+        return Status::Ok();
+      }
+      if (!Eat(',')) {
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Status String(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (pos_ >= text_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return Error("bad \\u escape");
+              }
+              const char h = text_[pos_];
+              code = code * 16 +
+                     static_cast<unsigned>(h <= '9' ? h - '0'
+                                                    : (h | 0x20) - 'a' + 10);
+            }
+            // The reports only escape control characters; decode BMP code
+            // points as UTF-8 (surrogate pairs are out of scope).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("bad escape character");
+        }
+      } else {
+        out += c;
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("bad literal");
+    }
+    pos_ += word.size();
+    return Status::Ok();
+  }
+
+  Status Number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (Eat('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected value");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Eat('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits required in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    const std::string owned(text_.substr(start, pos_ - start));
+    out.number = std::strtod(owned.c_str(), nullptr);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonReader(text).Parse();
+}
 
 Status ValidateReportJson(std::string_view text) {
   Status status = ValidateJson(text);

@@ -1,6 +1,7 @@
 // The structured result layer of the scenario API: a Report is what every
 // experiment produces — an ordered mix of free text and named tables plus
-// headline scalar metrics — and it renders as a fixed-width TextTable stream
+// headline scalar metrics and, for swept scenarios, one machine-readable
+// record per sweep point — and it renders as a fixed-width TextTable stream
 // (byte-compatible with the historical bench binaries), as CSV blocks, or as
 // a JSON document (schema "zombieland.scenario.report/v1").
 //
@@ -56,6 +57,27 @@ class ReportTable {
 
 class Report;
 
+// One sweep point's structured result: the axis bindings that define the
+// point, the metrics its run recorded, and its wall-clock cost.  Records are
+// pre-sized in grid order by RunContext::ForEachSweepPoint and filled as
+// points complete (possibly on worker threads — each point owns its slot),
+// so the JSON "points" section is deterministic regardless of scheduling.
+struct SweepPointRecord {
+  // Axis name -> value, in axis order (rendered form, as on the CLI).
+  std::vector<std::pair<std::string, std::string>> axes;
+  // Per-point headline numbers (the sweep-resolved analogue of
+  // Report::Metric), in insertion order.
+  std::vector<std::pair<std::string, double>> metrics;
+  // Wall-clock seconds spent running this point.  Only emitted in JSON when
+  // point timings are enabled (--timings) so determinism gates stay byte
+  // stable.
+  double wall_seconds = 0.0;
+
+  void Metric(std::string key, double value) {
+    metrics.emplace_back(std::move(key), value);
+  }
+};
+
 // The sweep-aware table section: a pivot grid pre-sized from a sweep's axes
 // (one row per row-axis value, one value column per column-axis value or per
 // measure), filled cell-by-cell as sweep points complete — in any order —
@@ -107,6 +129,16 @@ class Report {
   // mode, where the accompanying Text note carries the number).
   void Metric(std::string key, double value);
 
+  // The per-point result records of a swept scenario (JSON "points" array;
+  // invisible in table/CSV mode).  MutablePoints is the framework surface:
+  // RunContext::ForEachSweepPoint sizes it in grid order and hands each
+  // worker its own slot.
+  std::vector<SweepPointRecord>& MutablePoints() { return points_; }
+  const std::vector<SweepPointRecord>& points() const { return points_; }
+  // Whether JSON emission includes each point's wall_seconds (--timings).
+  void set_point_timings(bool enabled) { point_timings_ = enabled; }
+  bool point_timings() const { return point_timings_; }
+
   std::string Render(Format format) const;
   std::string RenderTableText() const;  // byte-compatible printf stream
   std::string RenderCsv() const;
@@ -141,10 +173,12 @@ class Report {
   std::string scenario_;
   std::string title_;
   bool smoke_ = false;
+  bool point_timings_ = false;
   std::vector<Item> items_;
   std::vector<std::string> texts_;
   std::vector<ReportTable> tables_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<SweepPointRecord> points_;
 };
 
 // Minimal JSON syntax checker (objects, arrays, strings, numbers, literals)
@@ -158,6 +192,40 @@ Status ValidateReportJson(std::string_view text);
 
 // JSON string escaping (exposed for the driver's aggregate documents).
 std::string JsonEscape(std::string_view text);
+
+// A finite double as its shortest decimal that parses back to the same
+// value (non-finite renders as "null" — JSON has no inf/nan).  Every number
+// in a rendered report goes through this, so equal values are byte-equal
+// across runs and cross-run diffs stay noise-free.
+std::string JsonNumber(double v);
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model, for tooling that reads report documents back
+// (`zombieland diff`).  Objects keep member order; lookups are linear — the
+// documents are small.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull = 0, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+};
+
+// Full parse into the document model; kInvalidArgument with an offset on the
+// first syntax error (same grammar as ValidateJson).
+Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace zombie::report
 

@@ -2,7 +2,6 @@
 // configuration and the Sz estimate), Fig. 10 (datacenter energy saving of
 // Neat/Oasis/ZombieStack) and the footnote-1 cooling extension.  Ports of
 // the historical bench binaries; table-mode output is byte-identical.
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -123,31 +122,42 @@ Report RunFig10(const RunContext& ctx) {
     machine_rows.push_back(MachineProfileFor(MachineKindFromKey(key)).name());
   }
 
-  std::optional<report::SweepTable> table;
-  std::vector<DcResult> dell_modified;
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
-    const bool modified_shape = pt.Value("trace_shape") == "modified";
-    if (pt.AxisIndex("machine") == 0) {
-      if (pt.index() > 0) {  // blank line between consecutive shape tables
-        r.Text("\n");
-      }
-      table = r.AddSweepTable(
-          modified_shape ? "modified" : "original",
-          modified_shape ? "(bottom) Modified traces (memory demand = 2x CPU demand):"
-                         : "(top) Original trace shape:",
-          "machine", machine_rows, {"Neat", "Oasis", "ZombieStack"});
+  // One table per trace shape, created up front in shape-axis order (the
+  // shape axis is outermost, so this matches the old per-point creation
+  // order byte for byte) — the points are then independent and -j N can
+  // schedule them across workers.
+  const std::vector<std::string> shapes = ctx.Axis("trace_shape");
+  std::vector<report::SweepTable> tables;
+  tables.reserve(shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    if (s > 0) {  // blank line between consecutive shape tables
+      r.Text("\n");
     }
+    const bool modified_shape = shapes[s] == "modified";
+    tables.push_back(r.AddSweepTable(
+        modified_shape ? "modified" : "original",
+        modified_shape ? "(bottom) Modified traces (memory demand = 2x CPU demand):"
+                       : "(top) Original trace shape:",
+        "machine", machine_rows, {"Neat", "Oasis", "ZombieStack"}));
+  }
+  std::vector<DcResult> dell_modified;  // written by at most one point
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
+    const bool modified_shape = pt.Value("trace_shape") == "modified";
+    report::SweepTable& table = tables[pt.AxisIndex("trace_shape")];
     const MachineKind kind = MachineKindFromKey(pt.Value("machine"));
     const std::vector<DcResult> results =
         RunAllPolicies(modified_shape ? modified : original, MachineProfileFor(kind));
     const std::size_t row = pt.AxisIndex("machine");
     for (std::size_t p = 0; p < 3; ++p) {
-      table->Set(row, p, Report::Num(results[p + 1].saving_percent, 0) + "%");
+      table.Set(row, p, Report::Num(results[p + 1].saving_percent, 0) + "%");
     }
+    rec.Metric("saving_percent_neat", results[1].saving_percent);
+    rec.Metric("saving_percent_oasis", results[2].saving_percent);
+    rec.Metric("saving_percent_zombiestack", results[3].saving_percent);
     if (modified_shape && kind == MachineKind::kDellPrecisionT5810) {
       dell_modified = results;
     }
-  }
+  });
 
   r.Text(
       "\nPaper: (top) Neat 36/36, Oasis 40/40, ZombieStack 54/56;\n"

@@ -95,7 +95,10 @@ Report RunAblationBuffSize(const RunContext& ctx) {
       "buff_size", "", "BUFF_SIZE", rows,
       {"buffers/alloc", "hosts spanned", "reclaim blast (buffers)",
        "migration ownership cost (ms)"});
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
+  // Failure notes land in per-point slots and are emitted serially after the
+  // loop, so -j N workers never append to the report concurrently.
+  std::vector<std::string> failures(rows.size());
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
     const Bytes buff = pt.U64("buff_mib") * kMiB;
     cloud::RackConfig config;
     config.buff_size = buff;
@@ -108,14 +111,15 @@ Report RunAblationBuffSize(const RunContext& ctx) {
     auto& z1 = rack.AddServer("z1", profile, capacity);
     auto& z2 = rack.AddServer("z2", profile, capacity);
     if (!rack.PushToZombie(z1.id()).ok() || !rack.PushToZombie(z2.id()).ok()) {
-      continue;
+      return;
     }
     auto extent = rack.manager(user.id()).AllocExtension(8 * kGiB);
     if (!extent.ok()) {
-      r.Text(StrPrintf("  (BUFF_SIZE %llu MiB: allocation failed: %s)\n",
-                       static_cast<unsigned long long>(buff / kMiB),
-                       extent.status().ToString().c_str()));
-      continue;
+      failures[pt.AxisIndex("buff_mib")] =
+          StrPrintf("  (BUFF_SIZE %llu MiB: allocation failed: %s)\n",
+                    static_cast<unsigned long long>(buff / kMiB),
+                    extent.status().ToString().c_str());
+      return;
     }
     // Hosts spanned by the allocation.
     std::size_t hosts = 0;
@@ -138,6 +142,16 @@ Report RunAblationBuffSize(const RunContext& ctx) {
     table.Set(row, 1, std::to_string(hosts));
     table.Set(row, 2, std::to_string(z1_buffers));
     table.Set(row, 3, Report::Num(ownership_ms, 1));
+    rec.Metric("buffers_per_alloc",
+               static_cast<double>(extent.value()->buffer_count()));
+    rec.Metric("hosts_spanned", static_cast<double>(hosts));
+    rec.Metric("reclaim_blast_buffers", static_cast<double>(z1_buffers));
+    rec.Metric("ownership_cost_ms", ownership_ms);
+  });
+  for (const std::string& failure : failures) {
+    if (!failure.empty()) {
+      r.Text(failure);
+    }
   }
 
   r.Text(

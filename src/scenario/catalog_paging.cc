@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,9 +64,11 @@ Report RunFig08(const RunContext& ctx) {
                                 "\n(bottom) Policy time per page fault (CPU cycles):",
                                 "% local", locals, policies);
 
+  // Points are independent: each writes its own pivot cells and exec slot,
+  // so -j N schedules them across workers with byte-identical output.
   std::vector<std::vector<double>> exec(policies.size(),
                                         std::vector<double>(locals.size(), 0.0));
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
     const std::size_t p = pt.AxisIndex("policy");
     const std::size_t f = pt.AxisIndex("local_fraction");
     auto testbed = ctx.MakeTestbed(profile.reserved_memory);
@@ -78,7 +79,11 @@ Report RunFig08(const RunContext& ctx) {
     mid.Set(f, p, Report::Num(static_cast<double>(run.pager.faults) / 1000.0, 1));
     bottom.Set(f, p, std::to_string(run.pager.PolicyCyclesPerFault()));
     exec[p][f] = run.seconds();
-  }
+    rec.Metric("exec_seconds", run.seconds());
+    rec.Metric("faults", static_cast<double>(run.pager.faults));
+    rec.Metric("policy_cycles_per_fault",
+               static_cast<double>(run.pager.PolicyCyclesPerFault()));
+  });
 
   // The paper's headline: Mixed outperforms FIFO by up to 30% and Clock by
   // up to 36%.  Only meaningful while all three policies are on the axis.
@@ -147,23 +152,26 @@ Report RunTable1(const RunContext& ctx) {
       "penalty", "", "% in local mem", rows,
       {"micro-bench.", "Elastic search", "Data caching", "Spark SQL"});
 
+  // Baselines first (one local-only run per app), so every sweep point is
+  // independent and -j N can schedule them across workers.
   const std::vector<App>& apps = ctx.spec().workload.apps;
   std::map<App, RunResult> baselines;
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
+  for (App app : apps) {
+    WorkloadRunner runner;
+    baselines.try_emplace(app, runner.RunLocalOnly(ctx.Profile(app)));
+  }
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
     for (std::size_t a = 0; a < apps.size(); ++a) {
       const AppProfile profile = ctx.Profile(apps[a]);
       WorkloadRunner runner;
-      auto [baseline, inserted] = baselines.try_emplace(apps[a]);
-      if (inserted) {
-        baseline->second = runner.RunLocalOnly(profile);
-      }
       auto testbed = ctx.MakeTestbed(profile.reserved_memory);
       const RunResult run =
           runner.RunRamExt(profile, pt.Double("local_fraction"), testbed->backend());
-      table.Set(pt.AxisIndex("local_fraction"), a,
-                Report::Penalty(PenaltyPercent(run, baseline->second)));
+      const double penalty = PenaltyPercent(run, baselines.at(apps[a]));
+      table.Set(pt.AxisIndex("local_fraction"), a, Report::Penalty(penalty));
+      rec.Metric("penalty_percent_" + std::string(AppName(apps[a])), penalty);
     }
-  }
+  });
 
   r.Text(
       "\nPaper row at 50%: micro 8%, Elasticsearch 4.2%, Data caching 1.35%,\n"
@@ -203,46 +211,59 @@ Report RunTable2(const RunContext& ctx) {
   }
 
   // The app axis groups the grid into one consolidated table per workload;
-  // the swap-technology columns are code paths, not parameter values.
-  std::optional<report::SweepTable> table;
-  RunResult baseline;
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
+  // the swap-technology columns are code paths, not parameter values.  The
+  // per-app tables and local-only baselines are built up front (app-axis
+  // order, matching the point order of the app-major grid) so the points are
+  // independent and -j N can schedule them across workers.
+  const std::vector<std::string> app_names = ctx.Axis("app");
+  std::vector<report::SweepTable> tables;
+  std::vector<RunResult> baselines;
+  tables.reserve(app_names.size());
+  baselines.reserve(app_names.size());
+  for (const std::string& name : app_names) {
+    const App app = AppFromName(name);
+    WorkloadRunner runner;
+    baselines.push_back(runner.RunLocalOnly(ctx.Profile(app)));
+    tables.push_back(r.AddSweepTable(
+        std::string("penalty_") + name, StrPrintf("\n-- %s --", name.c_str()),
+        "% in local mem", rows, {"v1-RE", "v2-ESD", "v2-LFSD", "v2-LSSD"}));
+  }
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
     const App app = AppFromName(pt.Value("app"));
     const AppProfile profile = ctx.Profile(app);
+    const RunResult& baseline = baselines[pt.AxisIndex("app")];
+    report::SweepTable& table = tables[pt.AxisIndex("app")];
     WorkloadRunner runner;
-    if (pt.AxisIndex("local_fraction") == 0) {
-      baseline = runner.RunLocalOnly(profile);
-      table = r.AddSweepTable(
-          std::string("penalty_") + std::string(AppName(app)),
-          StrPrintf("\n-- %s --", std::string(AppName(app)).c_str()),
-          "% in local mem", rows, {"v1-RE", "v2-ESD", "v2-LFSD", "v2-LSSD"});
-    }
     const double fraction = pt.Double("local_fraction");
     const std::size_t row = pt.AxisIndex("local_fraction");
 
     auto re_bed = ctx.MakeTestbed(profile.reserved_memory);
-    table->Set(row, 0,
-               Report::Penalty(PenaltyPercent(
-                   runner.RunRamExt(profile, fraction, re_bed->backend()), baseline)));
+    const double re = PenaltyPercent(
+        runner.RunRamExt(profile, fraction, re_bed->backend()), baseline);
+    table.Set(row, 0, Report::Penalty(re));
 
     // Explicit SD over remote RAM: the swap device is a best-effort
     // GS_alloc_swap extent on the zombie server.
     auto esd_bed = ctx.MakeTestbed(profile.reserved_memory);
-    table->Set(row, 1,
-               Report::Penalty(PenaltyPercent(
-                   runner.RunExplicitSd(profile, fraction, esd_bed->backend()),
-                   baseline)));
+    const double esd = PenaltyPercent(
+        runner.RunExplicitSd(profile, fraction, esd_bed->backend()), baseline);
+    table.Set(row, 1, Report::Penalty(esd));
 
     auto ssd = hv::MakeLocalSsdBackend();
-    table->Set(row, 2,
-               Report::Penalty(PenaltyPercent(
-                   runner.RunExplicitSd(profile, fraction, ssd.get()), baseline)));
+    const double lfsd = PenaltyPercent(
+        runner.RunExplicitSd(profile, fraction, ssd.get()), baseline);
+    table.Set(row, 2, Report::Penalty(lfsd));
 
     auto hdd = hv::MakeLocalHddBackend();
-    table->Set(row, 3,
-               Report::Penalty(PenaltyPercent(
-                   runner.RunExplicitSd(profile, fraction, hdd.get()), baseline)));
-  }
+    const double lssd = PenaltyPercent(
+        runner.RunExplicitSd(profile, fraction, hdd.get()), baseline);
+    table.Set(row, 3, Report::Penalty(lssd));
+
+    rec.Metric("penalty_percent_v1_re", re);
+    rec.Metric("penalty_percent_v2_esd", esd);
+    rec.Metric("penalty_percent_v2_lfsd", lfsd);
+    rec.Metric("penalty_percent_v2_lssd", lssd);
+  });
 
   r.Text(
       "\nShape checks (paper): v1-RE < v2-ESD < v2-LFSD < v2-LSSD at every ratio;\n"
@@ -290,9 +311,13 @@ Report RunTable2b(const RunContext& ctx) {
   const double fraction = ctx.ParamDouble("local_fraction", 0.5);
   r.Text(StrPrintf("Both VMs run with %.0f%% of reserved memory local.\n\n",
                    fraction * 100));
-  auto table = r.AddSweepTable("traffic", "", "workload", ctx.Axis("app"),
+  const std::vector<std::string> app_names = ctx.Axis("app");
+  auto table = r.AddSweepTable("traffic", "", "workload", app_names,
                                {"v1-RE pages", "v2-ESD pages", "extra traffic"});
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
+  // Per-point slots for the scenario-level metrics: points run on workers in
+  // any order, the metrics are emitted serially in grid order afterwards.
+  std::vector<double> extras(app_names.size(), 0.0);
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
     const AppProfile profile = ctx.Profile(AppFromName(pt.Value("app")));
     WorkloadRunner runner;
 
@@ -311,7 +336,13 @@ Report RunTable2b(const RunContext& ctx) {
     table.Set(row, 0, std::to_string(v1));
     table.Set(row, 1, std::to_string(v2));
     table.Set(row, 2, Report::Num(extra, 0) + "%");
-    r.Metric("extra_traffic_percent_" + pt.Value("app"), extra);
+    extras[row] = extra;
+    rec.Metric("v1_re_pages", static_cast<double>(v1));
+    rec.Metric("v2_esd_pages", static_cast<double>(v2));
+    rec.Metric("extra_traffic_percent", extra);
+  });
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    r.Metric("extra_traffic_percent_" + app_names[a], extras[a]);
   }
 
   r.Text(
@@ -363,7 +394,7 @@ Report RunAblationLocalFloor(const RunContext& ctx) {
   auto table = r.AddSweepTable(
       "floor", "", "floor", rows,
       {"worst penalty", "worst app", "packing gain vs floor=1.0"});
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
     const double floor = pt.Double("floor");
     double worst = 0.0;
     App worst_app = App::kMicro;
@@ -386,7 +417,9 @@ Report RunAblationLocalFloor(const RunContext& ctx) {
     table.Set(row, 0, Report::Penalty(worst));
     table.Set(row, 1, std::string(AppName(worst_app)));
     table.Set(row, 2, Report::Num((1.0 / floor - 1.0) * 100.0, 0) + "%");
-  }
+    rec.Metric("worst_penalty_percent", worst);
+    rec.Metric("packing_gain_percent", (1.0 / floor - 1.0) * 100.0);
+  });
 
   r.Text(
       "\nThe 50% floor is the knee: packing headroom of +100% while the worst\n"
@@ -432,7 +465,9 @@ Report RunAblationMixedDepth(const RunContext& ctx) {
   }
   auto table = r.AddSweepTable("depth", "", "x", rows,
                                {"exec (s)", "faults (k)", "policy cycles/fault"});
-  for (const SweepPoint& pt : ctx.SweepPoints()) {
+  // The shared fixed-latency backend is stateless, so points stay
+  // independent and can run on -j N workers.
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
     workloads::RunnerOptions options = ctx.MakeRunnerOptions(hv::PolicyKind::kMixed);
     options.mixed_depth = pt.U64("depth");
     WorkloadRunner runner(options);
@@ -441,7 +476,11 @@ Report RunAblationMixedDepth(const RunContext& ctx) {
     table.Set(row, 0, Report::Num(run.seconds(), 2));
     table.Set(row, 1, Report::Num(static_cast<double>(run.pager.faults) / 1000.0, 0));
     table.Set(row, 2, std::to_string(run.pager.PolicyCyclesPerFault()));
-  }
+    rec.Metric("exec_seconds", run.seconds());
+    rec.Metric("faults", static_cast<double>(run.pager.faults));
+    rec.Metric("policy_cycles_per_fault",
+               static_cast<double>(run.pager.PolicyCyclesPerFault()));
+  });
 
   r.Text(
       "\nThe sweet spot sits at small x: most of the scan resistance arrives by\n"

@@ -1,0 +1,240 @@
+#include "src/scenario/diff.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zombie::scenario {
+
+namespace {
+
+using report::JsonNumber;
+using report::JsonValue;
+using report::Report;
+using report::StrPrintf;
+
+// One report's comparable content: scenario-level metrics plus per-point
+// metrics keyed by the point's axis bindings.
+struct PointData {
+  std::string key;  // "axis=value,axis=value", grid order
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct ScenarioData {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<PointData> points;
+};
+
+std::vector<std::pair<std::string, double>> MetricsOf(const JsonValue* object) {
+  std::vector<std::pair<std::string, double>> out;
+  if (object == nullptr || !object->is_object()) {
+    return out;
+  }
+  for (const auto& [key, value] : object->members) {
+    if (value.is_number()) {
+      out.emplace_back(key, value.number);
+    }
+  }
+  return out;
+}
+
+void AppendReport(const JsonValue& report, std::vector<ScenarioData>& out) {
+  const JsonValue* name = report.Find("scenario");
+  if (name == nullptr || !name->is_string()) {
+    return;
+  }
+  ScenarioData data;
+  data.name = name->string;
+  data.metrics = MetricsOf(report.Find("metrics"));
+  if (const JsonValue* points = report.Find("points");
+      points != nullptr && points->is_array()) {
+    for (const JsonValue& point : points->items) {
+      PointData pd;
+      if (const JsonValue* axes = point.Find("axes");
+          axes != nullptr && axes->is_object()) {
+        for (const auto& [axis, value] : axes->members) {
+          if (value.is_string()) {
+            pd.key += (pd.key.empty() ? "" : ",") + axis + "=" + value.string;
+          }
+        }
+      }
+      pd.metrics = MetricsOf(point.Find("metrics"));
+      data.points.push_back(std::move(pd));
+    }
+  }
+  out.push_back(std::move(data));
+}
+
+// Accepts a single report document or the combined reports/v1 aggregate.
+Result<std::vector<ScenarioData>> ExtractScenarios(std::string_view json,
+                                                   std::string_view label) {
+  auto parsed = report::ParseJson(json);
+  if (!parsed.ok()) {
+    return Result<std::vector<ScenarioData>>(
+        ErrorCode::kInvalidArgument,
+        std::string(label) + ": " + parsed.status().message());
+  }
+  const JsonValue& doc = parsed.value();
+  std::vector<ScenarioData> out;
+  if (const JsonValue* reports = doc.Find("reports");
+      reports != nullptr && reports->is_array()) {
+    for (const JsonValue& report : reports->items) {
+      AppendReport(report, out);
+    }
+  } else {
+    AppendReport(doc, out);
+  }
+  if (out.empty()) {
+    return Result<std::vector<ScenarioData>>(
+        ErrorCode::kInvalidArgument,
+        std::string(label) +
+            ": no scenario reports found (expected a zombieland.scenario."
+            "report/v1 or .reports/v1 document)");
+  }
+  return out;
+}
+
+const ScenarioData* FindScenario(const std::vector<ScenarioData>& all,
+                                 std::string_view name) {
+  for (const ScenarioData& scenario : all) {
+    if (scenario.name == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+const PointData* FindPoint(const std::vector<PointData>& points,
+                           std::string_view key) {
+  for (const PointData& point : points) {
+    if (point.key == key) {
+      return &point;
+    }
+  }
+  return nullptr;
+}
+
+const double* FindMetric(const std::vector<std::pair<std::string, double>>& metrics,
+                         std::string_view key) {
+  for (const auto& [name, value] : metrics) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+// Shared accumulation state for one diff run.
+struct DiffState {
+  report::ReportTable* table = nullptr;
+  std::vector<std::string> notes;
+  std::size_t compared = 0;
+  std::size_t changed = 0;
+};
+
+std::string DeltaPercent(double old_value, double new_value) {
+  if (old_value == 0.0) {
+    return new_value == 0.0 ? "0%" : "n/a";
+  }
+  return StrPrintf("%+.2f%%",
+                   100.0 * (new_value - old_value) / std::fabs(old_value));
+}
+
+// Diffs one metrics list pair under a (scenario, point) label.
+void DiffMetrics(const std::string& scenario, const std::string& point,
+                 const std::vector<std::pair<std::string, double>>& old_metrics,
+                 const std::vector<std::pair<std::string, double>>& new_metrics,
+                 DiffState& state) {
+  for (const auto& [key, new_value] : new_metrics) {
+    const double* old_value = FindMetric(old_metrics, key);
+    if (old_value == nullptr) {
+      state.notes.push_back("metric added: " + scenario +
+                            (point.empty() ? "" : " [" + point + "]") + " " + key);
+      continue;
+    }
+    ++state.compared;
+    if (*old_value == new_value ||
+        (std::isnan(*old_value) && std::isnan(new_value))) {
+      continue;
+    }
+    ++state.changed;
+    state.table->Row({scenario, point, key, JsonNumber(*old_value),
+                      JsonNumber(new_value),
+                      StrPrintf("%+g", new_value - *old_value),
+                      DeltaPercent(*old_value, new_value)});
+  }
+  for (const auto& [key, old_value] : old_metrics) {
+    (void)old_value;
+    if (FindMetric(new_metrics, key) == nullptr) {
+      state.notes.push_back("metric removed: " + scenario +
+                            (point.empty() ? "" : " [" + point + "]") + " " + key);
+    }
+  }
+}
+
+}  // namespace
+
+Result<report::Report> DiffReportDocs(std::string_view old_json,
+                                      std::string_view new_json) {
+  auto old_doc = ExtractScenarios(old_json, "old document");
+  if (!old_doc.ok()) {
+    return Result<Report>(old_doc.status());
+  }
+  auto new_doc = ExtractScenarios(new_json, "new document");
+  if (!new_doc.ok()) {
+    return Result<Report>(new_doc.status());
+  }
+
+  Report r("diff", "Cross-run metric deltas");
+  r.Text("== Cross-run metric deltas (old -> new) ==\n\n");
+  DiffState state;
+  state.table = &r.AddTable(
+      "metric_deltas", "",
+      {"scenario", "point", "metric", "old", "new", "delta", "delta %"});
+
+  for (const ScenarioData& scenario : new_doc.value()) {
+    const ScenarioData* old_scenario = FindScenario(old_doc.value(), scenario.name);
+    if (old_scenario == nullptr) {
+      state.notes.push_back("scenario added: " + scenario.name);
+      continue;
+    }
+    DiffMetrics(scenario.name, "", old_scenario->metrics, scenario.metrics, state);
+    for (const PointData& point : scenario.points) {
+      const PointData* old_point = FindPoint(old_scenario->points, point.key);
+      if (old_point == nullptr) {
+        state.notes.push_back("point added: " + scenario.name + " [" + point.key + "]");
+        continue;
+      }
+      DiffMetrics(scenario.name, point.key, old_point->metrics, point.metrics,
+                  state);
+    }
+    for (const PointData& point : old_scenario->points) {
+      if (FindPoint(scenario.points, point.key) == nullptr) {
+        state.notes.push_back("point removed: " + scenario.name + " [" + point.key +
+                              "]");
+      }
+    }
+  }
+  for (const ScenarioData& scenario : old_doc.value()) {
+    if (FindScenario(new_doc.value(), scenario.name) == nullptr) {
+      state.notes.push_back("scenario removed: " + scenario.name);
+    }
+  }
+
+  r.Metric("metrics_compared", static_cast<double>(state.compared));
+  r.Metric("metrics_changed", static_cast<double>(state.changed));
+  r.Text(StrPrintf("\n%zu metrics compared, %zu changed.\n", state.compared,
+                   state.changed));
+  if (!state.notes.empty()) {
+    std::string block = "\nStructural changes:\n";
+    for (const std::string& note : state.notes) {
+      block += "  " + note + "\n";
+    }
+    r.Text(std::move(block));
+  }
+  return r;
+}
+
+}  // namespace zombie::scenario

@@ -1,0 +1,29 @@
+// Cross-run diffing of scenario report documents: `zombieland diff
+// <old.json> <new.json>` compares two rendered JSON documents — either a
+// single report (zombieland.scenario.report/v1) or the combined
+// `run --all` / BENCH_scenarios.json form (zombieland.scenario.reports/v1) —
+// and reports per-scenario and per-sweep-point metric deltas, the structured
+// regression-tracking surface behind the per-point `points` section.
+#ifndef ZOMBIELAND_SRC_SCENARIO_DIFF_H_
+#define ZOMBIELAND_SRC_SCENARIO_DIFF_H_
+
+#include <string_view>
+
+#include "src/common/report.h"
+#include "src/common/result.h"
+
+namespace zombie::scenario {
+
+// Parses both documents and builds the delta report: one row per metric
+// whose value changed (scenario, sweep point, metric, old, new, delta,
+// delta %), notes for scenarios/points/metrics present in only one run, and
+// headline metrics (`metrics_compared`, `metrics_changed`).  Wall-clock
+// fields ("timings", "wall_seconds") are ignored — they are noise between
+// runs.  kInvalidArgument when either document does not parse or has no
+// recognizable report schema.
+Result<report::Report> DiffReportDocs(std::string_view old_json,
+                                      std::string_view new_json);
+
+}  // namespace zombie::scenario
+
+#endif  // ZOMBIELAND_SRC_SCENARIO_DIFF_H_

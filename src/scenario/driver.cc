@@ -6,11 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/env.h"
+#include "src/scenario/diff.h"
 #include "src/scenario/registry.h"
 
 namespace zombie::scenario {
@@ -27,6 +29,9 @@ constexpr std::string_view kUsage =
     "  zombieland run <name>... [options]\n"
     "  zombieland run --all [options]\n"
     "      Run scenarios and print their reports.\n"
+    "  zombieland diff <old.json> <new.json> [--format=...] [--out=FILE]\n"
+    "      Per-scenario and per-sweep-point metric deltas between two\n"
+    "      rendered JSON documents (cross-run regression tracking).\n"
     "\n"
     "run options:\n"
     "  --smoke             tiny access budgets (also: ZOMBIE_BENCH_SMOKE=1)\n"
@@ -35,10 +40,16 @@ constexpr std::string_view kUsage =
     "  --set KEY=VALUE     scenario parameter override (repeatable); on a\n"
     "                      sweep-axis parameter, VALUE may be a v1,v2,...\n"
     "                      list replacing the axis\n"
-    "  -j N, --jobs=N      run up to N scenarios in parallel (reports are\n"
-    "                      still emitted in a deterministic order)\n"
+    "  --filter KEY=V1[,V2...]\n"
+    "                      run only the listed values of sweep axis KEY (a\n"
+    "                      strict subset of the axis; repeatable)\n"
+    "  -j N, --jobs=N      run up to N scenarios in parallel; a single swept\n"
+    "                      scenario schedules its sweep points across the\n"
+    "                      workers instead (output is byte-identical to -j 1\n"
+    "                      either way)\n"
     "  --timings           (json) add per-scenario wall-clock seconds to the\n"
-    "                      combined document\n";
+    "                      combined document and per-point wall_seconds to\n"
+    "                      each report's points section\n";
 
 struct ParsedArgs {
   bool all = false;
@@ -61,16 +72,17 @@ void PrintRunError(std::string_view name, const Status& status) {
                std::string(name).c_str(), status.ToString().c_str());
 }
 
-// Parses one --set payload ("KEY=VALUE") into the params map.
-bool ParseSetParam(std::string_view kv, RunOptions& options) {
+// Parses one --set / --filter payload ("KEY=VALUE") into the given map.
+bool ParseKeyValue(std::string_view flag, std::string_view kv,
+                   std::map<std::string, std::string, std::less<>>& into) {
   const std::size_t eq = kv.find('=');
   if (eq == std::string_view::npos || eq == 0) {
-    std::fprintf(stderr,
-                 "zombieland: malformed --set '%s' (want --set KEY=VALUE)\n",
-                 std::string(kv).c_str());
+    std::fprintf(stderr, "zombieland: malformed %s '%s' (want %s KEY=VALUE)\n",
+                 std::string(flag).c_str(), std::string(kv).c_str(),
+                 std::string(flag).c_str());
     return false;
   }
-  options.params[std::string(kv.substr(0, eq))] = std::string(kv.substr(eq + 1));
+  into[std::string(kv.substr(0, eq))] = std::string(kv.substr(eq + 1));
   return true;
 }
 
@@ -97,11 +109,26 @@ bool ParseFlags(int argc, char** argv, int first, ParsedArgs& parsed) {
         std::fprintf(stderr, "zombieland: --set needs a KEY=VALUE argument\n");
         return false;
       }
-      if (!ParseSetParam(argv[++i], parsed.options)) {
+      if (!ParseKeyValue("--set", argv[++i], parsed.options.params)) {
         return false;
       }
     } else if (arg.rfind("--set=", 0) == 0) {
-      if (!ParseSetParam(arg.substr(std::strlen("--set=")), parsed.options)) {
+      if (!ParseKeyValue("--set", arg.substr(std::strlen("--set=")),
+                         parsed.options.params)) {
+        return false;
+      }
+    } else if (arg == "--filter") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "zombieland: --filter needs an AXIS=V1[,V2...] argument\n");
+        return false;
+      }
+      if (!ParseKeyValue("--filter", argv[++i], parsed.options.filters)) {
+        return false;
+      }
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      if (!ParseKeyValue("--filter", arg.substr(std::strlen("--filter=")),
+                         parsed.options.filters)) {
         return false;
       }
     } else if (arg == "-j" || arg == "--jobs" || arg.rfind("-j=", 0) == 0 ||
@@ -216,45 +243,6 @@ int CmdList(const ParsedArgs& parsed) {
   return WriteOutput(text, parsed.out_path) ? 0 : 1;
 }
 
-// Per-scenario RunOptions for a multi-scenario run: every scenario receives
-// only the --set keys it declares (so `run --all --set servers=400` reshapes
-// the scenarios that understand `servers` without failing the rest).  A key
-// declared by no target scenario is an error.
-Result<std::vector<RunOptions>> PerScenarioOptions(
-    const std::vector<const Scenario*>& scenarios, const RunOptions& options) {
-  std::vector<RunOptions> per_scenario;
-  per_scenario.reserve(scenarios.size());
-  for (const Scenario* scenario : scenarios) {
-    RunOptions filtered = options;
-    if (scenarios.size() > 1) {
-      std::erase_if(filtered.params, [&](const auto& kv) {
-        const auto& params = scenario->spec().params;
-        return std::none_of(params.begin(), params.end(),
-                            [&](const ParamSpec& p) { return p.name == kv.first; });
-      });
-    }
-    if (Status status = ValidateRunParams(scenario->spec(), filtered); !status.ok()) {
-      return Result<std::vector<RunOptions>>(status);
-    }
-    per_scenario.push_back(std::move(filtered));
-  }
-  for (const auto& [key, value] : options.params) {
-    const bool declared = std::any_of(
-        scenarios.begin(), scenarios.end(), [&](const Scenario* scenario) {
-          const auto& params = scenario->spec().params;
-          return std::any_of(params.begin(), params.end(),
-                             [&](const ParamSpec& p) { return p.name == key; });
-        });
-    if (!declared) {
-      return Result<std::vector<RunOptions>>(
-          ErrorCode::kInvalidArgument,
-          "--set " + key + ": no scenario in this run declares that parameter; "
-              "`zombieland params <name>` lists each scenario's parameters");
-    }
-  }
-  return per_scenario;
-}
-
 int CmdRun(ParsedArgs& parsed) {
   if (parsed.all) {
     if (!parsed.names.empty()) {
@@ -283,7 +271,14 @@ int CmdRun(ParsedArgs& parsed) {
     }
     scenarios.push_back(found.value());
   }
-  auto per_scenario = PerScenarioOptions(scenarios, parsed.options);
+  // --timings also enables per-point wall_seconds in each report's points
+  // section; a single swept scenario spends the -j N budget on point-level
+  // parallelism (multi-scenario runs parallelize across scenarios instead).
+  parsed.options.timings = parsed.timings;
+  if (scenarios.size() == 1) {
+    parsed.options.point_jobs = parsed.jobs;
+  }
+  auto per_scenario = PerScenarioRunOptions(scenarios, parsed.options);
   if (!per_scenario.ok()) {
     std::fprintf(stderr, "zombieland: %s\n", per_scenario.status().ToString().c_str());
     return 2;
@@ -352,6 +347,50 @@ int CmdRun(ParsedArgs& parsed) {
       return 1;
     }
   }
+  return WriteOutput(out, parsed.out_path) ? 0 : 1;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "zombieland: cannot open '%s' for reading\n", path.c_str());
+    return false;
+  }
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "zombieland: error reading '%s'\n", path.c_str());
+  }
+  return ok;
+}
+
+// `zombieland diff <old.json> <new.json>`: per-scenario / per-point metric
+// deltas between two rendered report documents.  Informational: exits 0
+// whenever both documents parse, whatever the deltas (CI runs it
+// non-blocking against the checked-in BENCH_scenarios.json baseline).
+int CmdDiff(const ParsedArgs& parsed) {
+  if (parsed.names.size() != 2) {
+    std::fprintf(stderr, "zombieland: diff needs exactly two JSON files\n%s",
+                 std::string(kUsage).c_str());
+    return 2;
+  }
+  std::string old_json;
+  std::string new_json;
+  if (!ReadFile(parsed.names[0], old_json) || !ReadFile(parsed.names[1], new_json)) {
+    return 1;
+  }
+  auto report = DiffReportDocs(old_json, new_json);
+  if (!report.ok()) {
+    std::fprintf(stderr, "zombieland: diff failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = report.value().Render(parsed.options.format);
   return WriteOutput(out, parsed.out_path) ? 0 : 1;
 }
 
@@ -436,6 +475,9 @@ int ZombielandMain(int argc, char** argv) {
   if (command == "params") {
     return CmdParams(parsed);
   }
+  if (command == "diff") {
+    return CmdDiff(parsed);
+  }
   std::fprintf(stderr, "zombieland: unknown command '%s'\n%s", argv[1],
                std::string(kUsage).c_str());
   return 2;
@@ -464,6 +506,9 @@ int ScenarioShimMain(std::string_view name, int argc, char** argv) {
                  argv[0]);
     return 2;
   }
+  // Single scenario: -j N parallelizes the sweep points.
+  parsed.options.point_jobs = parsed.jobs;
+  parsed.options.timings = parsed.timings;
   auto report = RunByName(name, parsed.options);
   if (!report.ok()) {
     PrintRunError(name, report.status());

@@ -2,8 +2,10 @@
 //
 //   zombieland list [--format=table|csv|json]
 //   zombieland run <name>... [--smoke] [--format=table|csv|json]
-//                  [--out=FILE] [--set key=value]...
+//                  [--out=FILE] [--set key=value]... [--filter axis=v1,v2]...
+//                  [-j N] [--timings]
 //   zombieland run --all --smoke --format=json      # the CI smoke pass
+//   zombieland diff old.json new.json               # cross-run metric deltas
 //
 // Smoke mode is also enabled by ZOMBIE_BENCH_SMOKE=1 (the historical bench
 // convention; the ctest bench_smoke label relies on it).  JSON output is

@@ -1,10 +1,13 @@
 #include "src/scenario/scenario.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "src/common/report.h"
 #include "src/scenario/testbed.h"
@@ -188,6 +191,95 @@ std::vector<std::string> SplitList(std::string_view list) {
   return out;
 }
 
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    out += out.empty() ? name : ", " + name;
+  }
+  return out;
+}
+
+std::vector<std::string> AxisNames(const SweepSpec& sweep) {
+  std::vector<std::string> out;
+  out.reserve(sweep.axes.size());
+  for (const SweepAxis& axis : sweep.axes) {
+    out.push_back(axis.param);
+  }
+  return out;
+}
+
+// One axis's values before filtering: the spec's list unless a `--set` axis
+// replacement overrode it.
+std::vector<std::string> BaseAxisValues(const SweepAxis& axis,
+                                        const RunOptions& options) {
+  if (auto it = options.params.find(axis.param); it != options.params.end()) {
+    return SplitList(it->second);
+  }
+  return axis.values;
+}
+
+// The per-axis values a sweep takes at run time: `--set` replacement first,
+// then `--filter` narrowing — kept in base order, so a filter is a pure
+// subset of the unfiltered grid.  Cross sweeps filter each axis
+// independently; zipped sweeps filter lockstep *rows* (a row survives when
+// every filtered axis's value at that row is listed), so a filter can never
+// fabricate an (a, b) combination that was not a point of the original zip.
+// The single source of truth behind RunContext::Axis/SweepPoints and
+// ValidateRunParams.
+std::vector<std::vector<std::string>> EffectiveAxes(const SweepSpec& sweep,
+                                                    const RunOptions& options) {
+  std::vector<std::vector<std::string>> axes;
+  axes.reserve(sweep.axes.size());
+  for (const SweepAxis& axis : sweep.axes) {
+    axes.push_back(BaseAxisValues(axis, options));
+  }
+  if (options.filters.empty()) {
+    return axes;
+  }
+  if (sweep.mode == SweepMode::kZip) {
+    // Row filtering: equal base lengths are validated before the run.
+    const std::size_t rows = axes.empty() ? 0 : axes[0].size();
+    std::vector<std::size_t> keep_rows;
+    for (std::size_t row = 0; row < rows; ++row) {
+      bool keep = true;
+      for (std::size_t a = 0; a < sweep.axes.size() && keep; ++a) {
+        auto it = options.filters.find(sweep.axes[a].param);
+        if (it == options.filters.end()) {
+          continue;
+        }
+        const std::vector<std::string> listed = SplitList(it->second);
+        keep = std::find(listed.begin(), listed.end(), axes[a][row]) != listed.end();
+      }
+      if (keep) {
+        keep_rows.push_back(row);
+      }
+    }
+    std::vector<std::vector<std::string>> filtered(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      filtered[a].reserve(keep_rows.size());
+      for (std::size_t row : keep_rows) {
+        filtered[a].push_back(std::move(axes[a][row]));
+      }
+    }
+    return filtered;
+  }
+  for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+    auto it = options.filters.find(sweep.axes[a].param);
+    if (it == options.filters.end()) {
+      continue;
+    }
+    const std::vector<std::string> listed = SplitList(it->second);
+    std::vector<std::string> filtered;
+    for (std::string& value : axes[a]) {
+      if (std::find(listed.begin(), listed.end(), value) != listed.end()) {
+        filtered.push_back(std::move(value));
+      }
+    }
+    axes[a] = std::move(filtered);
+  }
+  return axes;
+}
+
 }  // namespace
 
 Status CheckParamValue(const ParamSpec& param, std::string_view value) {
@@ -250,16 +342,57 @@ Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options) {
       }
       continue;
     }
-    ZOMBIE_RETURN_IF_ERROR(CheckParamValue(*param, value));
+    if (Status status = CheckParamValue(*param, value); !status.ok()) {
+      // A comma list on a non-axis parameter is almost always an axis
+      // replacement aimed at the wrong scenario; say so instead of leaking
+      // the type error for the whole list ("'0.3,0.5' is not a finite
+      // number").
+      if (value.find(',') != std::string::npos) {
+        const std::string axes = JoinNames(AxisNames(spec.sweep));
+        return Status(
+            ErrorCode::kInvalidArgument,
+            "'" + key + "' is a scalar parameter of scenario '" + spec.name +
+                "'; the v1,v2 list syntax only replaces sweep axes — " +
+                (axes.empty() ? "'" + spec.name + "' declares no sweep axes"
+                              : "axes: " + axes) +
+                ". Use --filter <axis>=v1,v2 for a sweep subset, or --set " +
+                key + "=<single value> to override the scalar");
+      }
+      return status;
+    }
   }
-  // Axis overrides must not break a zipped sweep's equal-length invariant.
+  for (const auto& [key, value] : options.filters) {
+    const SweepAxis* axis = FindSweepAxis(spec.sweep, key);
+    if (axis == nullptr) {
+      const std::string axes = JoinNames(AxisNames(spec.sweep));
+      const char* what = FindParamSpec(spec, key) != nullptr
+                             ? "' is a scalar parameter, not a sweep axis, of "
+                             : "' is not a sweep axis of ";
+      return Status(ErrorCode::kInvalidArgument,
+                    "--filter " + key + ": '" + key + what + "scenario '" +
+                        spec.name + "'" +
+                        (axes.empty() ? " (it declares no sweep axes)"
+                                      : " (axes: " + axes + ")"));
+    }
+    // Filters subset the effective axis (after any --set replacement).
+    const std::vector<std::string> base = BaseAxisValues(*axis, options);
+    for (const std::string& v : SplitList(value)) {
+      if (std::find(base.begin(), base.end(), v) == base.end()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "--filter " + key + ": '" + v + "' is not on axis '" +
+                          key + "' of scenario '" + spec.name +
+                          "' (axis values: " + JoinNames(base) + ")");
+      }
+    }
+  }
+  // --set replacements must not break a zipped sweep's equal-length
+  // invariant (filters select lockstep rows, so they cannot break it — but
+  // they must leave at least one row).
   if (spec.sweep.mode == SweepMode::kZip && !spec.sweep.empty()) {
     std::size_t length = 0;
     bool first = true;
     for (const SweepAxis& axis : spec.sweep.axes) {
-      auto it = options.params.find(axis.param);
-      const std::size_t n =
-          it == options.params.end() ? axis.values.size() : SplitList(it->second).size();
+      const std::size_t n = BaseAxisValues(axis, options).size();
       if (first) {
         length = n;
         first = false;
@@ -269,8 +402,112 @@ Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options) {
                           "equal lengths after --set overrides");
       }
     }
+    if (!options.filters.empty()) {
+      const auto axes = EffectiveAxes(spec.sweep, options);
+      if (!axes.empty() && axes[0].empty()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "scenario '" + spec.name + "': the --filter combination "
+                          "matches no row of the zipped sweep");
+      }
+    }
   }
   return Status::Ok();
+}
+
+Result<std::vector<RunOptions>> PerScenarioRunOptions(
+    const std::vector<const Scenario*>& scenarios, const RunOptions& options) {
+  const bool multi = scenarios.size() > 1;
+  const auto axis_somewhere = [&](std::string_view key) {
+    return std::any_of(scenarios.begin(), scenarios.end(),
+                       [&](const Scenario* scenario) {
+                         return FindSweepAxis(scenario->spec().sweep, key) != nullptr;
+                       });
+  };
+  std::vector<RunOptions> per_scenario;
+  per_scenario.reserve(scenarios.size());
+  for (const Scenario* scenario : scenarios) {
+    const ScenarioSpec& spec = scenario->spec();
+    RunOptions filtered = options;
+    if (multi) {
+      std::erase_if(filtered.params, [&](const auto& kv) {
+        const ParamSpec* param = FindParamSpec(spec, kv.first);
+        if (param == nullptr) {
+          return true;  // undeclared here; other scenarios consume it
+        }
+        if (FindSweepAxis(spec.sweep, kv.first) != nullptr) {
+          return false;  // axis replacement, keep
+        }
+        // Declared but scalar here: keep a valid scalar override; drop an
+        // axis list aimed at a scenario that sweeps this key (if none does,
+        // keep it so validation below surfaces the axis-vs-scalar
+        // diagnostic instead of silently ignoring the flag).
+        return kv.second.find(',') != std::string::npos &&
+               !CheckParamValue(*param, kv.second).ok() &&
+               axis_somewhere(kv.first);
+      });
+      // Filters route to the scenarios sweeping the axis, narrowed to the
+      // values that axis actually has (catalogs sweep different value sets
+      // over the same key, e.g. local_fraction); a filter whose values all
+      // miss this scenario's axis is dropped here — that scenario runs its
+      // full sweep — and the run-level check below errors when no target
+      // scenario matches any value at all.
+      for (auto it = filtered.filters.begin(); it != filtered.filters.end();) {
+        const SweepAxis* axis = FindSweepAxis(spec.sweep, it->first);
+        std::string kept;
+        if (axis != nullptr) {
+          const std::vector<std::string> base = BaseAxisValues(*axis, filtered);
+          for (const std::string& v : SplitList(it->second)) {
+            if (std::find(base.begin(), base.end(), v) != base.end()) {
+              kept += kept.empty() ? v : "," + v;
+            }
+          }
+        }
+        if (kept.empty()) {
+          it = filtered.filters.erase(it);
+        } else {
+          it->second = std::move(kept);
+          ++it;
+        }
+      }
+    }
+    if (Status status = ValidateRunParams(spec, filtered); !status.ok()) {
+      return Result<std::vector<RunOptions>>(status);
+    }
+    per_scenario.push_back(std::move(filtered));
+  }
+  for (const auto& [key, value] : options.params) {
+    const bool declared = std::any_of(
+        scenarios.begin(), scenarios.end(), [&](const Scenario* scenario) {
+          return FindParamSpec(scenario->spec(), key) != nullptr;
+        });
+    if (!declared) {
+      return Result<std::vector<RunOptions>>(
+          ErrorCode::kInvalidArgument,
+          "--set " + key + ": no scenario in this run declares that parameter; "
+              "`zombieland params <name>` lists each scenario's parameters");
+    }
+  }
+  for (const auto& [key, value] : options.filters) {
+    if (!axis_somewhere(key)) {
+      return Result<std::vector<RunOptions>>(
+          ErrorCode::kInvalidArgument,
+          "--filter " + key + ": no scenario in this run sweeps an axis named '" +
+              key + "'; `zombieland params <name>` lists each scenario's axes");
+    }
+    if (multi) {
+      const bool matched_somewhere = std::any_of(
+          per_scenario.begin(), per_scenario.end(), [&, &k = key](const RunOptions& o) {
+            return o.filters.find(k) != o.filters.end();
+          });
+      if (!matched_somewhere) {
+        return Result<std::vector<RunOptions>>(
+            ErrorCode::kInvalidArgument,
+            "--filter " + key + "=" + value + ": no scenario in this run has any "
+                "of those values on its '" + key + "' axis");
+      }
+    }
+  }
+  return per_scenario;
 }
 
 // ---------------------------------------------------------------------------
@@ -389,18 +626,17 @@ double SweepPoint::Double(std::string_view param) const {
 }
 
 std::vector<std::string> RunContext::Axis(std::string_view param) const {
-  const SweepAxis* axis = FindSweepAxis(spec_.sweep, param);
-  if (axis == nullptr) {
-    std::fprintf(stderr, "zombieland: scenario '%s' has no sweep axis '%s'\n",
-                 spec_.name.c_str(), std::string(param).c_str());
-    std::abort();
+  // A CLI `--set <param>=v1,v2,...` replaces the axis values and a
+  // `--filter <param>=v1,v2` keeps a subset (the driver validated both
+  // against the parameter type before the run).
+  for (std::size_t a = 0; a < spec_.sweep.axes.size(); ++a) {
+    if (spec_.sweep.axes[a].param == param) {
+      return EffectiveAxes(spec_.sweep, options_)[a];
+    }
   }
-  // A CLI `--set <param>=v1,v2,...` replaces the axis values (the driver
-  // validated them against the parameter type before the run).
-  if (auto it = options_.params.find(param); it != options_.params.end()) {
-    return SplitList(it->second);
-  }
-  return axis->values;
+  std::fprintf(stderr, "zombieland: scenario '%s' has no sweep axis '%s'\n",
+               spec_.name.c_str(), std::string(param).c_str());
+  std::abort();
 }
 
 std::vector<double> RunContext::AxisDoubles(std::string_view param) const {
@@ -424,11 +660,7 @@ std::vector<SweepPoint> RunContext::SweepPoints() const {
   if (sweep.empty()) {
     return {};
   }
-  std::vector<std::vector<std::string>> axes;
-  axes.reserve(sweep.axes.size());
-  for (const SweepAxis& axis : sweep.axes) {
-    axes.push_back(Axis(axis.param));
-  }
+  const std::vector<std::vector<std::string>> axes = EffectiveAxes(sweep, options_);
 
   std::vector<SweepPoint> points;
   auto make_point = [&](const std::vector<std::size_t>& indices) {
@@ -478,6 +710,58 @@ std::vector<SweepPoint> RunContext::SweepPoints() const {
         return points;
       }
     }
+  }
+}
+
+void RunContext::ForEachSweepPoint(report::Report& report, const PointFn& fn) const {
+  const std::vector<SweepPoint> points = SweepPoints();
+  // Records are pre-sized in grid order with their axis bindings, so the
+  // "points" section is already deterministic; workers only ever touch their
+  // own slot.
+  std::vector<report::SweepPointRecord>& records = report.MutablePoints();
+  records.assign(points.size(), {});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    records[i].axes.reserve(spec_.sweep.axes.size());
+    for (std::size_t a = 0; a < spec_.sweep.axes.size(); ++a) {
+      records[i].axes.emplace_back(spec_.sweep.axes[a].param,
+                                   points[i].values_[a]);
+    }
+  }
+  report.set_point_timings(options_.timings);
+
+  auto run_point = [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn(points[i], records[i]);
+    records[i].wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  };
+  const int jobs = std::clamp<int>(
+      options_.point_jobs, 1,
+      static_cast<int>(std::max<std::size_t>(points.size(), 1)));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      run_point(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) {
+        return;
+      }
+      run_point(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& thread : pool) {
+    thread.join();
   }
 }
 

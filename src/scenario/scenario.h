@@ -39,6 +39,15 @@ struct RunOptions {
   report::Format format = report::Format::kTable;
   // CLI `--set key=value` overrides, read via RunContext::Param*().
   std::map<std::string, std::string, std::less<>> params;
+  // CLI `--filter axis=v1[,v2...]` sweep subsets: the named axis keeps only
+  // the listed values (validated as a strict subset of the effective axis,
+  // i.e. after any `--set` axis replacement).
+  std::map<std::string, std::string, std::less<>> filters;
+  // Worker threads for ForEachSweepPoint (the driver sets this from -j N on
+  // single-scenario runs; sweep points are independent by construction).
+  int point_jobs = 1;
+  // Record per-point wall-clock into the report's points section (--timings).
+  bool timings = false;
 };
 
 // One point of an expanded sweep: a binding of every axis parameter to one
@@ -112,17 +121,31 @@ class RunContext {
   // -------------------------------------------------------------------------
 
   // The effective values of one sweep axis: the spec's list, unless a CLI
-  // `--set <param>=v1,v2,...` override replaced it.  Aborts on a parameter
-  // that is not a sweep axis (a programming error; the driver validates CLI
-  // overrides before the run starts).
+  // `--set <param>=v1,v2,...` override replaced it, further narrowed by a
+  // `--filter <param>=v1[,v2...]` subset.  Aborts on a parameter that is not
+  // a sweep axis (a programming error; the driver validates CLI overrides
+  // and filters before the run starts).
   std::vector<std::string> Axis(std::string_view param) const;
   // Typed forms of Axis() for building row/column labels.
   std::vector<double> AxisDoubles(std::string_view param) const;
   std::vector<std::uint64_t> AxisU64s(std::string_view param) const;
 
   // The expanded grid: cross product (first axis outermost) or zipped,
-  // honouring CLI axis overrides.  Empty when the spec declares no sweep.
+  // honouring CLI axis overrides and filters.  Empty when the spec declares
+  // no sweep.
   std::vector<SweepPoint> SweepPoints() const;
+
+  // Runs `fn` over every sweep point, scheduling points across up to
+  // RunOptions::point_jobs worker threads (points are independent by
+  // construction), and records one report::SweepPointRecord per point in
+  // grid order: axis bindings up front, `fn`-recorded metrics and wall-clock
+  // as each point completes.  Each invocation owns its record slot, and all
+  // report writes a point makes must be index-addressed (SweepTable::Set,
+  // distinct cells per point) — ordered emission (Text / Metric / AddTable)
+  // belongs before or after the loop.  The rendered report is byte-identical
+  // whatever the scheduling.
+  using PointFn = std::function<void(const SweepPoint&, report::SweepPointRecord&)>;
+  void ForEachSweepPoint(report::Report& report, const PointFn& fn) const;
 
  private:
   const ScenarioSpec& spec_;
@@ -220,10 +243,28 @@ Status ValidateSpec(const ScenarioSpec& spec);
 // Checks one rendered parameter value against a declared parameter's type.
 Status CheckParamValue(const ParamSpec& param, std::string_view value);
 
-// Validates CLI `--set` overrides against a spec: every key must name a
-// declared parameter, values must parse as the declared type, and comma
-// lists (axis replacement) are only allowed on sweep-axis parameters.
+// Validates CLI `--set` overrides and `--filter` subsets against a spec:
+// every `--set` key must name a declared parameter, values must parse as the
+// declared type, and comma lists (axis replacement) are only allowed on
+// sweep-axis parameters — a list on a scalar parameter gets a dedicated
+// axis-vs-scalar diagnostic.  Every `--filter` key must name a sweep axis
+// and every filter value must be on the effective axis (strict subset; on a
+// zipped sweep filters select lockstep rows and must match at least one).
 Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options);
+
+// Per-scenario RunOptions for a (possibly multi-scenario) run, validated.
+// Single-scenario runs validate strictly.  Multi-scenario runs (`run --all`)
+// route every key to the scenarios that understand it: a `--set` key is kept
+// only where it is declared, an axis-list value (v1,v2,...) is additionally
+// dropped where the key is a scalar parameter (so `--set local_fraction=
+// 0.3,0.5` reshapes the scenarios sweeping that axis without aborting those
+// that declare it as a plain param), and a `--filter` is kept only where it
+// names a sweep axis, narrowed to the values that scenario's axis actually
+// has (a scenario matching none runs its full sweep).  A `--set` key no
+// scenario declares, a filter axis no scenario sweeps, or filter values on
+// no target axis at all are errors.
+Result<std::vector<RunOptions>> PerScenarioRunOptions(
+    const std::vector<const Scenario*>& scenarios, const RunOptions& options);
 
 }  // namespace zombie::scenario
 

@@ -51,6 +51,7 @@
 #include "src/remotemem/secondary_controller.h"
 #include "src/remotemem/types.h"
 #include "src/remotemem/wire.h"
+#include "src/scenario/diff.h"
 #include "src/scenario/driver.h"
 #include "src/scenario/registry.h"
 #include "src/scenario/scenario.h"
