@@ -1,13 +1,16 @@
 # ctest gate: parallel execution may not change a byte of output.
 #   * `zombieland run --all --smoke --format=json` must be byte-identical
-#     between -j 1 and -j 4 (scenario-level parallelism: workers collect
-#     reports in registration order);
+#     between -j 1 and -j 4 (scenarios AND sweep points drawn from one
+#     shared WorkQueue budget; workers collect reports in registration
+#     order, point records are index-addressed in grid order);
+#   * a multi-scenario subset (swept + unswept mix) must be byte-identical
+#     the same way — the shared budget lets a finished scenario's workers
+#     drain into another scenario's sweep, which must not reorder output;
 #   * `zombieland run fig08 --smoke` must be byte-identical between -j 1 and
-#     -j 4 in both json and table formats (point-level parallelism: a single
-#     swept scenario schedules its sweep points across the workers, cells
-#     and per-point records are index-addressed in grid order);
-#   * `zombieland diff` of two identical documents must report zero deltas
-#     (exercises the JSON reader over a real full-catalog document).
+#     -j 4 in both json and table formats (point-level parallelism);
+#   * `zombieland diff --fail-on-delta` of two identical documents must
+#     report zero deltas and exit 0 (exercises the JSON reader and the gate
+#     over a real full-catalog document).
 #
 # Invoked as:
 #   cmake -DZOMBIELAND=<path> -DWORK_DIR=<dir> -P parallel_determinism.cmake
@@ -45,6 +48,9 @@ set(serial "${WORK_DIR}/run_all_j1.json")
 set(parallel "${WORK_DIR}/run_all_j4.json")
 check_pair("--all json" "${serial}" "${parallel}"
            --all --smoke --format=json)
+check_pair("mixed subset json (shared budget)"
+           "${WORK_DIR}/subset_j1.json" "${WORK_DIR}/subset_j4.json"
+           fig08 table1 ablation_mixed_depth --smoke --format=json)
 check_pair("fig08 json (point-level)"
            "${WORK_DIR}/fig08_j1.json" "${WORK_DIR}/fig08_j4.json"
            fig08 --smoke --format=json)
@@ -52,9 +58,10 @@ check_pair("fig08 table (point-level)"
            "${WORK_DIR}/fig08_j1.txt" "${WORK_DIR}/fig08_j4.txt"
            fig08 --smoke --format=table)
 
-# Identical documents must diff clean (and the diff itself must succeed).
+# Identical documents must diff clean under the gate: --fail-on-delta would
+# exit 3 on any violation, so exit 0 here proves the clean path stays clean.
 execute_process(
-  COMMAND "${ZOMBIELAND}" diff "${serial}" "${parallel}"
+  COMMAND "${ZOMBIELAND}" diff --fail-on-delta "${serial}" "${parallel}"
   RESULT_VARIABLE diff_cmd_rc
   OUTPUT_VARIABLE diff_output)
 if(NOT diff_cmd_rc EQUAL 0)

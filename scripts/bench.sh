@@ -33,12 +33,20 @@ echo "==> scenario catalog (smoke) -> BENCH_scenarios.json"
 # values, per-point metrics, wall-clock); the driver schema-validates each
 # entry.  --timings records wall-clock seconds per scenario in the
 # document's "timings" object and per point in each report's points
-# section, so the artifact doubles as a perf trajectory — and
-# `zombieland diff <old> <new>` compares two of these documents point by
-# point for cross-run regression tracking (CI runs it against this
-# checked-in baseline on every push).
+# section, so the artifact doubles as a perf trajectory.  This file is the
+# BASELINE of the blocking regression gate: CI (and `scripts/check.sh diff`)
+# runs `zombieland diff --fail-on-delta --tolerances=bench/tolerances.json`
+# against it on every push, so re-running this script IS the re-baselining
+# workflow for intentional metric changes — review the informational diff
+# printed below before committing the new baseline.
 ./build-bench/zombieland run --all --smoke --format=json --timings \
-  --out="${repo_root}/BENCH_scenarios.json"
+  --out=build-bench/BENCH_scenarios.new.json
+if [[ -f "${repo_root}/BENCH_scenarios.json" ]]; then
+  echo "==> changes vs the old baseline (informational; review before committing)"
+  ./build-bench/zombieland diff "${repo_root}/BENCH_scenarios.json" \
+    build-bench/BENCH_scenarios.new.json || true
+fi
+mv build-bench/BENCH_scenarios.new.json "${repo_root}/BENCH_scenarios.json"
 
 if [[ "${quick}" == "0" ]]; then
   echo "==> bench smoke pass (every paper-figure harness, tiny budgets)"

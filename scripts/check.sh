@@ -12,6 +12,10 @@
 #   scenario  every registered scenario emits schema-valid JSON; -j 4 output
 #             is byte-identical to -j 1 (part of ctest too; re-run via the
 #             CLI here so the gate works without ZOMBIE_BUILD_TESTS)
+#   diff      regression gate: a fresh run of the catalog must stay within
+#             bench/tolerances.json of the checked-in BENCH_scenarios.json
+#             (`zombieland diff --fail-on-delta` exits 3 on any violation;
+#             re-baseline deliberate changes with scripts/bench.sh)
 #   perf      micro_hotloop vs the checked-in floor, serial.  Skipped when
 #             ZOMBIE_SKIP_PERF=1 (escape hatch for CI runners with noisy
 #             neighbors; the workflow sets it, local runs default to off)
@@ -35,17 +39,17 @@ fi
 stages=()
 for arg in "$@"; do
   case "${arg}" in
-    --fast) stages+=(tier1 scenario perf) ;;
-    tier1|scenario|perf|asan|bench) stages+=("${arg}") ;;
+    --fast) stages+=(tier1 scenario diff perf) ;;
+    tier1|scenario|diff|perf|asan|bench) stages+=("${arg}") ;;
     *)
       echo "check.sh: unknown argument '${arg}'" >&2
-      echo "usage: scripts/check.sh [--fast] [tier1|scenario|perf|asan|bench ...]" >&2
+      echo "usage: scripts/check.sh [--fast] [tier1|scenario|diff|perf|asan|bench ...]" >&2
       exit 2
       ;;
   esac
 done
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(tier1 scenario perf asan)
+  stages=(tier1 scenario diff perf asan)
 fi
 
 total=${#stages[@]}
@@ -73,6 +77,20 @@ for stage in "${stages[@]}"; do
       cmp build/check_j1.json build/check_j4.json
       ./build/zombieland list > /dev/null
       ./build/zombieland params fig08 > /dev/null
+      ;;
+    diff)
+      echo "==> [${n}/${total}] diff gate: fresh run vs BENCH_scenarios.json"
+      # The blocking regression gate CI runs: render the catalog and hold it
+      # against the checked-in baseline under bench/tolerances.json.  Exit 3
+      # means a metric moved beyond tolerance (or the catalog changed shape);
+      # if the change is intentional, re-baseline with scripts/bench.sh and
+      # commit the new BENCH_scenarios.json.
+      cmake -B build -S . "${cmake_args[@]}" >/dev/null
+      cmake --build build -j "${jobs}" --target zombieland
+      ./build/zombieland run --all --smoke --format=json --timings \
+        --out=build/diff_head.json
+      ./build/zombieland diff --fail-on-delta --tolerances=bench/tolerances.json \
+        BENCH_scenarios.json build/diff_head.json
       ;;
     perf)
       if [[ "${ZOMBIE_SKIP_PERF:-0}" == "1" ]]; then

@@ -1,19 +1,20 @@
 #include "src/scenario/driver.h"
 
-#include <algorithm>
-#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/env.h"
 #include "src/scenario/diff.h"
 #include "src/scenario/registry.h"
+#include "src/scenario/work_queue.h"
 
 namespace zombie::scenario {
 
@@ -29,9 +30,9 @@ constexpr std::string_view kUsage =
     "  zombieland run <name>... [options]\n"
     "  zombieland run --all [options]\n"
     "      Run scenarios and print their reports.\n"
-    "  zombieland diff <old.json> <new.json> [--format=...] [--out=FILE]\n"
+    "  zombieland diff <old.json> <new.json> [options]\n"
     "      Per-scenario and per-sweep-point metric deltas between two\n"
-    "      rendered JSON documents (cross-run regression tracking).\n"
+    "      rendered JSON documents (the cross-run regression gate).\n"
     "\n"
     "run options:\n"
     "  --smoke             tiny access budgets (also: ZOMBIE_BENCH_SMOKE=1)\n"
@@ -43,13 +44,26 @@ constexpr std::string_view kUsage =
     "  --filter KEY=V1[,V2...]\n"
     "                      run only the listed values of sweep axis KEY (a\n"
     "                      strict subset of the axis; repeatable)\n"
-    "  -j N, --jobs=N      run up to N scenarios in parallel; a single swept\n"
-    "                      scenario schedules its sweep points across the\n"
-    "                      workers instead (output is byte-identical to -j 1\n"
-    "                      either way)\n"
+    "  -j N, --jobs=N      schedule scenarios AND their sweep points across\n"
+    "                      up to N workers drawing from one shared budget\n"
+    "                      (output is byte-identical to -j 1 either way)\n"
     "  --timings           (json) add per-scenario wall-clock seconds to the\n"
     "                      combined document and per-point wall_seconds to\n"
-    "                      each report's points section\n";
+    "                      each report's points section\n"
+    "\n"
+    "diff options:\n"
+    "  --fail-on-delta     exit 3 when any compared metric moves beyond its\n"
+    "                      tolerance or the documents differ structurally\n"
+    "                      (scenario/point/metric added or removed)\n"
+    "  --tolerance METRIC=SPEC\n"
+    "                      per-metric tolerance: absolute ('0.01'), percent\n"
+    "                      ('5%'), or 'ignore' (repeatable; overrides the\n"
+    "                      tolerances file; default tolerance is 0 = exact)\n"
+    "  --tolerances=FILE   load per-metric tolerances from a JSON file (the\n"
+    "                      checked-in bench/tolerances.json)\n"
+    "\n"
+    "exit codes: 0 success (diff: no delta beyond tolerance), 1 runtime or\n"
+    "file errors, 2 usage errors, 3 diff gate failure (--fail-on-delta).\n";
 
 struct ParsedArgs {
   bool all = false;
@@ -58,6 +72,10 @@ struct ParsedArgs {
   std::vector<std::string> names;
   int jobs = 1;
   bool timings = false;
+  // diff-only flags (rejected with exit 2 on other commands).
+  bool fail_on_delta = false;
+  std::vector<std::string> tolerance_flags;  // raw METRIC=SPEC, in CLI order
+  std::string tolerances_path;
 };
 
 // Registry lookup + run in one step.
@@ -159,6 +177,18 @@ bool ParseFlags(int argc, char** argv, int first, ParsedArgs& parsed) {
       parsed.jobs = static_cast<int>(jobs);
     } else if (arg == "--timings") {
       parsed.timings = true;
+    } else if (arg == "--fail-on-delta") {
+      parsed.fail_on_delta = true;
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "zombieland: --tolerance needs a METRIC=SPEC argument\n");
+        return false;
+      }
+      parsed.tolerance_flags.emplace_back(argv[++i]);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      parsed.tolerance_flags.emplace_back(arg.substr(std::strlen("--tolerance=")));
+    } else if (arg.rfind("--tolerances=", 0) == 0) {
+      parsed.tolerances_path = arg.substr(std::strlen("--tolerances="));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "zombieland: unknown option '%s'\n%s", argv[i],
                    std::string(kUsage).c_str());
@@ -180,13 +210,23 @@ bool WriteOutput(const std::string& text, const std::string& out_path) {
   }
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "zombieland: cannot open '%s' for writing\n",
-                 out_path.c_str());
+    std::fprintf(stderr, "zombieland: cannot open '%s' for writing: %s\n",
+                 out_path.c_str(), std::strerror(errno));
     return false;
   }
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  return ok;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (!wrote) {
+    std::fprintf(stderr, "zombieland: short write to '%s': %s\n", out_path.c_str(),
+                 std::strerror(errno));
+  }
+  // fclose flushes the stdio buffer: on a full disk the fwrite above can
+  // "succeed" into the buffer and this flush is where the data is lost.
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "zombieland: error writing '%s': %s\n", out_path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return wrote;
 }
 
 // Renders reports for several scenarios into one document.  When `timings`
@@ -259,6 +299,18 @@ int CmdRun(ParsedArgs& parsed) {
     return 2;
   }
 
+  // A repeated name would render a duplicate-key "timings" object and an
+  // ambiguous combined document; refuse it as a usage error.
+  std::set<std::string_view> unique_names;
+  for (const std::string& name : parsed.names) {
+    if (!unique_names.insert(name).second) {
+      std::fprintf(stderr,
+                   "zombieland: duplicate scenario name '%s' in the run list\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
   // Resolve every name up front so an unknown scenario (with its "did you
   // mean" hint) fails before any work starts.
   std::vector<const Scenario*> scenarios;
@@ -272,74 +324,77 @@ int CmdRun(ParsedArgs& parsed) {
     scenarios.push_back(found.value());
   }
   // --timings also enables per-point wall_seconds in each report's points
-  // section; a single swept scenario spends the -j N budget on point-level
-  // parallelism (multi-scenario runs parallelize across scenarios instead).
+  // section.
   parsed.options.timings = parsed.timings;
-  if (scenarios.size() == 1) {
-    parsed.options.point_jobs = parsed.jobs;
-  }
   auto per_scenario = PerScenarioRunOptions(scenarios, parsed.options);
   if (!per_scenario.ok()) {
     std::fprintf(stderr, "zombieland: %s\n", per_scenario.status().ToString().c_str());
     return 2;
   }
-  const std::vector<RunOptions>& options = per_scenario.value();
+  std::vector<RunOptions> options = std::move(per_scenario).take();
 
-  // Run — one scenario per worker, up to -j N in flight.  Results land in a
-  // slot per scenario, so reports are collected (and validated, rendered,
-  // and combined) in registration order no matter which worker finished
-  // first: the -j 4 document is byte-identical to the -j 1 one.
+  // Run.  Scenarios and their sweep points draw workers from ONE shared
+  // -j N budget: each scenario is a unit of the outer batch, and a swept
+  // scenario's ForEachSweepPoint submits its points back to the same queue
+  // (RunOptions::work_queue), so a finished scenario's workers drain into
+  // whatever sweep is still running instead of idling.  Results land in a
+  // slot per scenario and all point writes are index-addressed, so reports
+  // are collected (validated, rendered, combined) in registration order no
+  // matter which worker finished what: the -j 4 document is byte-identical
+  // to the -j 1 one.
   std::vector<Result<report::Report>> results(
       scenarios.size(), Result<report::Report>(ErrorCode::kUnavailable, "not run"));
   std::vector<double> seconds(scenarios.size(), 0.0);
-  const int jobs = std::clamp<int>(parsed.jobs, 1, static_cast<int>(scenarios.size()));
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= scenarios.size()) {
-        return;
-      }
+  {
+    WorkQueue queue(parsed.jobs);
+    for (RunOptions& scenario_options : options) {
+      scenario_options.work_queue = &queue;
+    }
+    queue.RunBatch(scenarios.size(), [&](std::size_t i) {
       const auto start = std::chrono::steady_clock::now();
       results[i] = scenarios[i]->Run(options[i]);
       seconds[i] = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                  start)
                        .count();
-    }
-  };
-  if (jobs <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(jobs));
-    for (int t = 0; t < jobs; ++t) {
-      pool.emplace_back(worker);
-    }
-    for (std::thread& thread : pool) {
-      thread.join();
-    }
+    });
   }
 
+  // Collect.  A failed scenario must not hide later failures or discard the
+  // reports that did succeed: report every failure, still emit the combined
+  // document for the successful scenarios, and exit non-zero.
   std::vector<report::Report> reports;
+  std::vector<double> report_seconds;
   reports.reserve(scenarios.size());
+  report_seconds.reserve(scenarios.size());
+  std::size_t failures = 0;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     if (!results[i].ok()) {
       PrintRunError(parsed.names[i], results[i].status());
-      return 1;
+      ++failures;
+      continue;
     }
     if (parsed.options.format == report::Format::kJson) {
       const std::string doc = results[i].value().RenderJson();
       if (Status status = report::ValidateReportJson(doc); !status.ok()) {
         std::fprintf(stderr, "zombieland: scenario '%s' emitted invalid JSON: %s\n",
                      parsed.names[i].c_str(), status.ToString().c_str());
-        return 1;
+        ++failures;
+        continue;
       }
     }
     reports.push_back(std::move(results[i]).take());
+    report_seconds.push_back(seconds[i]);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "zombieland: %zu of %zu scenarios failed\n", failures,
+                 scenarios.size());
+  }
+  if (reports.empty()) {
+    return 1;
   }
 
   std::string out =
-      Combine(reports, parsed.options, parsed.timings ? &seconds : nullptr);
+      Combine(reports, parsed.options, parsed.timings ? &report_seconds : nullptr);
   if (parsed.options.format == report::Format::kJson) {
     if (Status status = report::ValidateJson(out); !status.ok()) {
       std::fprintf(stderr, "zombieland: combined JSON invalid: %s\n",
@@ -347,7 +402,10 @@ int CmdRun(ParsedArgs& parsed) {
       return 1;
     }
   }
-  return WriteOutput(out, parsed.out_path) ? 0 : 1;
+  if (!WriteOutput(out, parsed.out_path)) {
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 bool ReadFile(const std::string& path, std::string& out) {
@@ -369,14 +427,48 @@ bool ReadFile(const std::string& path, std::string& out) {
   return ok;
 }
 
+// Builds the diff's tolerance set: the --tolerances=FILE base (if any), then
+// --tolerance METRIC=SPEC flags layered on top (later flags win).  A
+// malformed spec — in the file or on the CLI — is a usage error (exit 2),
+// not a runtime one: a gate with a half-applied tolerance set must not run.
+Result<DiffOptions> BuildDiffOptions(const ParsedArgs& parsed) {
+  DiffOptions options;
+  if (!parsed.tolerances_path.empty()) {
+    std::string json;
+    if (!ReadFile(parsed.tolerances_path, json)) {
+      return Result<DiffOptions>(ErrorCode::kInvalidArgument,
+                                 "cannot read tolerances file");
+    }
+    ZOMBIE_ASSIGN_OR_RETURN(options,
+                            ParseToleranceFile(json, parsed.tolerances_path));
+  }
+  for (const std::string& kv : parsed.tolerance_flags) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Result<DiffOptions>(
+          ErrorCode::kInvalidArgument,
+          "malformed --tolerance '" + kv + "' (want --tolerance METRIC=SPEC)");
+    }
+    ZOMBIE_ASSIGN_OR_RETURN(Tolerance tolerance, ParseTolerance(kv.substr(eq + 1)));
+    options.metric_tolerances[kv.substr(0, eq)] = std::move(tolerance);
+  }
+  return options;
+}
+
 // `zombieland diff <old.json> <new.json>`: per-scenario / per-point metric
-// deltas between two rendered report documents.  Informational: exits 0
-// whenever both documents parse, whatever the deltas (CI runs it
-// non-blocking against the checked-in BENCH_scenarios.json baseline).
+// deltas between two rendered report documents.  With --fail-on-delta this
+// is the regression gate: any metric beyond its tolerance (or any
+// structural change) exits 3, so CI can block on it; without the flag the
+// diff stays informational and exits 0 whenever both documents parse.
 int CmdDiff(const ParsedArgs& parsed) {
   if (parsed.names.size() != 2) {
     std::fprintf(stderr, "zombieland: diff needs exactly two JSON files\n%s",
                  std::string(kUsage).c_str());
+    return 2;
+  }
+  auto diff_options = BuildDiffOptions(parsed);
+  if (!diff_options.ok()) {
+    std::fprintf(stderr, "zombieland: %s\n", diff_options.status().ToString().c_str());
     return 2;
   }
   std::string old_json;
@@ -384,14 +476,25 @@ int CmdDiff(const ParsedArgs& parsed) {
   if (!ReadFile(parsed.names[0], old_json) || !ReadFile(parsed.names[1], new_json)) {
     return 1;
   }
-  auto report = DiffReportDocs(old_json, new_json);
-  if (!report.ok()) {
+  auto diff = DiffReportDocs(old_json, new_json, diff_options.value());
+  if (!diff.ok()) {
     std::fprintf(stderr, "zombieland: diff failed: %s\n",
-                 report.status().ToString().c_str());
+                 diff.status().ToString().c_str());
     return 1;
   }
-  const std::string out = report.value().Render(parsed.options.format);
-  return WriteOutput(out, parsed.out_path) ? 0 : 1;
+  const std::string out = diff.value().report.Render(parsed.options.format);
+  if (!WriteOutput(out, parsed.out_path)) {
+    return 1;
+  }
+  if (parsed.fail_on_delta && diff.value().violations > 0) {
+    std::fprintf(stderr,
+                 "zombieland: diff gate FAILED: %zu violation%s beyond tolerance "
+                 "(re-baseline deliberate changes via scripts/bench.sh)\n",
+                 diff.value().violations,
+                 diff.value().violations == 1 ? "" : "s");
+    return 3;
+  }
+  return 0;
 }
 
 // `zombieland params <name>`: the declared --set parameters and sweep axes
@@ -462,6 +565,14 @@ int ZombielandMain(int argc, char** argv) {
   if (!ParseFlags(argc, argv, 2, parsed)) {
     return 2;
   }
+  if (command != "diff" &&
+      (parsed.fail_on_delta || !parsed.tolerance_flags.empty() ||
+       !parsed.tolerances_path.empty())) {
+    std::fprintf(stderr,
+                 "zombieland: --fail-on-delta/--tolerance/--tolerances only "
+                 "apply to diff\n");
+    return 2;
+  }
   if (command == "list") {
     if (!parsed.names.empty()) {
       std::fprintf(stderr, "zombieland: list does not take positional arguments\n");
@@ -499,7 +610,8 @@ int ScenarioShimMain(std::string_view name, int argc, char** argv) {
   if (!ParseFlags(argc, argv, 1, parsed)) {
     return 2;
   }
-  if (!parsed.names.empty() || parsed.all) {
+  if (!parsed.names.empty() || parsed.all || parsed.fail_on_delta ||
+      !parsed.tolerance_flags.empty() || !parsed.tolerances_path.empty()) {
     std::fprintf(stderr,
                  "%s: this shim runs exactly one scenario; use the zombieland "
                  "driver for anything else\n",

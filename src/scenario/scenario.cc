@@ -11,6 +11,7 @@
 
 #include "src/common/report.h"
 #include "src/scenario/testbed.h"
+#include "src/scenario/work_queue.h"
 
 namespace zombie::scenario {
 
@@ -736,6 +737,13 @@ void RunContext::ForEachSweepPoint(report::Report& report, const PointFn& fn) co
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
   };
+  if (options_.work_queue != nullptr) {
+    // Driver run: the points join the shared (scenario, sweep-point) queue,
+    // so an idle scenario-level worker can pick them up — and this thread
+    // helps rather than blocking inside the budget.
+    options_.work_queue->RunBatch(points.size(), run_point);
+    return;
+  }
   const int jobs = std::clamp<int>(
       options_.point_jobs, 1,
       static_cast<int>(std::max<std::size_t>(points.size(), 1)));

@@ -33,6 +33,7 @@
 namespace zombie::scenario {
 
 class Testbed;
+class WorkQueue;
 
 struct RunOptions {
   bool smoke = false;
@@ -43,8 +44,13 @@ struct RunOptions {
   // the listed values (validated as a strict subset of the effective axis,
   // i.e. after any `--set` axis replacement).
   std::map<std::string, std::string, std::less<>> filters;
-  // Worker threads for ForEachSweepPoint (the driver sets this from -j N on
-  // single-scenario runs; sweep points are independent by construction).
+  // The shared worker budget of a driver run (`run [--all] -j N`): when set,
+  // ForEachSweepPoint submits its points to this queue instead of spawning
+  // point_jobs threads, so scenarios and sweep points draw from one budget.
+  // Borrowed, never owned; must outlive the run.
+  WorkQueue* work_queue = nullptr;
+  // Worker threads for ForEachSweepPoint when no work_queue is shared (the
+  // shim routes -j N here; sweep points are independent by construction).
   int point_jobs = 1;
   // Record per-point wall-clock into the report's points section (--timings).
   bool timings = false;

@@ -1,0 +1,85 @@
+#include "src/scenario/work_queue.h"
+
+#include <algorithm>
+
+namespace zombie::scenario {
+
+WorkQueue::WorkQueue(int budget) : budget_(std::max(budget, 1)) {
+  workers_.reserve(static_cast<std::size_t>(budget_ - 1));
+  for (int t = 1; t < budget_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkQueue::~WorkQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+WorkQueue::Batch* WorkQueue::FirstRunnableLocked() {
+  for (Batch* batch : batches_) {
+    if (batch->next < batch->count) {
+      return batch;
+    }
+  }
+  return nullptr;
+}
+
+void WorkQueue::RunOneLocked(std::unique_lock<std::mutex>& lock, Batch& batch) {
+  const std::size_t i = batch.next++;
+  if (batch.next == batch.count) {
+    // Fully claimed: later arrivals must not scan it.  The Batch object
+    // itself stays alive on its submitter's stack until done == count.
+    batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
+  }
+  lock.unlock();
+  (*batch.fn)(i);
+  lock.lock();
+  if (++batch.done == batch.count) {
+    // Wake the submitter (and idle workers; they re-check and sleep again).
+    cv_.notify_all();
+  }
+}
+
+void WorkQueue::RunBatch(std::size_t count,
+                         const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.count = count;
+  std::unique_lock<std::mutex> lock(mu_);
+  batches_.push_back(&batch);
+  cv_.notify_all();
+  while (batch.done < batch.count) {
+    // Own units first (index order — the -j 1 path is the serial loop),
+    // then help any other batch rather than idling inside the budget.
+    Batch* runnable = batch.next < batch.count ? &batch : FirstRunnableLocked();
+    if (runnable == nullptr) {
+      cv_.wait(lock);
+      continue;
+    }
+    RunOneLocked(lock, *runnable);
+  }
+}
+
+void WorkQueue::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    Batch* runnable = FirstRunnableLocked();
+    if (runnable == nullptr) {
+      cv_.wait(lock);
+      continue;
+    }
+    RunOneLocked(lock, *runnable);
+  }
+}
+
+}  // namespace zombie::scenario

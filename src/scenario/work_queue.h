@@ -1,0 +1,81 @@
+// WorkQueue: the shared worker budget behind `zombieland run -j N`.  One
+// queue serves every unit of a run — whole scenarios and individual sweep
+// points alike — so `run --all -j 4` never strands workers on the scenario
+// level while a swept scenario still has points to hand out (the pre-PR-6
+// split was scenario-level only).
+//
+// Scheduling model: a *batch* is an ordered set of units (fn(0..count-1))
+// submitted by RunBatch.  The submitting thread participates: it claims its
+// own batch's units first (in index order, so -j 1 executes exactly like the
+// historical serial loop), then helps with any other batch's units while
+// waiting for its own to complete.  A scenario unit that calls
+// RunContext::ForEachSweepPoint submits its points as a nested batch to the
+// same queue — that is how the budget is shared across levels.
+//
+// Determinism: the queue moves *work*, never *results*.  Every unit writes
+// to an index-addressed slot (report vectors, sweep-table cells, per-point
+// records), so the rendered output is byte-identical whatever the
+// interleaving; the parallel_determinism ctest gate holds this honest.
+//
+// Deadlock-freedom: only RunBatch callers block, and only when all their
+// units are claimed and executing on other threads.  Unit nesting is
+// bounded (scenario -> points; points never submit batches), so every
+// claimed unit bottoms out in real computation and completes.
+#ifndef ZOMBIELAND_SRC_SCENARIO_WORK_QUEUE_H_
+#define ZOMBIELAND_SRC_SCENARIO_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zombie::scenario {
+
+class WorkQueue {
+ public:
+  // `budget` is the total number of threads executing units (-j N): the
+  // calling thread plus budget-1 spawned workers.  budget <= 1 spawns
+  // nothing and RunBatch degenerates to an in-order serial loop.
+  explicit WorkQueue(int budget);
+  ~WorkQueue();
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  // Runs fn(0), ..., fn(count-1) across the shared budget and returns when
+  // all of them have completed.  The calling thread participates (see
+  // above), so RunBatch may be called from inside a unit of another batch.
+  // `fn` must not throw.
+  void RunBatch(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  int budget() const { return budget_; }
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::size_t next = 0;  // next unclaimed unit index
+    std::size_t done = 0;  // completed units
+  };
+
+  // Claims and runs one unit of `batch`.  Called with mu_ held; drops the
+  // lock around the unit body and reacquires it before returning.
+  void RunOneLocked(std::unique_lock<std::mutex>& lock, Batch& batch);
+  // The oldest batch with an unclaimed unit, or nullptr.  mu_ held.
+  Batch* FirstRunnableLocked();
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;  // signalled on new work and unit completion
+  std::vector<Batch*> batches_;  // submission order; entries with next < count
+  bool stop_ = false;
+  int budget_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace zombie::scenario
+
+#endif  // ZOMBIELAND_SRC_SCENARIO_WORK_QUEUE_H_

@@ -57,6 +57,7 @@
 #include "src/scenario/scenario.h"
 #include "src/scenario/spec.h"
 #include "src/scenario/testbed.h"
+#include "src/scenario/work_queue.h"
 #include "src/sim/cooling.h"
 #include "src/sim/dc_sim.h"
 #include "src/sim/trace.h"

@@ -5,15 +5,19 @@
 // numbers, the JSON document model, and cross-run diffing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/common/report.h"
 #include "src/common/result.h"
 #include "src/scenario/diff.h"
+#include "src/scenario/driver.h"
 #include "src/scenario/registry.h"
 #include "src/scenario/scenario.h"
+#include "src/scenario/work_queue.h"
 
 namespace zombie::scenario {
 namespace {
@@ -481,7 +485,7 @@ std::string DocWithPoints(double exec_at_02, double scenario_metric) {
 TEST(DiffReportDocsTest, ReportsPerPointAndScenarioDeltas) {
   auto diff = DiffReportDocs(DocWithPoints(1.0, 10.0), DocWithPoints(1.5, 10.0));
   ASSERT_TRUE(diff.ok()) << diff.status().ToString();
-  const Report& r = diff.value();
+  const Report& r = diff.value().report;
   ASSERT_EQ(r.tables().size(), 1u);
   ASSERT_EQ(r.tables()[0].rows().size(), 1u);  // only the changed metric
   const auto& row = r.tables()[0].rows()[0];
@@ -491,13 +495,17 @@ TEST(DiffReportDocsTest, ReportsPerPointAndScenarioDeltas) {
   EXPECT_EQ(row[3], "1");
   EXPECT_EQ(row[4], "1.5");
   EXPECT_EQ(row[6], "+50.00%");
+  EXPECT_EQ(row[7], "0");       // default tolerance: exact match
+  EXPECT_EQ(row[8], "FAIL");    // an unexcused delta is a gate violation
+  EXPECT_EQ(diff.value().violations, 1u);
 }
 
 TEST(DiffReportDocsTest, IdenticalDocsDiffClean) {
   const std::string doc = DocWithPoints(1.0, 10.0);
   auto diff = DiffReportDocs(doc, doc);
   ASSERT_TRUE(diff.ok());
-  EXPECT_TRUE(diff.value().tables()[0].rows().empty());
+  EXPECT_TRUE(diff.value().report.tables()[0].rows().empty());
+  EXPECT_EQ(diff.value().violations, 0u);
 }
 
 TEST(DiffReportDocsTest, HandlesCombinedDocumentsAndStructuralChanges) {
@@ -514,12 +522,14 @@ TEST(DiffReportDocsTest, HandlesCombinedDocumentsAndStructuralChanges) {
   };
   auto diff = DiffReportDocs(render(false), render(true));
   ASSERT_TRUE(diff.ok()) << diff.status().ToString();
-  const std::string text = diff.value().RenderTableText();
+  const std::string text = diff.value().report.RenderTableText();
   EXPECT_NE(text.find("scenario added: other"), std::string::npos) << text;
+  EXPECT_EQ(diff.value().violations, 1u);  // structural change = gate FAIL
   auto reverse = DiffReportDocs(render(true), render(false));
   ASSERT_TRUE(reverse.ok());
-  EXPECT_NE(reverse.value().RenderTableText().find("scenario removed: other"),
+  EXPECT_NE(reverse.value().report.RenderTableText().find("scenario removed: other"),
             std::string::npos);
+  EXPECT_EQ(reverse.value().violations, 1u);
 }
 
 TEST(DiffReportDocsTest, RejectsGarbage) {
@@ -541,9 +551,85 @@ TEST(DiffReportDocsTest, RegistryScenarioDiffsAgainstItsOwnSubset) {
   ASSERT_TRUE(subset.ok());
   auto diff = DiffReportDocs(full.value().RenderJson(), subset.value().RenderJson());
   ASSERT_TRUE(diff.ok()) << diff.status().ToString();
-  // Shared points are byte-equal (no metric rows); dropped points are notes.
-  EXPECT_TRUE(diff.value().tables()[0].rows().empty());
-  EXPECT_NE(diff.value().RenderTableText().find("point removed"), std::string::npos);
+  // Shared points are byte-equal (no metric rows); dropped points are notes
+  // (and gate violations: a vanished point fails --fail-on-delta).
+  EXPECT_TRUE(diff.value().report.tables()[0].rows().empty());
+  EXPECT_NE(diff.value().report.RenderTableText().find("point removed"),
+            std::string::npos);
+  EXPECT_GT(diff.value().violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The shared -j N worker budget (WorkQueue + `run --all`).
+// ---------------------------------------------------------------------------
+
+TEST(WorkQueueTest, BudgetOneRunsUnitsInIndexOrder) {
+  // The -j 1 path must be the historical serial loop, exactly.
+  WorkQueue queue(1);
+  std::vector<std::size_t> order;
+  queue.RunBatch(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkQueueTest, NestedBatchesShareTheBudgetWithoutDeadlock) {
+  // The driver shape: an outer batch of scenarios, each submitting an inner
+  // batch of sweep points to the same queue from a worker thread.
+  WorkQueue queue(4);
+  std::atomic<int> total{0};
+  queue.RunBatch(3, [&](std::size_t) {
+    queue.RunBatch(7, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 21);
+}
+
+TEST(WorkQueueTest, EveryUnitOfALargeBatchRunsExactlyOnce) {
+  WorkQueue queue(4);
+  std::vector<int> hits(997, 0);  // index-addressed slots: no locking needed
+  queue.RunBatch(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "unit " << i;
+  }
+}
+
+// In-process CLI run writing to --out; returns the exit code and the file.
+int RunCli(std::vector<std::string> args, const std::string& out_path,
+           std::string& out_text) {
+  args.push_back("--out=" + out_path);
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) {
+    argv.push_back(arg.data());
+  }
+  const int rc = ZombielandMain(static_cast<int>(argv.size()), argv.data());
+  out_text.clear();
+  if (std::FILE* f = std::fopen(out_path.c_str(), "rb")) {
+    char buf[1 << 12];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out_text.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  std::remove(out_path.c_str());
+  return rc;
+}
+
+TEST(SharedBudgetTest, RunAllParallelIsByteIdenticalToSerial) {
+  // `run --all -j 4` schedules every scenario AND every sweep point from one
+  // shared budget; the rendered document must still match -j 1 byte for
+  // byte.  (No --timings: wall-clock is legitimately run-dependent.)
+  std::string serial;
+  std::string parallel;
+  ASSERT_EQ(RunCli({"zombieland", "run", "--all", "--smoke", "--format=json",
+                    "-j", "1"},
+                   "/tmp/zombieland_budget_j1.json", serial),
+            0);
+  ASSERT_EQ(RunCli({"zombieland", "run", "--all", "--smoke", "--format=json",
+                    "-j", "4"},
+                   "/tmp/zombieland_budget_j4.json", parallel),
+            0);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace
