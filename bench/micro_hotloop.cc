@@ -8,6 +8,13 @@
 //   ./micro_hotloop --json=PATH          # also write machine-readable results
 //   ./micro_hotloop --floor=N            # fail (exit 1) if the aggregate
 //                                        # accesses/sec drops below 0.7 * N
+//   ./micro_hotloop --baseline=BENCH_hotloop.json \
+//                   --tolerances=bench/tolerances.json
+//                                        # fail (exit 1) if the aggregate
+//                                        # drops below the checked-in
+//                                        # baseline by more than the
+//                                        # "hotloop_aggregate_accesses_per_sec"
+//                                        # tolerance (the perf_smoke gate)
 //   ZOMBIE_BENCH_SMOKE=1 ./micro_hotloop # tiny access budget (bench_smoke)
 //
 // Scenarios: {FIFO, Clock, Mixed} x {scan, zipf, tiered} x {local, ramext}.
@@ -24,6 +31,7 @@
 
 #include "bench/bench_util.h"
 #include "src/hv/backend.h"
+#include "src/scenario/diff.h"
 #include "src/hv/pager.h"
 #include "src/hv/replacement.h"
 #include "src/workloads/access_pattern.h"
@@ -114,16 +122,111 @@ ScenarioResult RunScenario(PolicyKind kind, const std::string& pattern_name, boo
   return result;
 }
 
+// Whole-file read for the baseline/tolerance inputs of the perf gate.
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return false;
+  }
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    out->append(chunk, n);
+  }
+  std::fclose(in);
+  return true;
+}
+
+// The perf_smoke floor, derived from the checked-in BENCH_hotloop.json
+// baseline and the "hotloop_aggregate_accesses_per_sec" entry of the shared
+// tolerance file — the same mechanism `zombieland diff` uses, so one file
+// (bench/tolerances.json) states every regression bound.  Returns the
+// accesses/sec below which the gate fails, 0 to skip (tolerance "ignore"),
+// or a message + exit 2 on config errors.
+constexpr const char* kHotloopMetric = "hotloop_aggregate_accesses_per_sec";
+
+int DeriveFloor(const std::string& baseline_path, const std::string& tolerances_path,
+                double* floor_out) {
+  std::string baseline_json;
+  if (!ReadFile(baseline_path, &baseline_json)) {
+    std::fprintf(stderr, "cannot read baseline '%s'\n", baseline_path.c_str());
+    return 2;
+  }
+  const char* key = "\"aggregate_accesses_per_sec\":";
+  const std::size_t at = baseline_json.find(key);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "baseline '%s' has no aggregate_accesses_per_sec\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  const double baseline = std::atof(baseline_json.c_str() + at + std::strlen(key));
+  if (baseline <= 0.0) {
+    std::fprintf(stderr, "baseline '%s': non-positive aggregate\n", baseline_path.c_str());
+    return 2;
+  }
+
+  // No tolerance entry falls back to the historical 30% allowance.
+  zombie::scenario::Tolerance tolerance;
+  tolerance.kind = zombie::scenario::Tolerance::Kind::kPercent;
+  tolerance.value = 30.0;
+  tolerance.text = "30%";
+  if (!tolerances_path.empty()) {
+    std::string tolerances_json;
+    if (!ReadFile(tolerances_path, &tolerances_json)) {
+      std::fprintf(stderr, "cannot read tolerances '%s'\n", tolerances_path.c_str());
+      return 2;
+    }
+    auto options = zombie::scenario::ParseToleranceFile(tolerances_json, tolerances_path);
+    if (!options.ok()) {
+      std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+      return 2;
+    }
+    auto it = options.value().metric_tolerances.find(kHotloopMetric);
+    if (it != options.value().metric_tolerances.end()) {
+      tolerance = it->second;
+    }
+  }
+
+  switch (tolerance.kind) {
+    case zombie::scenario::Tolerance::Kind::kIgnore:
+      *floor_out = 0.0;
+      break;
+    case zombie::scenario::Tolerance::Kind::kPercent:
+      *floor_out = std::max(0.0, baseline * (1.0 - tolerance.value / 100.0));
+      break;
+    case zombie::scenario::Tolerance::Kind::kAbsolute:
+      *floor_out = std::max(0.0, baseline - tolerance.value);
+      break;
+  }
+  std::printf("perf gate: baseline %.0f accesses/sec, tolerance %s -> floor %.0f\n",
+              baseline, tolerance.text.c_str(), *floor_out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string baseline_path;
+  std::string tolerances_path;
   double floor = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--floor=", 8) == 0) {
       floor = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--tolerances=", 13) == 0) {
+      tolerances_path = argv[i] + 13;
+    }
+  }
+
+  double gate_floor = 0.0;
+  if (!baseline_path.empty()) {
+    const int status = DeriveFloor(baseline_path, tolerances_path, &gate_floor);
+    if (status != 0) {
+      return status;
     }
   }
 
@@ -186,6 +289,13 @@ int main(int argc, char** argv) {
                  "perf_smoke FAILURE: aggregate %.0f accesses/sec is more than 30%% below "
                  "the checked-in floor %.0f\n",
                  aggregate, floor);
+    return 1;
+  }
+  if (gate_floor > 0.0 && aggregate < gate_floor) {
+    std::fprintf(stderr,
+                 "perf_smoke FAILURE: aggregate %.0f accesses/sec is below the "
+                 "baseline-derived floor %.0f (see bench/tolerances.json)\n",
+                 aggregate, gate_floor);
     return 1;
   }
   return 0;

@@ -2,8 +2,8 @@
 # Full local verification, split into the stages the CI workflow runs as its
 # matrix (.github/workflows/ci.yml).  Run from anywhere inside the repo.
 #
-#   scripts/check.sh                  # tier1 scenario perf asan (everything)
-#   scripts/check.sh --fast           # tier1 scenario perf (skip sanitizers)
+#   scripts/check.sh                  # tier1 scenario faults diff perf asan
+#   scripts/check.sh --fast           # same minus the sanitizer stage
 #   scripts/check.sh tier1 scenario   # just the named stages
 #
 # Stages:
@@ -12,6 +12,10 @@
 #   scenario  every registered scenario emits schema-valid JSON; -j 4 output
 #             is byte-identical to -j 1 (part of ctest too; re-run via the
 #             CLI here so the gate works without ZOMBIE_BUILD_TESTS)
+#   faults    fault-injection smoke: the `faults` ctest label (lease/failover
+#             unit suites + the faults_* scenario family), then the fault
+#             sweep re-run at -j 4 vs -j 1 — recovery must be deterministic
+#             and every sweep point must report zero orphaned buffers
 #   diff      regression gate: a fresh run of the catalog must stay within
 #             bench/tolerances.json of the checked-in BENCH_scenarios.json
 #             (`zombieland diff --fail-on-delta` exits 3 on any violation;
@@ -39,17 +43,17 @@ fi
 stages=()
 for arg in "$@"; do
   case "${arg}" in
-    --fast) stages+=(tier1 scenario diff perf) ;;
-    tier1|scenario|diff|perf|asan|bench) stages+=("${arg}") ;;
+    --fast) stages+=(tier1 scenario faults diff perf) ;;
+    tier1|scenario|faults|diff|perf|asan|bench) stages+=("${arg}") ;;
     *)
       echo "check.sh: unknown argument '${arg}'" >&2
-      echo "usage: scripts/check.sh [--fast] [tier1|scenario|diff|perf|asan|bench ...]" >&2
+      echo "usage: scripts/check.sh [--fast] [tier1|scenario|faults|diff|perf|asan|bench ...]" >&2
       exit 2
       ;;
   esac
 done
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(tier1 scenario diff perf asan)
+  stages=(tier1 scenario faults diff perf asan)
 fi
 
 total=${#stages[@]}
@@ -77,6 +81,22 @@ for stage in "${stages[@]}"; do
       cmp build/check_j1.json build/check_j4.json
       ./build/zombieland list > /dev/null
       ./build/zombieland params fig08 > /dev/null
+      ;;
+    faults)
+      echo "==> [${n}/${total}] fault injection: ctest -L faults + deterministic recovery"
+      cmake -B build -S . "${cmake_args[@]}" >/dev/null
+      cmake --build build -j "${jobs}"
+      # The labelled surface: lease/failover unit suites plus the faults_*
+      # scenario family (whose runner fails any sweep point that does not
+      # recover with zero orphaned buffers).
+      ctest --test-dir build -L faults --output-on-failure -j "${jobs}"
+      # Recovery must be deterministic: the fault sweep rendered with point
+      # parallelism is byte-identical to the serial render.
+      ./build/zombieland run faults_controlplane faults_timeline --smoke \
+        --format=json -j 1 --out=build/faults_j1.json
+      ./build/zombieland run faults_controlplane faults_timeline --smoke \
+        --format=json -j 4 --out=build/faults_j4.json
+      cmp build/faults_j1.json build/faults_j4.json
       ;;
     diff)
       echo "==> [${n}/${total}] diff gate: fresh run vs BENCH_scenarios.json"

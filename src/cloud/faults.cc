@@ -1,0 +1,62 @@
+#include "src/cloud/faults.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace zombie::cloud {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kControllerCrash:
+      return "ctrl_crash";
+    case FaultKind::kHostCrash:
+      return "host_crash";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeartbeatDrop:
+      return "hb_drop";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(Rack* rack, FaultPlan plan)
+    : rack_(rack), plan_(std::move(plan)) {
+  std::stable_sort(plan_.events.begin(), plan_.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kControllerCrash:
+      rack_->FailShardPrimary(event.shard);
+      break;
+    case FaultKind::kHostCrash:
+      (void)rack_->KillHost(event.host);
+      break;
+    case FaultKind::kPartition:
+      rack_->SetShardPartition(event.shard, true);
+      open_partitions_.push_back({event.shard, event.at + event.duration});
+      break;
+    case FaultKind::kHeartbeatDrop:
+      rack_->DropHeartbeatsUntil(event.host, event.at + event.duration);
+      break;
+  }
+  ++fired_;
+}
+
+void FaultInjector::AdvanceTo(SimTime now) {
+  while (next_ < plan_.events.size() && plan_.events[next_].at <= now) {
+    Fire(plan_.events[next_]);
+    ++next_;
+  }
+  for (std::size_t i = 0; i < open_partitions_.size();) {
+    if (open_partitions_[i].heal_at <= now) {
+      rack_->SetShardPartition(open_partitions_[i].shard, false);
+      open_partitions_.erase(open_partitions_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace zombie::cloud

@@ -1,0 +1,79 @@
+// Fault injection for the sharded control plane.
+//
+// A FaultPlan is a deterministic list of failure events on the simulated
+// timeline: controller-shard crashes, silent host death, fabric partitions
+// between a controller shard and the servers, and dropped heartbeats.  The
+// FaultInjector replays the plan against a Rack as simulated time advances
+// — scenarios call AdvanceTo() before each Rack::Tick(), so every fault
+// fires at exactly the same simulated instant on every run (and under any
+// sweep-point parallelism).
+#ifndef ZOMBIELAND_SRC_CLOUD_FAULTS_H_
+#define ZOMBIELAND_SRC_CLOUD_FAULTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/cloud/rack.h"
+#include "src/common/units.h"
+#include "src/remotemem/types.h"
+
+namespace zombie::cloud {
+
+enum class FaultKind {
+  // The shard's primary controller process dies; the warm secondary's
+  // monitor notices missed beats and promotes the replica.
+  kControllerCrash,
+  // A host (typically a zombie serving buffers) drops off the fabric with
+  // no goodbye; only the lease deadline reveals it.
+  kHostCrash,
+  // The fabric between one controller shard's node and every server is
+  // partitioned for `duration`; lease renewals to that shard fail.
+  kPartition,
+  // A host's heartbeats are dropped for `duration` (flaky NIC); the host
+  // itself stays healthy — the classic false-failure flap.
+  kHeartbeatDrop,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;                 // when the fault fires
+  FaultKind kind = FaultKind::kControllerCrash;
+  std::size_t shard = 0;          // kControllerCrash / kPartition
+  remotemem::ServerId host = remotemem::kNilServer;  // kHostCrash / kHeartbeatDrop
+  Duration duration = 0;          // kPartition heal delay / kHeartbeatDrop window
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Rack* rack, FaultPlan plan);
+
+  // Fires every event with event.at <= now (in timeline order) and heals
+  // partitions whose window ended.  Call before each Rack::Tick().
+  void AdvanceTo(SimTime now);
+
+  std::size_t fired() const { return fired_; }
+  bool done() const { return next_ == plan_.events.size() && open_partitions_.empty(); }
+
+ private:
+  struct OpenPartition {
+    std::size_t shard = 0;
+    SimTime heal_at = 0;
+  };
+
+  void Fire(const FaultEvent& event);
+
+  Rack* rack_;
+  FaultPlan plan_;  // events sorted by (at, order of appearance)
+  std::size_t next_ = 0;
+  std::size_t fired_ = 0;
+  std::vector<OpenPartition> open_partitions_;
+};
+
+}  // namespace zombie::cloud
+
+#endif  // ZOMBIELAND_SRC_CLOUD_FAULTS_H_

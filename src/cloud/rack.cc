@@ -1,6 +1,7 @@
 #include "src/cloud/rack.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace zombie::cloud {
 
@@ -8,11 +9,40 @@ Rack::Rack(RackConfig config)
     : config_(config),
       fabric_(config.fabric),
       verbs_(&fabric_),
-      controller_(std::make_unique<remotemem::GlobalMemoryController>(
-          remotemem::ControllerConfig{config.buff_size, /*allow_escalation=*/true})),
-      agents_(this) {
-  controller_->set_mirror(&secondary_);
-  controller_->set_agents(&agents_);
+      plane_(remotemem::PlaneConfig{
+          .buff_size = config.buff_size,
+          .shards = config.controller_shards == 0 ? 1 : config.controller_shards,
+          .allow_escalation = true,
+          .lease = {.ttl = config.lease_ttl},
+          .secondary = {}}),
+      agents_(this),
+      rpc_router_(&verbs_) {
+  plane_.set_agents(&agents_);
+  // One fabric node + lease-renewal RPC endpoint per controller shard.  The
+  // node is always reachable: it models the controller slot (primary plus
+  // warm standby), which survives a primary-process crash.
+  for (std::size_t k = 0; k < plane_.shard_count(); ++k) {
+    rdma::NodePort port;
+    port.name = "ctrl-shard-" + std::to_string(k);
+    port.can_initiate = [] { return true; };
+    port.memory_accessible = [] { return true; };
+    const rdma::NodeId node = fabric_.Attach(std::move(port));
+    shard_nodes_.push_back(node);
+    auto rpc = std::make_unique<rdma::RpcServer>(&verbs_, node);
+    rpc->RegisterMethod(
+        "lease.renew",
+        [this](const rdma::Payload& request, rdma::PayloadWriter& response) -> Status {
+          rdma::PayloadReader reader(request);
+          auto host = reader.GetU32();
+          if (!host.ok()) {
+            return host.status();
+          }
+          response.PutU64(plane_.RenewLease(host.value(), clock_.now()));
+          return Status::Ok();
+        });
+    rpc_router_.AddServer(rpc.get());
+    shard_rpc_.push_back(std::move(rpc));
+  }
 }
 
 Server& Rack::AddServer(std::string hostname, acpi::MachineProfile profile,
@@ -35,9 +65,10 @@ Server& Rack::AddServer(std::string hostname, acpi::MachineProfile profile,
   };
   raw->set_node(fabric_.Attach(std::move(port)));
 
-  controller_->RegisterServer(id);
+  plane_.RegisterServer(id);
+  plane_.GrantLease(id, clock_.now());
   managers_.emplace(id, std::make_unique<remotemem::RemoteMemoryManager>(
-                            id, &verbs_, raw->node(), controller_.get()));
+                            id, &verbs_, raw->node(), &plane_));
 
   servers_.push_back(std::move(server));
   return *raw;
@@ -123,12 +154,12 @@ Result<Duration> Rack::WakeServer(remotemem::ServerId id) {
 
 std::size_t Rack::DeepSleepSurplusZombies(Bytes keep_free_bytes) {
   std::size_t slept = 0;
-  for (remotemem::ServerId id : controller_->SurplusZombies(keep_free_bytes)) {
+  for (remotemem::ServerId id : plane_.SurplusZombies(keep_free_bytes)) {
     Server* server = FindServer(id);
     if (server == nullptr) {
       continue;
     }
-    if (!controller_->RetireZombie(id).ok()) {
+    if (!plane_.RetireZombie(id).ok()) {
       continue;
     }
     // The zombie's regions are gone from the pool; wake it briefly (the
@@ -145,26 +176,84 @@ std::size_t Rack::DeepSleepSurplusZombies(Bytes keep_free_bytes) {
   return slept;
 }
 
-void Rack::FailPrimaryController() { primary_alive_ = false; }
+Status Rack::KillHost(remotemem::ServerId id) {
+  Server* server = FindServer(id);
+  if (server == nullptr) {
+    return Status(ErrorCode::kNotFound, "unknown server");
+  }
+  // Silent death: the node vanishes from the fabric mid-flight.  Nothing is
+  // reclaimed here — the control plane only learns when the host's lease
+  // lapses at the missed-heartbeat deadline.
+  dead_hosts_.insert(id);
+  fabric_.Detach(server->node());
+  return Status::Ok();
+}
+
+void Rack::SetShardPartition(std::size_t shard, bool broken) {
+  for (const auto& server : servers_) {
+    fabric_.SetLinkBroken(shard_nodes_[shard], server->node(), broken);
+  }
+}
+
+void Rack::DropHeartbeatsUntil(remotemem::ServerId id, SimTime until) {
+  heartbeat_drop_until_[id] = until;
+}
 
 void Rack::PumpHeartbeat() {
-  if (primary_alive_) {
-    secondary_.ObserveHeartbeat(controller_->BumpHeartbeat());
+  // Managers address the sharded plane (not a specific primary), so a
+  // promotion needs no re-pointing: the plane swaps the shard's primary in
+  // place and the next manager call lands on the promoted controller.
+  (void)plane_.PumpHeartbeats();
+}
+
+void Rack::RenewLeases(SimTime now) {
+  for (const auto& server_ptr : servers_) {
+    Server* server = server_ptr.get();
+    const remotemem::ServerId id = server->id();
+    if (dead_hosts_.contains(id)) {
+      continue;
+    }
+    if (auto it = heartbeat_drop_until_.find(id); it != heartbeat_drop_until_.end()) {
+      if (now < it->second) {
+        continue;  // heartbeats still being dropped
+      }
+      heartbeat_drop_until_.erase(it);
+    }
+    const rdma::NodeId ctrl = shard_nodes_[plane_.ShardOfHost(id)];
+    if (fabric_.NodeCanInitiate(server->node())) {
+      // S0 host: renew over the RPC layer.  A partition (or any transport
+      // failure) is a missed heartbeat — the lease drifts toward expiry.
+      rdma::PayloadWriter request;
+      request.PutU32(id);
+      (void)rpc_router_.Call(server->node(), ctrl, "lease.renew", request.payload());
+    } else if (fabric_.NodeMemoryAccessible(server->node())) {
+      // Zombie host: no CPU to send anything, so the controller side probes
+      // liveness with a one-sided read (the NIC answers from Sz).
+      if (fabric_.PriceOneSided(ctrl, server->node(), 64).ok()) {
+        (void)plane_.RenewLease(id, now);
+      }
+    }
+    // S3/S5 hosts renew nothing: their memory left the pool anyway.
   }
-  if (secondary_.MonitorTick()) {
-    // Failover: promote the replica and rewire.
-    controller_ = secondary_.Promote(
-        remotemem::ControllerConfig{config_.buff_size, /*allow_escalation=*/true});
-    controller_->set_agents(&agents_);
-    // Note: a fresh tertiary mirror would be appointed here; the rack keeps
-    // running with the promoted primary.
-    primary_alive_ = true;
-    // Re-point every manager at the promoted controller.  Extents and
-    // delegations survive — the replica carried the same buffer state.
-    for (auto& [id, mgr] : managers_) {
-      mgr->set_controller(controller_.get());
+}
+
+std::vector<remotemem::ExpiryRecord> Rack::Tick() {
+  clock_.Advance(config_.tick_period);
+  const SimTime now = clock_.now();
+  RenewLeases(now);
+  auto expired = plane_.ExpireLeases(now);
+  for (const auto& record : expired) {
+    // Rack-side bookkeeping for a host declared dead: its lent memory is
+    // gone from the pool and its manager's delegation records are stale.
+    if (Server* server = FindServer(record.host); server != nullptr) {
+      server->set_lent_memory(0);
+    }
+    if (auto it = managers_.find(record.host); it != managers_.end()) {
+      it->second->ForgetDelegations();
     }
   }
+  PumpHeartbeat();
+  return expired;
 }
 
 double Rack::TotalPowerPercent() const {
@@ -199,6 +288,11 @@ Status Rack::Agents::ReclaimFromUser(remotemem::ServerId user,
 Bytes Rack::Agents::RequestActiveDelegation(remotemem::ServerId host, Bytes wanted) {
   Server* server = rack_->FindServer(host);
   if (server == nullptr || server->machine().state() != acpi::SleepState::kS0) {
+    return 0;
+  }
+  // A dead host can't answer AS_get_free_mem even if its machine model
+  // still reads S0 (death is silent).
+  if (rack_->dead_hosts_.contains(host)) {
     return 0;
   }
   // Lend whatever slack exists beyond a safety floor of 25% of capacity.

@@ -1,22 +1,34 @@
-// The disaggregated rack of Fig. 7: servers + Infiniband fabric + global and
-// secondary memory controllers + per-server remote-memory managers, wired
-// to the OSPM zombie hooks.
+// The disaggregated rack of Fig. 7: servers + Infiniband fabric + a sharded
+// remote-memory control plane (N primary/secondary controller pairs) +
+// per-server remote-memory managers, wired to the OSPM zombie hooks.
+//
+// Liveness is lease-based and runs in simulated time: every server holds a
+// TTL lease with the control plane; Tick() advances the clock one period,
+// renews leases (S0 hosts over the RPC layer, zombies via a controller-side
+// one-sided probe — a zombie has no CPU to call anything), sweeps expired
+// leases (cleanup keeps buffer-ownership invariants), and pumps the
+// controller heartbeat/failover protocol.  Fault hooks (KillHost,
+// SetShardPartition, DropHeartbeatsUntil, FailShardPrimary) make
+// controller-loss, host-loss, partitions and flaky heartbeats first-class
+// simulated events (driven by cloud::FaultInjector).
 #ifndef ZOMBIELAND_SRC_CLOUD_RACK_H_
 #define ZOMBIELAND_SRC_CLOUD_RACK_H_
 
+#include <cstddef>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/cloud/server.h"
 #include "src/common/result.h"
+#include "src/common/sim_clock.h"
 #include "src/rdma/fabric.h"
 #include "src/rdma/rpc.h"
 #include "src/rdma/verbs.h"
-#include "src/remotemem/global_controller.h"
 #include "src/remotemem/memory_manager.h"
-#include "src/remotemem/secondary_controller.h"
+#include "src/remotemem/sharded_plane.h"
 
 namespace zombie::cloud {
 
@@ -29,6 +41,12 @@ struct RackConfig {
   // accounting-only simulation.
   bool materialize_memory = false;
   rdma::FabricParams fabric;
+  // Number of control-plane shards (1 = the classic single controller).
+  std::size_t controller_shards = 1;
+  // Missed-heartbeat deadline before a host's lease lapses.
+  Duration lease_ttl = 300 * kMillisecond;
+  // Simulated-time step of Tick() (lease renewal + heartbeat period).
+  Duration tick_period = 100 * kMillisecond;
 };
 
 class Rack {
@@ -36,18 +54,24 @@ class Rack {
   explicit Rack(RackConfig config = {});
 
   // Adds a server; the rack attaches it to the fabric, registers it with the
-  // controller, spawns its remote-mem-mgr and installs the OSPM hooks.
+  // control plane (which grants its lease), spawns its remote-mem-mgr and
+  // installs the OSPM hooks.
   Server& AddServer(std::string hostname, acpi::MachineProfile profile,
                     ServerCapacity capacity, bool sz_capable = true);
 
   Server* FindServer(remotemem::ServerId id);
   const std::vector<std::unique_ptr<Server>>& servers() const { return servers_; }
 
-  remotemem::GlobalMemoryController& controller() { return *controller_; }
-  remotemem::SecondaryController& secondary() { return secondary_; }
+  remotemem::ShardedControlPlane& plane() { return plane_; }
+  const remotemem::ShardedControlPlane& plane() const { return plane_; }
+  // Shard-0 compatibility accessors (the classic single-controller view;
+  // exact when controller_shards == 1).
+  remotemem::GlobalMemoryController& controller() { return plane_.primary(0); }
+  remotemem::SecondaryController& secondary() { return plane_.secondary(0); }
   remotemem::RemoteMemoryManager& manager(remotemem::ServerId id) { return *managers_.at(id); }
   rdma::Verbs& verbs() { return verbs_; }
   rdma::Fabric& fabric() { return fabric_; }
+  SimTime now() const { return clock_.now(); }
 
   // ---- Power orchestration ------------------------------------------------
   // Pushes a server into Sz: its manager delegates memory, then OSPM runs
@@ -64,15 +88,36 @@ class Rack {
   // pool).  Returns how many servers were deep-slept.
   std::size_t DeepSleepSurplusZombies(Bytes keep_free_bytes);
 
-  // Controller failover: simulate primary death and promote the secondary.
-  void FailPrimaryController();
+  // ---- Controller failures ------------------------------------------------
+  // Shard-0 compatibility wrappers around the sharded fault surface.
+  void FailPrimaryController() { plane_.FailShardPrimary(0); }
   // Brings a silenced (but not yet replaced) primary back — models a
   // transient hiccup recovering before the failover threshold.
-  void RevivePrimaryController() { primary_alive_ = true; }
-  bool primary_alive() const { return primary_alive_; }
+  void RevivePrimaryController() { plane_.ReviveShardPrimary(0); }
+  bool primary_alive() const { return plane_.shard_alive(0); }
+  void FailShardPrimary(std::size_t shard) { plane_.FailShardPrimary(shard); }
+  void ReviveShardPrimary(std::size_t shard) { plane_.ReviveShardPrimary(shard); }
 
-  // Heartbeat pump (normally driven by an event queue).
+  // ---- Fault injection ----------------------------------------------------
+  // Sudden, silent host death: the node drops off the fabric mid-flight; the
+  // control plane only learns through the missed-heartbeat deadline.
+  Status KillHost(remotemem::ServerId id);
+  bool HostDead(remotemem::ServerId id) const { return dead_hosts_.contains(id); }
+  // Partitions (or heals) the fabric between one controller shard's node and
+  // every server: lease renewals to that shard fail until healed.
+  void SetShardPartition(std::size_t shard, bool broken);
+  // Delays/drops a host's heartbeats until the given simulated time (flaky
+  // NIC / overloaded daemon); the host itself stays healthy.
+  void DropHeartbeatsUntil(remotemem::ServerId id, SimTime until);
+
+  // Heartbeat pump (normally driven by Tick); promotes secondaries whose
+  // monitor tripped.
   void PumpHeartbeat();
+
+  // One lease/heartbeat period of simulated time: advances the clock,
+  // renews leases, expires lapsed ones (returning the cleanup records) and
+  // pumps controller heartbeats.
+  std::vector<remotemem::ExpiryRecord> Tick();
 
   // Rack-wide instantaneous power, percent of the sum of max powers.
   double TotalPowerPercent() const;
@@ -91,16 +136,29 @@ class Rack {
     Rack* rack_;
   };
 
+  // Sends one host's lease renewal (RPC for S0 hosts, one-sided liveness
+  // probe for zombies).  Dead, partitioned or heartbeat-dropped hosts miss
+  // their renewal and drift toward expiry.
+  void RenewLeases(SimTime now);
+
   RackConfig config_;
   rdma::Fabric fabric_;
   rdma::Verbs verbs_;
-  std::unique_ptr<remotemem::GlobalMemoryController> controller_;
-  remotemem::SecondaryController secondary_;
+  remotemem::ShardedControlPlane plane_;
   Agents agents_;
+  SimClock clock_;
+  // One fabric node + RPC endpoint per controller shard.  The node models
+  // the controller *slot* (primary + warm standby share it), so it stays
+  // reachable across a primary crash — only partitions or host death break
+  // the renewal path.
+  std::vector<rdma::NodeId> shard_nodes_;
+  std::vector<std::unique_ptr<rdma::RpcServer>> shard_rpc_;
+  rdma::RpcRouter rpc_router_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::map<remotemem::ServerId, std::unique_ptr<remotemem::RemoteMemoryManager>> managers_;
+  std::map<remotemem::ServerId, SimTime> heartbeat_drop_until_;
+  std::set<remotemem::ServerId> dead_hosts_;
   remotemem::ServerId next_id_ = 1;
-  bool primary_alive_ = true;
 };
 
 }  // namespace zombie::cloud

@@ -29,6 +29,30 @@ const std::string& Fabric::NodeName(NodeId id) const {
   return it == ports_.end() ? kUnknownNode : it->second.name;
 }
 
+void Fabric::SetLinkBroken(NodeId a, NodeId b, bool broken) {
+  if (broken) {
+    broken_links_.insert(LinkKey(a, b));
+  } else {
+    broken_links_.erase(LinkKey(a, b));
+  }
+}
+
+bool Fabric::IsLinkBroken(NodeId a, NodeId b) const {
+  return broken_links_.contains(LinkKey(a, b));
+}
+
+Status Fabric::CheckLink(NodeId initiator, NodeId target) const {
+  if (IsLinkBroken(initiator, target)) {
+    if (failure_upcall_) {
+      failure_upcall_(initiator, target);
+    }
+    return Status(ErrorCode::kUnavailable,
+                  "link " + NodeName(initiator) + " <-> " + NodeName(target) +
+                      " is partitioned");
+  }
+  return Status::Ok();
+}
+
 Result<Duration> Fabric::PriceOneSided(NodeId initiator, NodeId target, Bytes bytes) const {
   if (!ports_.contains(initiator) || !ports_.contains(target)) {
     return Status(ErrorCode::kNotFound, "node not attached to fabric");
@@ -41,6 +65,7 @@ Result<Duration> Fabric::PriceOneSided(NodeId initiator, NodeId target, Bytes by
     return Status(ErrorCode::kUnavailable,
                   "target " + NodeName(target) + " memory is not powered/reachable");
   }
+  ZOMBIE_RETURN_IF_ERROR(CheckLink(initiator, target));
   return params_.OneSidedCost(bytes);
 }
 
@@ -59,6 +84,7 @@ Result<Duration> Fabric::SendWakePacket(NodeId initiator, NodeId target) {
     return Status(ErrorCode::kUnavailable,
                   "target " + NodeName(target) + " has no armed WoL NIC");
   }
+  ZOMBIE_RETURN_IF_ERROR(CheckLink(initiator, target));
   const Duration flight = params_.base_latency + params_.SerializationDelay(102);  // magic pkt
   const Duration wake = port.on_wake_packet ? port.on_wake_packet() : 0;
   NoteTransfer(102);
@@ -77,6 +103,7 @@ Result<Duration> Fabric::PriceTwoSided(NodeId initiator, NodeId target, Bytes by
     return Status(ErrorCode::kUnavailable,
                   "target " + NodeName(target) + " has no running CPU for send/recv");
   }
+  ZOMBIE_RETURN_IF_ERROR(CheckLink(initiator, target));
   return params_.OneSidedCost(bytes) + params_.completion_poll_cost;
 }
 

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/common/result.h"
 #include "src/common/units.h"
@@ -80,6 +81,20 @@ class Fabric {
   // well).  Returns packet flight time plus the target's wake latency.
   Result<Duration> SendWakePacket(NodeId initiator, NodeId target);
 
+  // ---- Link failures (derecho-style is_broken + failure upcall) ----------
+  // Marks the a<->b link as partitioned (or heals it).  A broken link fails
+  // every operation between the two nodes in both directions; the rest of
+  // the fabric is untouched.
+  void SetLinkBroken(NodeId a, NodeId b, bool broken);
+  bool IsLinkBroken(NodeId a, NodeId b) const;
+  std::size_t broken_link_count() const { return broken_links_.size(); }
+  // Invoked (initiator, target) whenever an operation is attempted over a
+  // broken link — the connection-failure notification a real transport
+  // would deliver to the membership layer.
+  void set_failure_upcall(std::function<void(NodeId, NodeId)> upcall) {
+    failure_upcall_ = std::move(upcall);
+  }
+
   // Fabric-wide transfer counters (diagnostics / bench reporting).
   std::uint64_t total_operations() const { return total_ops_; }
   Bytes total_bytes() const { return total_bytes_; }
@@ -93,8 +108,19 @@ class Fabric {
   }
 
  private:
+  // Order-independent key for an undirected link.
+  static std::uint64_t LinkKey(NodeId a, NodeId b) {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  }
+  // Returns an error (and fires the failure upcall) if the link is broken.
+  Status CheckLink(NodeId initiator, NodeId target) const;
+
   FabricParams params_;
   std::unordered_map<NodeId, NodePort> ports_;
+  std::unordered_set<std::uint64_t> broken_links_;
+  std::function<void(NodeId, NodeId)> failure_upcall_;
   NodeId next_id_ = 1;
   std::uint64_t total_ops_ = 0;
   Bytes total_bytes_ = 0;

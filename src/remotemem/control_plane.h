@@ -1,0 +1,57 @@
+// The control-plane interface the per-server RemoteMemoryManager talks to.
+//
+// Historically the manager held a GlobalMemoryController* — one in-process
+// authority over every buffer in the rack.  The sharded control plane
+// (sharded_plane.h) splits buffer ownership across N controller instances;
+// this interface is the seam that lets a manager address either a single
+// controller (tests, tools) or the whole sharded plane (the rack) without
+// caring which.  Interface only — no includes of concrete controllers, so
+// it cannot participate in an include cycle.
+#ifndef ZOMBIELAND_SRC_REMOTEMEM_CONTROL_PLANE_H_
+#define ZOMBIELAND_SRC_REMOTEMEM_CONTROL_PLANE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/remotemem/types.h"
+
+namespace zombie::remotemem {
+
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+
+  // Rack-uniform BUFF_SIZE every grant must match.
+  virtual Bytes buff_size() const = 0;
+
+  // GS_goto_zombie: `host` transitions to zombie and delegates `buffers`.
+  // Returns the controller-assigned ids, in input order.
+  virtual Result<std::vector<BufferId>> GsGotoZombie(
+      ServerId host, const std::vector<BufferGrant>& buffers) = 0;
+
+  // Delegation from a host that stays active (slack lending while in S0).
+  virtual Result<std::vector<BufferId>> DelegateActiveBuffers(
+      ServerId host, const std::vector<BufferGrant>& buffers) = 0;
+
+  // GS_reclaim: a waking host takes back `nb_buffers` of its delegations.
+  virtual Result<std::vector<BufferId>> GsReclaim(ServerId host,
+                                                  std::size_t nb_buffers) = 0;
+
+  // GS_alloc_ext: guaranteed RAM-Ext allocation (all-or-nothing).
+  virtual Result<std::vector<BufferGrant>> GsAllocExt(ServerId user,
+                                                      Bytes mem_size) = 0;
+
+  // GS_alloc_swap: best-effort swap allocation (may return fewer buffers).
+  virtual Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user,
+                                                       Bytes mem_size) = 0;
+
+  // Releases buffers `user` no longer needs.
+  virtual Status GsRelease(ServerId user,
+                           const std::vector<BufferId>& buffers) = 0;
+};
+
+}  // namespace zombie::remotemem
+
+#endif  // ZOMBIELAND_SRC_REMOTEMEM_CONTROL_PLANE_H_

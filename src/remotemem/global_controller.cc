@@ -5,7 +5,7 @@
 namespace zombie::remotemem {
 
 GlobalMemoryController::GlobalMemoryController(ControllerConfig config)
-    : config_(config) {}
+    : config_(config), next_buffer_id_(config.id_base) {}
 
 void GlobalMemoryController::RegisterServer(ServerId server) {
   // "Initially all servers are designated active, and state is updated as
@@ -20,11 +20,20 @@ void GlobalMemoryController::Restore(const std::vector<BufferRecord>& records,
                                      const ServerStateView& server_states) {
   db_.Load(records);
   servers_ = server_states;
-  BufferId max_id = 0;
+  // Resume the id sequence past every id this controller's stride class has
+  // minted.  For the unsharded defaults (base 1, stride 1) this is the
+  // classic max_id + 1; a shard skips ids minted by its siblings.
+  next_buffer_id_ = config_.id_base;
   for (const auto& rec : records) {
-    max_id = std::max(max_id, rec.id);
+    if (rec.id % config_.id_stride == config_.id_base % config_.id_stride) {
+      next_buffer_id_ = std::max(next_buffer_id_, rec.id + config_.id_stride);
+    }
   }
-  next_buffer_id_ = max_id + 1;
+}
+
+void GlobalMemoryController::LoadFromReplica(const BufferDb& replica,
+                                             const ServerStateView& server_states) {
+  Restore(replica.Snapshot(), server_states);
 }
 
 bool GlobalMemoryController::IsZombie(ServerId server) const {
@@ -53,7 +62,8 @@ Result<std::vector<BufferId>> GlobalMemoryController::InsertGrants(
                     "buffer size violates rack-uniform BUFF_SIZE");
     }
     BufferRecord rec;
-    rec.id = next_buffer_id_++;
+    rec.id = next_buffer_id_;
+    next_buffer_id_ += config_.id_stride;
     rec.offset = offset;
     offset += grant.size;
     rec.size = grant.size;
@@ -122,6 +132,12 @@ Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
   if (agents_ != nullptr && !per_user.empty()) {
     std::stable_sort(per_user.begin(), per_user.end(),
                      [](const auto& a, const auto& b) { return a.first < b.first; });
+    // US_reclaim "only informs the corresponding remote-mem-mgrs that
+    // buff_IDs are no longer available" — the user migrates its backup
+    // copies, we don't wait for it.  All notifications are sent before any
+    // buffer is erased, so a notification failure leaves the database
+    // untouched and the error can name exactly which buffers it covers.
+    std::string failures;
     std::vector<BufferId> batch;
     for (std::size_t i = 0; i < per_user.size();) {
       const ServerId user = per_user[i].first;
@@ -129,10 +145,20 @@ Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
       for (; i < per_user.size() && per_user[i].first == user; ++i) {
         batch.push_back(per_user[i].second);
       }
-      // US_reclaim "only informs the corresponding remote-mem-mgrs that
-      // buff_IDs are no longer available" — the user migrates its backup
-      // copies, we don't wait for it.
-      (void)agents_->ReclaimFromUser(user, batch);
+      Status st = agents_->ReclaimFromUser(user, batch);
+      if (!st.ok()) {
+        if (!failures.empty()) {
+          failures += "; ";
+        }
+        failures += "US_reclaim failed for user " + std::to_string(user) + " (buffers";
+        for (BufferId id : batch) {
+          failures += " " + std::to_string(id);
+        }
+        failures += "): " + st.message();
+      }
+    }
+    if (!failures.empty()) {
+      return Status(ErrorCode::kUnavailable, failures);
     }
   }
   for (BufferId id : reclaimed) {
@@ -145,56 +171,65 @@ Result<std::vector<BufferId>> GlobalMemoryController::GsReclaim(ServerId host,
   return reclaimed;
 }
 
-std::vector<BufferGrant> GlobalMemoryController::TakeFreeBuffers(ServerId user,
-                                                                 std::size_t want) {
+std::vector<BufferGrant> GlobalMemoryController::TakeFreeOfType(ServerId user,
+                                                                std::size_t want,
+                                                                BufferType type) {
   std::vector<BufferGrant> grants;
   grants.reserve(want);
-  // Zombie buffers have strict priority over active ones.  Within a type,
-  // buffers are taken round-robin across hosts: "the memSize allocation is
-  // backed by memory from multiple remote servers.  This approach minimizes
-  // the performance impact caused by a remote server failure."
-  std::vector<BufferRecord> free_records;
+  // Within a type, buffers are taken round-robin across hosts: "the memSize
+  // allocation is backed by memory from multiple remote servers.  This
+  // approach minimizes the performance impact caused by a remote server
+  // failure."
+  //
+  // Free records arrive sorted by id; regrouping them by host (hosts
+  // ascending, ids ascending within a host) reproduces the old
+  // map<ServerId, vector>'s iteration order with two flat passes.
+  std::vector<BufferRecord> free_records = db_.FreeBuffers(type);
+  std::stable_sort(free_records.begin(), free_records.end(),
+                   [](const BufferRecord& a, const BufferRecord& b) {
+                     return a.host < b.host;
+                   });
   std::vector<std::pair<std::size_t, std::size_t>> groups;  // [begin, end) per host
-  std::vector<std::size_t> cursors;
+  for (std::size_t i = 0; i < free_records.size();) {
+    std::size_t j = i;
+    while (j < free_records.size() && free_records[j].host == free_records[i].host) {
+      ++j;
+    }
+    groups.emplace_back(i, j);
+    i = j;
+  }
+  std::vector<std::size_t> cursors(groups.size(), 0);
+  bool took_any = true;
+  while (grants.size() < want && took_any) {
+    took_any = false;
+    for (std::size_t g = 0; g < groups.size() && grants.size() < want; ++g) {
+      const auto [begin, end] = groups[g];
+      std::size_t& pos = cursors[g];
+      if (begin + pos >= end) {
+        continue;
+      }
+      const BufferRecord& rec = free_records[begin + pos];
+      ++pos;
+      (void)db_.Assign(rec.id, user);
+      Mirror({MirrorOp::Kind::kAssign, {}, rec.id, user, rec.type, false});
+      grants.push_back({rec.id, rec.rkey, rec.size, rec.host, rec.type});
+      took_any = true;
+    }
+  }
+  return grants;
+}
+
+std::vector<BufferGrant> GlobalMemoryController::TakeFreeBuffers(ServerId user,
+                                                                 std::size_t want) {
+  // Zombie buffers have strict priority over active ones.
+  std::vector<BufferGrant> grants;
+  grants.reserve(want);
   for (BufferType type : {BufferType::kZombie, BufferType::kActive}) {
     if (grants.size() >= want) {
       break;
     }
-    // Free records arrive sorted by id; regrouping them by host (hosts
-    // ascending, ids ascending within a host) reproduces the old
-    // map<ServerId, vector>'s iteration order with two flat passes.
-    free_records = db_.FreeBuffers(type);
-    std::stable_sort(free_records.begin(), free_records.end(),
-                     [](const BufferRecord& a, const BufferRecord& b) {
-                       return a.host < b.host;
-                     });
-    groups.clear();
-    for (std::size_t i = 0; i < free_records.size();) {
-      std::size_t j = i;
-      while (j < free_records.size() && free_records[j].host == free_records[i].host) {
-        ++j;
-      }
-      groups.emplace_back(i, j);
-      i = j;
-    }
-    cursors.assign(groups.size(), 0);
-    bool took_any = true;
-    while (grants.size() < want && took_any) {
-      took_any = false;
-      for (std::size_t g = 0; g < groups.size() && grants.size() < want; ++g) {
-        const auto [begin, end] = groups[g];
-        std::size_t& pos = cursors[g];
-        if (begin + pos >= end) {
-          continue;
-        }
-        const BufferRecord& rec = free_records[begin + pos];
-        ++pos;
-        (void)db_.Assign(rec.id, user);
-        Mirror({MirrorOp::Kind::kAssign, {}, rec.id, user, rec.type, false});
-        grants.push_back({rec.id, rec.rkey, rec.size, rec.host, rec.type});
-        took_any = true;
-      }
-    }
+    auto more = TakeFreeOfType(user, want - grants.size(), type);
+    grants.insert(grants.end(), more.begin(), more.end());
   }
   return grants;
 }
@@ -208,6 +243,9 @@ Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocExt(ServerId use
   const std::size_t want =
       static_cast<std::size_t>((mem_size + config_.buff_size - 1) / config_.buff_size);
   std::vector<BufferGrant> grants = TakeFreeBuffers(user, want);
+  // Remembered so an all-or-nothing failure can name which escalation
+  // targets were asked and what each actually yielded.
+  std::string escalation_log;
   if (grants.size() < want && config_.allow_escalation && agents_ != nullptr) {
     // AS_get_free_mem(): ask active servers to lend slack.
     const Bytes missing = (want - grants.size()) * config_.buff_size;
@@ -218,18 +256,32 @@ Result<std::vector<BufferGrant>> GlobalMemoryController::GsAllocExt(ServerId use
       if (entry.is_zombie || entry.server == user) {
         continue;
       }
-      (void)agents_->RequestActiveDelegation(entry.server, missing);
+      const Bytes lent = agents_->RequestActiveDelegation(entry.server, missing);
+      if (!escalation_log.empty()) {
+        escalation_log += ", ";
+      }
+      escalation_log += "AS_get_free_mem(host " + std::to_string(entry.server) +
+                        ") -> " + std::to_string(lent) + " B";
       auto more = TakeFreeBuffers(user, want - grants.size());
       grants.insert(grants.end(), more.begin(), more.end());
     }
   }
   if (grants.size() < want) {
-    // Admission control should have prevented this: undo and fail.
+    // Admission control should have prevented this: undo and fail, telling
+    // the caller how far the escalation got and which hosts came up short.
+    std::string detail = "rack cannot satisfy guaranteed RAM-Ext allocation: wanted " +
+                         std::to_string(want) + " buffers, granted " +
+                         std::to_string(grants.size());
+    if (!escalation_log.empty()) {
+      detail += "; " + escalation_log;
+    } else if (!config_.allow_escalation) {
+      detail += "; escalation disabled";
+    }
     for (const auto& g : grants) {
       (void)db_.Release(g.id);
       Mirror({MirrorOp::Kind::kRelease, {}, g.id, user, g.type, false});
     }
-    return Status(ErrorCode::kOutOfMemory, "rack cannot satisfy guaranteed RAM-Ext allocation");
+    return Status(ErrorCode::kOutOfMemory, detail);
   }
   return grants;
 }
@@ -290,6 +342,35 @@ Status GlobalMemoryController::RetireZombie(ServerId host) {
     Mirror({MirrorOp::Kind::kErase, {}, rec.id, host, BufferType::kZombie, false});
   }
   return Status::Ok();
+}
+
+std::vector<BufferId> GlobalMemoryController::DropHostBuffers(ServerId host) {
+  std::vector<BufferId> dropped;
+  for (const auto& rec : db_.BuffersOfHost(host)) {
+    dropped.push_back(rec.id);
+  }
+  for (BufferId id : dropped) {
+    (void)db_.Erase(id);
+    Mirror({MirrorOp::Kind::kErase, {}, id, host, BufferType::kZombie, false});
+  }
+  if (servers_.Contains(host) && servers_.IsZombie(host)) {
+    servers_.SetZombie(host, false);
+    Mirror({MirrorOp::Kind::kServerState, {}, kInvalidBuffer, host, BufferType::kZombie,
+            false});
+  }
+  return dropped;
+}
+
+std::vector<BufferId> GlobalMemoryController::ReleaseBuffersUsedBy(ServerId user) {
+  std::vector<BufferId> released;
+  for (const auto& rec : db_.BuffersUsedBy(user)) {
+    released.push_back(rec.id);
+  }
+  for (BufferId id : released) {
+    (void)db_.Release(id);
+    Mirror({MirrorOp::Kind::kRelease, {}, id, user, BufferType::kZombie, false});
+  }
+  return released;
 }
 
 Result<ServerId> GlobalMemoryController::GsGetLruZombie() const {

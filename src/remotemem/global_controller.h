@@ -21,6 +21,7 @@
 
 #include "src/common/result.h"
 #include "src/remotemem/buffer_db.h"
+#include "src/remotemem/control_plane.h"
 #include "src/remotemem/types.h"
 
 namespace zombie::remotemem {
@@ -68,47 +69,77 @@ struct ControllerConfig {
   // When true, GsAllocExt escalates to AS_get_free_mem / US_reclaim before
   // failing; GsAllocSwap never escalates (best-effort only).
   bool allow_escalation = true;
+  // Id-stride sharding: this controller mints buffer ids id_base,
+  // id_base + id_stride, id_base + 2*id_stride, ...  With the defaults
+  // (base 1, stride 1) the id sequence is the classic unsharded 1, 2, 3...
+  // Shard k of an N-shard plane uses base k+1, stride N, so ownership of
+  // any id is the deterministic residue (id - 1) % N.
+  BufferId id_base = 1;
+  BufferId id_stride = 1;
 };
 
-class GlobalMemoryController {
+class GlobalMemoryController : public ControlPlane {
  public:
   explicit GlobalMemoryController(ControllerConfig config = {});
 
   void set_mirror(MirrorSink* sink) { mirror_ = sink; }
   void set_agents(AgentDirectory* agents) { agents_ = agents; }
   const ControllerConfig& config() const { return config_; }
+  Bytes buff_size() const override { return config_.buff_size; }
 
   // ---- Server lifecycle -------------------------------------------------
   // Registers a server as active (initial state; Section 4.2).
   void RegisterServer(ServerId server);
   // Rebuilds full state from a replica (failover path, Section 4).
   void Restore(const std::vector<BufferRecord>& records, const ServerStateView& server_states);
+  // Failover entry point: rebuilds this controller from the secondary's
+  // replica database + server-state view.  Equivalent to Restore but named
+  // for the promotion path and taking the replica db directly.
+  void LoadFromReplica(const BufferDb& replica, const ServerStateView& server_states);
+  bool HasServer(ServerId server) const { return servers_.Contains(server); }
   bool IsZombie(ServerId server) const;
   std::vector<ServerId> ZombieList() const;
 
   // GS_goto_zombie(buffers): the host is about to enter Sz and lends the
   // given buffers.  Buffers previously lent while active flip to zombie
   // type.  Returns the controller-assigned ids, in input order.
-  Result<std::vector<BufferId>> GsGotoZombie(ServerId host,
-                                             const std::vector<BufferGrant>& buffers);
+  Result<std::vector<BufferId>> GsGotoZombie(
+      ServerId host, const std::vector<BufferGrant>& buffers) override;
 
   // Active-server delegation (slack lending while in S0).
-  Result<std::vector<BufferId>> DelegateActiveBuffers(ServerId host,
-                                                      const std::vector<BufferGrant>& buffers);
+  Result<std::vector<BufferId>> DelegateActiveBuffers(
+      ServerId host, const std::vector<BufferGrant>& buffers) override;
 
   // GS_reclaim(nbBuffers): a waking host takes back `nb` of its buffers.
   // Unallocated buffers go first; then allocated ones are reclaimed from
   // their users via US_reclaim.  Returns the reclaimed buffer ids.
-  Result<std::vector<BufferId>> GsReclaim(ServerId host, std::size_t nb_buffers);
+  Result<std::vector<BufferId>> GsReclaim(ServerId host, std::size_t nb_buffers) override;
 
   // ---- Allocation (Section 4.4) -----------------------------------------
   // RAM-Extension allocation: must fully satisfy memSize (admission control
   // guarantees rack capacity); escalates to active/user servers if needed.
-  Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size);
+  Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size) override;
   // Swap allocation: best effort, may return less than memSize.
-  Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size);
+  Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size) override;
   // Releases buffers a user no longer needs.
-  Status GsRelease(ServerId user, const std::vector<BufferId>& buffers);
+  Status GsRelease(ServerId user, const std::vector<BufferId>& buffers) override;
+
+  // Takes up to `want` free buffers of one type for `user` (zombie-hosted
+  // and active-hosted pools are separate priority classes; the plane calls
+  // this per type so cross-shard allocation can honour "zombie memory
+  // first" globally, not just within one shard).
+  std::vector<BufferGrant> TakeFreeOfType(ServerId user, std::size_t want,
+                                          BufferType type);
+
+  // ---- Lease-expiry cleanup (sharded plane) ------------------------------
+  // Drops every buffer hosted by `host` (free or allocated) from the pool —
+  // the host's lease lapsed, so its memory is unreachable.  Also clears the
+  // host's zombie flag.  Returns the dropped buffer ids (users of allocated
+  // buffers must have been notified via US_reclaim first).
+  std::vector<BufferId> DropHostBuffers(ServerId host);
+  // Frees every buffer `user` was consuming (the consumer died; its
+  // allocations return to the pool).  Returns the released buffer ids.
+  std::vector<BufferId> ReleaseBuffersUsedBy(ServerId user);
 
   // GS_get_lru_zombie(): the zombie with the fewest allocated buffers
   // (Section 5.2) — the cheapest one to wake.

@@ -117,12 +117,12 @@ std::size_t RemoteExtent::RehomeMirroredPages() {
 }
 
 RemoteMemoryManager::RemoteMemoryManager(ServerId server, rdma::Verbs* verbs, rdma::NodeId node,
-                                         GlobalMemoryController* controller)
+                                         ControlPlane* controller)
     : server_(server), verbs_(verbs), node_(node), controller_(controller) {}
 
 Result<std::size_t> RemoteMemoryManager::Delegate(Bytes free_bytes, bool materialize,
                                                   bool zombie) {
-  const Bytes buff_size = controller_->config().buff_size;
+  const Bytes buff_size = controller_->buff_size();
   const std::size_t nb = static_cast<std::size_t>(free_bytes / buff_size);
   if (nb == 0) {
     return Status(ErrorCode::kInvalidArgument, "free memory below one BUFF_SIZE");
@@ -167,7 +167,7 @@ Result<std::size_t> RemoteMemoryManager::DelegateActive(Bytes free_bytes, bool m
 }
 
 Result<std::size_t> RemoteMemoryManager::ReclaimOnWake(Bytes bytes) {
-  const Bytes buff_size = controller_->config().buff_size;
+  const Bytes buff_size = controller_->buff_size();
   const std::size_t nb = std::min<std::size_t>(
       static_cast<std::size_t>((bytes + buff_size - 1) / buff_size), delegated_.size());
   if (nb == 0) {
@@ -203,7 +203,7 @@ Result<RemoteExtent*> RemoteMemoryManager::AllocExtension(Bytes size, LocalStore
   if (!grants.ok()) {
     return grants.status();
   }
-  auto extent = std::make_unique<RemoteExtent>(verbs_, node_, controller_->config().buff_size,
+  auto extent = std::make_unique<RemoteExtent>(verbs_, node_, controller_->buff_size(),
                                                store);
   extent->AddGrants(grants.value());
   extents_.push_back(std::move(extent));
@@ -215,7 +215,7 @@ Result<RemoteExtent*> RemoteMemoryManager::AllocSwap(Bytes size, LocalStoreParam
   if (!grants.ok()) {
     return grants.status();
   }
-  auto extent = std::make_unique<RemoteExtent>(verbs_, node_, controller_->config().buff_size,
+  auto extent = std::make_unique<RemoteExtent>(verbs_, node_, controller_->buff_size(),
                                                store);
   extent->AddGrants(grants.value());
   extents_.push_back(std::move(extent));

@@ -56,7 +56,7 @@ bool SecondaryController::MonitorTick() {
 
 std::unique_ptr<GlobalMemoryController> SecondaryController::Promote(ControllerConfig config) {
   auto controller = std::make_unique<GlobalMemoryController>(config);
-  controller->Restore(replica_.Snapshot(), servers_);
+  controller->LoadFromReplica(replica_, servers_);
   return controller;
 }
 

@@ -1,0 +1,181 @@
+// The sharded remote-memory control plane.
+//
+// Splits GlobalMemoryController buffer ownership across N controller
+// instances with deterministic id-stride ownership: shard k mints buffer
+// ids k+1, k+1+N, k+1+2N, ..., so the owner of any id is the residue
+// (id - 1) % N — no ownership table to keep consistent.  A host's hosted
+// buffers all live in its home shard ((host - 1) % N); its *allocations*
+// may come from every shard (zombie memory keeps global priority over
+// active memory — the plane allocates per type across shards, not per
+// shard across types).
+//
+// Each shard is a primary + warm secondary pair with the existing mirror
+// protocol.  On top, the plane replaces the implicit "everything mirrors"
+// availability story with an explicit lease/heartbeat protocol in simulated
+// time: every host holds a TTL lease; renewal happens via heartbeats (the
+// rack drives them over RPC); a lease that lapses triggers a deterministic
+// cleanup — users of the dead host's buffers get US_reclaim notices, the
+// hosted buffers are dropped, and buffers the dead host was consuming are
+// freed — so ownership invariants survive silent host death, controller
+// crash (secondary promotion via LoadFromReplica) and fabric partitions.
+//
+// With shards = 1 the plane is behaviourally identical to the classic
+// single GlobalMemoryController (same ids, same allocation order, same
+// failover), which the equivalence tests pin down.
+#ifndef ZOMBIELAND_SRC_REMOTEMEM_SHARDED_PLANE_H_
+#define ZOMBIELAND_SRC_REMOTEMEM_SHARDED_PLANE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/remotemem/control_plane.h"
+#include "src/remotemem/global_controller.h"
+#include "src/remotemem/lease.h"
+#include "src/remotemem/secondary_controller.h"
+#include "src/remotemem/types.h"
+
+namespace zombie::remotemem {
+
+struct PlaneConfig {
+  Bytes buff_size = kDefaultBuffSize;
+  std::size_t shards = 1;
+  // Plane-level escalation (AS_get_free_mem across all shards); the
+  // per-shard controllers always run with escalation disabled so the
+  // plane keeps the global zombie-first allocation order.
+  bool allow_escalation = true;
+  LeaseConfig lease;
+  SecondaryConfig secondary;
+};
+
+// What a lease expiry cleaned up, per dead host.
+struct ExpiryRecord {
+  ServerId host = kNilServer;
+  // Buffers the host was serving, dropped from the pool (their users were
+  // notified via US_reclaim first).
+  std::vector<BufferId> hosted_dropped;
+  // Buffers the host was consuming, returned to the free pool.
+  std::vector<BufferId> used_released;
+};
+
+class ShardedControlPlane : public ControlPlane {
+ public:
+  explicit ShardedControlPlane(PlaneConfig config = {});
+
+  const PlaneConfig& config() const { return config_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  // US_reclaim / AS_get_free_mem reach every shard through one directory.
+  void set_agents(AgentDirectory* agents);
+
+  // Deterministic ownership.
+  std::size_t ShardOfBuffer(BufferId id) const {
+    return static_cast<std::size_t>((id - 1) % shards_.size());
+  }
+  std::size_t ShardOfHost(ServerId host) const {
+    return static_cast<std::size_t>((host - 1) % shards_.size());
+  }
+
+  // ---- Server lifecycle ---------------------------------------------------
+  // Registers the server with every shard (any shard may allocate to it).
+  void RegisterServer(ServerId server);
+  bool HasServer(ServerId server) const;
+  bool IsZombie(ServerId server) const;
+  std::vector<ServerId> ZombieList() const;
+
+  // ---- ControlPlane -------------------------------------------------------
+  Bytes buff_size() const override { return config_.buff_size; }
+  Result<std::vector<BufferId>> GsGotoZombie(
+      ServerId host, const std::vector<BufferGrant>& buffers) override;
+  Result<std::vector<BufferId>> DelegateActiveBuffers(
+      ServerId host, const std::vector<BufferGrant>& buffers) override;
+  Result<std::vector<BufferId>> GsReclaim(ServerId host,
+                                          std::size_t nb_buffers) override;
+  Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size) override;
+  Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size) override;
+  Status GsRelease(ServerId user, const std::vector<BufferId>& buffers) override;
+
+  // ---- Rack-level policies (aggregated across shards) ---------------------
+  Result<ServerId> GsGetLruZombie() const;
+  std::vector<ServerId> SurplusZombies(Bytes keep_free_bytes) const;
+  Status RetireZombie(ServerId host);
+  Bytes FreeRemoteBytes() const;
+  std::size_t ServerCount() const { return registry_.size(); }
+
+  // ---- Leases -------------------------------------------------------------
+  // Admits `host` with a fresh lease; returns the lease epoch.
+  std::uint64_t GrantLease(ServerId host, SimTime now);
+  // The heartbeat path: renews a live lease, or re-admits an expired host
+  // with a bumped epoch.  Returns the epoch after the renewal.
+  std::uint64_t RenewLease(ServerId host, SimTime now);
+  bool LeaseLive(ServerId host, SimTime now) const { return leases_.IsLive(host, now); }
+  std::uint64_t LeaseEpoch(ServerId host) const { return leases_.epoch(host); }
+  const LeaseManager& leases() const { return leases_; }
+
+  // The missed-heartbeat deadline sweep.  Every newly lapsed host (plus any
+  // host whose earlier cleanup was deferred because its shard's controller
+  // was down) is cleaned up: US_reclaim notices to users of its hosted
+  // buffers, hosted buffers dropped, its own allocations freed.  Cleanup on
+  // a shard whose primary is down is deferred until that shard recovers.
+  std::vector<ExpiryRecord> ExpireLeases(SimTime now);
+
+  // ---- Controller failures / failover ------------------------------------
+  void FailShardPrimary(std::size_t shard);
+  void ReviveShardPrimary(std::size_t shard);
+  bool shard_alive(std::size_t shard) const { return shards_[shard].alive; }
+
+  // One heartbeat period for every shard: a live primary bumps its beat;
+  // every secondary ticks its monitor; a monitor that trips promotes the
+  // replica (LoadFromReplica) into a fresh primary.  Returns the shards
+  // promoted this pump.
+  std::vector<std::size_t> PumpHeartbeats();
+
+  // ---- Introspection / verification --------------------------------------
+  GlobalMemoryController& primary(std::size_t shard) { return *shards_[shard].primary; }
+  const GlobalMemoryController& primary(std::size_t shard) const {
+    return *shards_[shard].primary;
+  }
+  SecondaryController& secondary(std::size_t shard) { return *shards_[shard].secondary; }
+  const SecondaryController& secondary(std::size_t shard) const {
+    return *shards_[shard].secondary;
+  }
+
+  // Ownership invariants, checked across every shard: ids sorted, unique
+  // and in the shard's residue class; free/used accounting consistent; the
+  // warm secondary's replica byte-identical to its primary (unless that
+  // secondary was consumed by a failover).  Error names the first violation.
+  Status CheckInvariants() const;
+  // Buffers whose host holds no live lease (or that sit in the wrong
+  // shard) — must be empty after every recovery.  Ascending ids.
+  std::vector<BufferId> OrphanedBuffers(SimTime now) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<GlobalMemoryController> primary;
+    std::unique_ptr<SecondaryController> secondary;
+    bool alive = true;
+  };
+
+  ControllerConfig ShardControllerConfig(std::size_t shard) const;
+  // Takes up to `want` free buffers for `user`: zombie memory across every
+  // live shard first, then active memory — preserving the paper's global
+  // allocation priority under sharding.
+  std::vector<BufferGrant> TakeAcross(ServerId user, std::size_t want);
+  // Returns false when some shard's cleanup had to be deferred (its
+  // primary is down).
+  bool CleanupExpiredHost(ServerId host, ExpiryRecord* record);
+
+  PlaneConfig config_;
+  std::vector<Shard> shards_;
+  std::vector<ServerId> registry_;  // sorted
+  LeaseManager leases_;
+  AgentDirectory* agents_ = nullptr;
+  std::vector<ServerId> pending_cleanup_;  // sorted; deferred expiries
+};
+
+}  // namespace zombie::remotemem
+
+#endif  // ZOMBIELAND_SRC_REMOTEMEM_SHARDED_PLANE_H_

@@ -30,6 +30,10 @@
 #include "src/scenario/spec.h"
 #include "src/workloads/runner.h"
 
+namespace zombie::cloud {
+struct FaultPlan;
+}  // namespace zombie::cloud
+
 namespace zombie::scenario {
 
 class Testbed;
@@ -54,6 +58,10 @@ struct RunOptions {
   int point_jobs = 1;
   // Record per-point wall-clock into the report's points section (--timings).
   bool timings = false;
+  // Fault-injection override for the faults_* scenario family: when set,
+  // the scenario replays this plan instead of its built-in one.  Borrowed,
+  // never owned; must outlive the run.
+  const cloud::FaultPlan* fault_plan = nullptr;
 };
 
 // One point of an expanded sweep: a binding of every axis parameter to one
@@ -92,6 +100,8 @@ class RunContext {
 
   const ScenarioSpec& spec() const { return spec_; }
   bool smoke() const { return options_.smoke; }
+  // Fault-plan override injected through RunOptions (null = scenario default).
+  const cloud::FaultPlan* fault_plan() const { return options_.fault_plan; }
 
   // A report pre-seeded with the scenario's name/title and smoke flag.
   report::Report MakeReport() const;

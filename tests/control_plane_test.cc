@@ -1,0 +1,327 @@
+// Sharded control plane and lease protocol: id-stride ownership, global
+// zombie-first allocation across shards, shards=1 equivalence with the
+// classic single controller, lease grant/renew/expiry semantics, expiry
+// cleanup (orphaned buffers must be 0), deferred cleanup while a shard's
+// primary is down, per-shard failover, and the detailed escalation statuses
+// of GS_reclaim / GS_alloc_ext.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/remotemem/global_controller.h"
+#include "src/remotemem/lease.h"
+#include "src/remotemem/sharded_plane.h"
+
+namespace zombie::remotemem {
+namespace {
+
+constexpr Bytes kBuff = 4 * kMiB;
+
+std::vector<BufferGrant> MakeGrants(std::size_t n, ServerId host, Bytes size = kBuff) {
+  std::vector<BufferGrant> grants;
+  for (std::size_t i = 0; i < n; ++i) {
+    grants.push_back({kInvalidBuffer, /*rkey=*/1000 + i, size, host, BufferType::kZombie});
+  }
+  return grants;
+}
+
+// ---------------------------------------------------------------------------
+// LeaseManager.
+// ---------------------------------------------------------------------------
+
+TEST(LeaseManager, GrantRenewExpireEpochs) {
+  LeaseManager leases(LeaseConfig{.ttl = 300});
+  EXPECT_EQ(leases.Grant(7, 0), 1u);
+  EXPECT_TRUE(leases.IsLive(7, 300));   // deadline is inclusive
+  EXPECT_FALSE(leases.IsLive(7, 301));
+
+  // Renewal pushes the deadline; epoch is unchanged.
+  EXPECT_TRUE(leases.Renew(7, 200).ok());
+  EXPECT_TRUE(leases.IsLive(7, 500));
+  EXPECT_EQ(leases.epoch(7), 1u);
+
+  // Expiry sweep reports each lapsed host once, in ascending order.
+  leases.Grant(3, 200);
+  auto lapsed = leases.ExpireDue(501);
+  ASSERT_EQ(lapsed.size(), 2u);
+  EXPECT_EQ(lapsed[0], 3u);
+  EXPECT_EQ(lapsed[1], 7u);
+  EXPECT_TRUE(leases.ExpireDue(600).empty());
+
+  // An expired lease cannot be renewed, only re-granted (epoch bump).
+  EXPECT_EQ(leases.Renew(7, 600).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(leases.Touch(7, 600), 2u);
+  EXPECT_TRUE(leases.IsLive(7, 700));
+  // Touch on a live lease renews without an epoch bump.
+  EXPECT_EQ(leases.Touch(7, 700), 2u);
+  // Never-granted hosts: Renew fails, epoch is 0.
+  EXPECT_EQ(leases.Renew(99, 0).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(leases.epoch(99), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded plane fixture: 4 hosts + 2 users on a configurable shard count.
+// ---------------------------------------------------------------------------
+
+class ShardedPlaneTest : public ::testing::Test {
+ protected:
+  static constexpr ServerId kZ1 = 1, kZ2 = 2, kZ3 = 3, kZ4 = 4;
+  static constexpr ServerId kUserA = 5, kUserB = 6;
+
+  static ShardedControlPlane MakePlane(std::size_t shards) {
+    PlaneConfig config;
+    config.buff_size = kBuff;
+    config.shards = shards;
+    ShardedControlPlane plane(config);
+    for (ServerId s : {kZ1, kZ2, kZ3, kZ4, kUserA, kUserB}) {
+      plane.RegisterServer(s);
+      plane.GrantLease(s, 0);
+    }
+    return plane;
+  }
+};
+
+TEST_F(ShardedPlaneTest, IdStrideOwnershipRoutesToHomeShard) {
+  auto plane = MakePlane(3);
+  for (ServerId host : {kZ1, kZ2, kZ3, kZ4}) {
+    auto ids = plane.GsGotoZombie(host, MakeGrants(3, host));
+    ASSERT_TRUE(ids.ok());
+    const std::size_t home = plane.ShardOfHost(host);
+    for (BufferId id : ids.value()) {
+      // Minted ids carry the home shard's residue, so ownership of any id
+      // is computable without a lookup table.
+      EXPECT_EQ(plane.ShardOfBuffer(id), home);
+      EXPECT_TRUE(plane.primary(home).db().Find(id).has_value());
+    }
+  }
+  // Every shard holds only its own residue class.
+  EXPECT_TRUE(plane.CheckInvariants().ok());
+  for (std::size_t k = 0; k < plane.shard_count(); ++k) {
+    for (const auto& rec : plane.primary(k).db().records()) {
+      EXPECT_EQ(plane.ShardOfBuffer(rec.id), k);
+    }
+  }
+}
+
+TEST_F(ShardedPlaneTest, ZombieMemoryBeatsActiveAcrossShards) {
+  auto plane = MakePlane(2);
+  // Zombie memory on shard 0 only (host 1); active slack on both shards.
+  ASSERT_TRUE(plane.GsGotoZombie(kZ1, MakeGrants(2, kZ1)).ok());
+  auto active1 = MakeGrants(2, kZ2);
+  auto active2 = MakeGrants(2, kZ3);
+  ASSERT_TRUE(plane.DelegateActiveBuffers(kZ2, active1).ok());
+  ASSERT_TRUE(plane.DelegateActiveBuffers(kZ3, active2).ok());
+
+  // kUserB's home shard is 1, which holds NO zombie memory — the plane must
+  // still hand out every zombie buffer (shard 0) before any active one.
+  auto grants = plane.GsAllocExt(kUserB, 3 * kBuff);
+  ASSERT_TRUE(grants.ok());
+  ASSERT_EQ(grants.value().size(), 3u);
+  EXPECT_EQ(grants.value()[0].type, BufferType::kZombie);
+  EXPECT_EQ(grants.value()[1].type, BufferType::kZombie);
+  EXPECT_EQ(grants.value()[2].type, BufferType::kActive);
+  EXPECT_TRUE(plane.CheckInvariants().ok());
+}
+
+TEST_F(ShardedPlaneTest, SingleShardMatchesClassicController) {
+  auto plane = MakePlane(1);
+  GlobalMemoryController classic(ControllerConfig{.buff_size = kBuff});
+  for (ServerId s : {kZ1, kZ2, kZ3, kZ4, kUserA, kUserB}) {
+    classic.RegisterServer(s);
+  }
+  auto plane_ids = plane.GsGotoZombie(kZ1, MakeGrants(3, kZ1));
+  auto classic_ids = classic.GsGotoZombie(kZ1, MakeGrants(3, kZ1));
+  ASSERT_TRUE(plane_ids.ok());
+  ASSERT_TRUE(classic_ids.ok());
+  EXPECT_EQ(plane_ids.value(), classic_ids.value());  // classic 1, 2, 3...
+
+  auto plane_grants = plane.GsAllocExt(kUserA, 2 * kBuff);
+  auto classic_grants = classic.GsAllocExt(kUserA, 2 * kBuff);
+  ASSERT_TRUE(plane_grants.ok());
+  ASSERT_TRUE(classic_grants.ok());
+  ASSERT_EQ(plane_grants.value().size(), classic_grants.value().size());
+  for (std::size_t i = 0; i < plane_grants.value().size(); ++i) {
+    EXPECT_EQ(plane_grants.value()[i].id, classic_grants.value()[i].id);
+    EXPECT_EQ(plane_grants.value()[i].host, classic_grants.value()[i].host);
+  }
+}
+
+// Records US_reclaim notices; lends nothing.
+class RecordingAgents final : public AgentDirectory {
+ public:
+  Status ReclaimFromUser(ServerId user, const std::vector<BufferId>& buffers) override {
+    for (BufferId id : buffers) {
+      reclaimed.emplace_back(user, id);
+    }
+    return Status::Ok();
+  }
+  Bytes RequestActiveDelegation(ServerId, Bytes) override { return 0; }
+
+  std::vector<std::pair<ServerId, BufferId>> reclaimed;
+};
+
+TEST_F(ShardedPlaneTest, LeaseExpiryCleansUpWithoutOrphans) {
+  auto plane = MakePlane(2);
+  RecordingAgents agents;
+  plane.set_agents(&agents);
+  ASSERT_TRUE(plane.GsGotoZombie(kZ1, MakeGrants(3, kZ1)).ok());
+  ASSERT_TRUE(plane.GsGotoZombie(kZ2, MakeGrants(3, kZ2)).ok());
+  auto grants = plane.GsAllocExt(kUserA, 4 * kBuff);
+  ASSERT_TRUE(grants.ok());
+
+  // Everyone but kZ1 renews; kZ1's lease lapses at the deadline sweep.
+  const SimTime later = 250 * kMillisecond;
+  for (ServerId s : {kZ2, kZ3, kZ4, kUserA, kUserB}) {
+    plane.RenewLease(s, later);
+  }
+  auto expired = plane.ExpireLeases(400 * kMillisecond);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].host, kZ1);
+  EXPECT_EQ(expired[0].hosted_dropped.size(), 3u);  // all of kZ1's buffers
+  EXPECT_TRUE(expired[0].used_released.empty());    // kZ1 consumed nothing
+
+  // Users of the dead host's allocated buffers got US_reclaim notices.
+  EXPECT_FALSE(agents.reclaimed.empty());
+  for (const auto& [user, id] : agents.reclaimed) {
+    EXPECT_EQ(user, kUserA);
+    EXPECT_EQ(plane.ShardOfBuffer(id), plane.ShardOfHost(kZ1));
+  }
+  // The invariant the fault scenarios gate on: nothing orphaned, state sane.
+  EXPECT_TRUE(plane.OrphanedBuffers(400 * kMillisecond).empty());
+  EXPECT_TRUE(plane.CheckInvariants().ok());
+  EXPECT_FALSE(plane.IsZombie(kZ1));
+}
+
+TEST_F(ShardedPlaneTest, ExpiryCleanupDefersWhileShardPrimaryIsDown) {
+  auto plane = MakePlane(2);
+  RecordingAgents agents;
+  plane.set_agents(&agents);
+  ASSERT_TRUE(plane.GsGotoZombie(kZ1, MakeGrants(2, kZ1)).ok());
+
+  // kZ1's home shard primary dies, then kZ1's lease lapses: the cleanup
+  // cannot run against a frozen shard, so it is deferred.
+  const std::size_t home = plane.ShardOfHost(kZ1);
+  plane.FailShardPrimary(home);
+  for (ServerId s : {kZ2, kZ3, kZ4, kUserA, kUserB}) {
+    plane.RenewLease(s, 250 * kMillisecond);
+  }
+  auto expired = plane.ExpireLeases(400 * kMillisecond);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_TRUE(expired[0].hosted_dropped.empty());  // deferred, nothing dropped
+
+  // Shard recovers; the next sweep completes the deferred cleanup.
+  plane.ReviveShardPrimary(home);
+  auto second = plane.ExpireLeases(500 * kMillisecond);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].host, kZ1);
+  EXPECT_EQ(second[0].hosted_dropped.size(), 2u);
+  EXPECT_TRUE(plane.OrphanedBuffers(500 * kMillisecond).empty());
+  EXPECT_TRUE(plane.CheckInvariants().ok());
+}
+
+TEST_F(ShardedPlaneTest, ShardFailoverPromotesSecondaryAndPreservesState) {
+  auto plane = MakePlane(2);
+  ASSERT_TRUE(plane.GsGotoZombie(kZ1, MakeGrants(3, kZ1)).ok());
+  auto grants = plane.GsAllocExt(kUserA, 2 * kBuff);
+  ASSERT_TRUE(grants.ok());
+
+  const std::size_t home = plane.ShardOfHost(kZ1);
+  plane.FailShardPrimary(home);
+  EXPECT_FALSE(plane.shard_alive(home));
+  // Calls routed to the dead shard fail fast and name it.
+  auto blocked = plane.GsGotoZombie(kZ1, MakeGrants(1, kZ1));
+  EXPECT_EQ(blocked.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(blocked.status().message().find("shard"), std::string::npos);
+
+  // The warm secondary notices the missed beats and promotes its replica.
+  std::vector<std::size_t> promoted;
+  for (int i = 0; i < 3 && promoted.empty(); ++i) {
+    promoted = plane.PumpHeartbeats();
+  }
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(promoted[0], home);
+  EXPECT_TRUE(plane.shard_alive(home));
+
+  // The promoted primary carries the full replica: our allocation is still
+  // tracked, release round-trips, invariants hold.
+  EXPECT_TRUE(plane.GsRelease(kUserA, {grants.value()[0].id}).ok());
+  EXPECT_FALSE(plane.GsRelease(kUserB, {grants.value()[1].id}).ok());
+  EXPECT_TRUE(plane.CheckInvariants().ok());
+  // The other shard's pair was never disturbed.
+  EXPECT_FALSE(plane.secondary(1 - home).failed_over());
+}
+
+// ---------------------------------------------------------------------------
+// Detailed escalation statuses (which buffers / which hosts failed).
+// ---------------------------------------------------------------------------
+
+// Refuses US_reclaim, lends nothing: both escalation paths fail.
+class RefusingAgents final : public AgentDirectory {
+ public:
+  Status ReclaimFromUser(ServerId user, const std::vector<BufferId>&) override {
+    return Status(ErrorCode::kUnavailable,
+                  "agent " + std::to_string(user) + " unreachable");
+  }
+  Bytes RequestActiveDelegation(ServerId, Bytes) override { return 0; }
+};
+
+TEST(ControllerEscalation, GsReclaimNamesFailedUsersAndBuffers) {
+  GlobalMemoryController ctr(ControllerConfig{.buff_size = kBuff});
+  RefusingAgents agents;
+  ctr.set_agents(&agents);
+  for (ServerId s : {1, 2}) {
+    ctr.RegisterServer(s);
+  }
+  auto ids = ctr.GsGotoZombie(1, MakeGrants(2, 1));
+  ASSERT_TRUE(ids.ok());
+  ASSERT_TRUE(ctr.GsAllocExt(2, 2 * kBuff).ok());  // both buffers now used
+
+  // Reclaiming allocated buffers needs US_reclaim; the agent refuses, so the
+  // status names the user and the exact buffers, and nothing is erased.
+  auto reclaimed = ctr.GsReclaim(1, 2);
+  ASSERT_FALSE(reclaimed.ok());
+  EXPECT_EQ(reclaimed.code(), ErrorCode::kUnavailable);
+  const std::string message = reclaimed.status().message();
+  EXPECT_NE(message.find("US_reclaim failed for user 2"), std::string::npos) << message;
+  for (BufferId id : ids.value()) {
+    EXPECT_NE(message.find(std::to_string(id)), std::string::npos) << message;
+  }
+  EXPECT_EQ(ctr.db().size(), 2u);  // failed reclaim left the db untouched
+  EXPECT_EQ(ctr.db().free_count(), 0u);
+}
+
+TEST(ControllerEscalation, GsAllocExtReportsEscalationLedger) {
+  GlobalMemoryController ctr(ControllerConfig{.buff_size = kBuff});
+  RefusingAgents agents;
+  ctr.set_agents(&agents);
+  for (ServerId s : {1, 2, 3}) {
+    ctr.RegisterServer(s);
+  }
+  ASSERT_TRUE(ctr.GsGotoZombie(1, MakeGrants(1, 1)).ok());
+
+  // Want 3, pool holds 1, escalation to hosts 2 (host 3 is the user) lends
+  // nothing: the failure itemises every AS_get_free_mem result.
+  auto grants = ctr.GsAllocExt(3, 3 * kBuff);
+  ASSERT_FALSE(grants.ok());
+  EXPECT_EQ(grants.code(), ErrorCode::kOutOfMemory);
+  const std::string message = grants.status().message();
+  EXPECT_NE(message.find("wanted 3 buffers, granted 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("AS_get_free_mem(host 2) -> 0 B"), std::string::npos) << message;
+  EXPECT_EQ(message.find("AS_get_free_mem(host 3)"), std::string::npos) << message;
+  // All-or-nothing: the one granted buffer was rolled back.
+  EXPECT_EQ(ctr.FreeRemoteBytes(), kBuff);
+}
+
+TEST(ControllerEscalation, DisabledEscalationSaysSo) {
+  GlobalMemoryController ctr(
+      ControllerConfig{.buff_size = kBuff, .allow_escalation = false});
+  ctr.RegisterServer(1);
+  auto grants = ctr.GsAllocExt(1, kBuff);
+  ASSERT_FALSE(grants.ok());
+  EXPECT_NE(grants.status().message().find("escalation disabled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zombie::remotemem

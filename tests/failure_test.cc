@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/cloud/faults.h"
 #include "src/cloud/rack.h"
 #include "src/hv/backend.h"
 #include "src/remotemem/memory_manager.h"
@@ -188,6 +189,108 @@ TEST_F(FailureTest, DelegationFailureLeavesNoRegions) {
   EXPECT_FALSE(delegated.ok());
   EXPECT_TRUE(mgr.delegated().empty());
   EXPECT_EQ(rack_.controller().FreeRemoteBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lease protocol end-to-end: silent host death, fabric partitions and the
+// FaultInjector, all driven through Rack::Tick's simulated time.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailureTest, SilentHostDeathExpiresLeaseAndLeavesNoOrphans) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  auto extent = rack_.manager(user_->id()).AllocExtension(8 * kMiB);
+  ASSERT_TRUE(extent.ok());
+  ASSERT_TRUE(extent.value()->WritePage(3, {}).ok());
+
+  // The host drops off the fabric without a word: the control plane can only
+  // learn through the missed-heartbeat deadline (ttl = 3 ticks).
+  ASSERT_TRUE(rack_.KillHost(zombie_->id()).ok());
+  std::vector<remotemem::ExpiryRecord> expired;
+  for (int i = 0; i < 6 && expired.empty(); ++i) {
+    expired = rack_.Tick();
+  }
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].host, zombie_->id());
+  EXPECT_FALSE(expired[0].hosted_dropped.empty());
+
+  // Cleanup was complete: no orphaned buffers, invariants hold, and the
+  // US_reclaim notice flipped the extent to its local mirror.
+  EXPECT_TRUE(rack_.plane().OrphanedBuffers(rack_.now()).empty());
+  EXPECT_TRUE(rack_.plane().CheckInvariants().ok());
+  EXPECT_TRUE(extent.value()->ReadPage(3, {}).ok());
+  EXPECT_GT(extent.value()->mirror_reads(), 0u);
+  // The dead host's lease is gone for good until it re-registers.
+  EXPECT_FALSE(rack_.plane().LeaseLive(zombie_->id(), rack_.now()));
+}
+
+TEST_F(FailureTest, PartitionHealReadmitsHostsWithBumpedEpoch) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  const std::uint64_t epoch_before = rack_.plane().LeaseEpoch(user_->id());
+  ASSERT_GT(epoch_before, 0u);
+
+  // Cut every server off from the (single) controller shard: renewals fail,
+  // all leases lapse at the deadline even though the hosts are healthy.
+  rack_.SetShardPartition(0, /*broken=*/true);
+  std::vector<remotemem::ExpiryRecord> expired;
+  for (int i = 0; i < 6 && expired.empty(); ++i) {
+    expired = rack_.Tick();
+  }
+  ASSERT_EQ(expired.size(), 3u);  // user, zombie, spare — ascending by id
+  EXPECT_EQ(expired[0].host, user_->id());
+  EXPECT_FALSE(rack_.plane().LeaseLive(user_->id(), rack_.now()));
+
+  // Heal: the next renewal round re-admits every live host under a fresh
+  // lease epoch (a new incarnation, so stale grants can be fenced).
+  rack_.SetShardPartition(0, /*broken=*/false);
+  rack_.Tick();
+  EXPECT_TRUE(rack_.plane().LeaseLive(user_->id(), rack_.now()));
+  EXPECT_GT(rack_.plane().LeaseEpoch(user_->id()), epoch_before);
+  EXPECT_TRUE(rack_.plane().OrphanedBuffers(rack_.now()).empty());
+  EXPECT_TRUE(rack_.plane().CheckInvariants().ok());
+}
+
+TEST_F(FailureTest, HeartbeatDropShorterThanTtlIsAbsorbed) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  // Flaky NIC: the user misses one renewal window (< ttl), nothing expires.
+  rack_.DropHeartbeatsUntil(user_->id(), rack_.now() + 150 * kMillisecond);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(rack_.Tick().empty());
+  }
+  EXPECT_TRUE(rack_.plane().LeaseLive(user_->id(), rack_.now()));
+}
+
+TEST_F(FailureTest, FaultInjectorFiresPlanInSimTimeOrder) {
+  ASSERT_TRUE(rack_.PushToZombie(zombie_->id()).ok());
+  const Duration tick = TestRack().tick_period;
+
+  cloud::FaultPlan plan;
+  plan.events = {
+      {.at = 2 * tick, .kind = cloud::FaultKind::kControllerCrash, .shard = 0},
+      {.at = 5 * tick,
+       .kind = cloud::FaultKind::kPartition,
+       .shard = 0,
+       .duration = 2 * tick},
+      {.at = 12 * tick, .kind = cloud::FaultKind::kHostCrash, .host = zombie_->id()},
+  };
+  cloud::FaultInjector injector(&rack_, plan);
+  EXPECT_EQ(injector.fired(), 0u);
+
+  std::size_t expiries = 0;
+  for (int i = 0; i < 20; ++i) {
+    injector.AdvanceTo(rack_.now() + tick);
+    expiries += rack_.Tick().size();
+  }
+  EXPECT_EQ(injector.fired(), plan.events.size());
+  EXPECT_TRUE(injector.done());  // includes: the partition healed itself
+
+  // The controller crash was absorbed by failover, the short partition
+  // healed below the ttl, and only the host crash cost a lease.
+  EXPECT_TRUE(rack_.secondary().failed_over());
+  EXPECT_EQ(expiries, 1u);
+  EXPECT_FALSE(rack_.plane().LeaseLive(zombie_->id(), rack_.now()));
+  EXPECT_TRUE(rack_.plane().LeaseLive(user_->id(), rack_.now()));
+  EXPECT_TRUE(rack_.plane().OrphanedBuffers(rack_.now()).empty());
+  EXPECT_TRUE(rack_.plane().CheckInvariants().ok());
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "src/acpi/sleep_state.h"
 #include "src/cloud/admission.h"
 #include "src/cloud/consolidation.h"
+#include "src/cloud/faults.h"
 #include "src/cloud/oasis.h"
 #include "src/cloud/placement.h"
 #include "src/cloud/rack.h"
@@ -46,9 +47,12 @@
 #include "src/rdma/rpc.h"
 #include "src/rdma/verbs.h"
 #include "src/remotemem/buffer_db.h"
+#include "src/remotemem/control_plane.h"
 #include "src/remotemem/global_controller.h"
+#include "src/remotemem/lease.h"
 #include "src/remotemem/memory_manager.h"
 #include "src/remotemem/secondary_controller.h"
+#include "src/remotemem/sharded_plane.h"
 #include "src/remotemem/types.h"
 #include "src/remotemem/wire.h"
 #include "src/scenario/diff.h"

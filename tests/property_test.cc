@@ -248,6 +248,137 @@ TEST(BufferDbProperty, RandomOpsConserveBuffers) {
   }
 }
 
+// Richer randomized op sequences: typed inserts with gapped ids, assigns,
+// releases, erases and host retypes, checked against a shadow model for
+// id-sorted iteration order, byte-level free/used accounting, per-host and
+// per-user views, the Section 4.3 reclaim order, and Snapshot/Load round
+// trips (the failover-replica path must reproduce the DB exactly).
+TEST(BufferDbProperty, RandomOpsRoundTripAndStaySorted) {
+  ScopedSeedReporter seed_reporter;
+  for (std::uint64_t salt = 11; salt <= 14; ++salt) {
+    Rng rng(TestSeed(salt));
+    remotemem::BufferDb db;
+    std::map<remotemem::BufferId, remotemem::BufferRecord> model;
+    remotemem::BufferId next_id = 1;
+
+    auto check = [&] {
+      // Iteration order: strictly ascending ids, one record per model entry.
+      ASSERT_EQ(db.records().size(), model.size());
+      remotemem::BufferId previous = 0;
+      Bytes free_bytes = 0;
+      Bytes total_bytes = 0;
+      for (const auto& rec : db.records()) {
+        ASSERT_GT(rec.id, previous);
+        previous = rec.id;
+        auto it = model.find(rec.id);
+        ASSERT_NE(it, model.end());
+        EXPECT_EQ(rec.host, it->second.host);
+        EXPECT_EQ(rec.user, it->second.user);
+        EXPECT_EQ(rec.type, it->second.type);
+        EXPECT_EQ(rec.size, it->second.size);
+        total_bytes += rec.size;
+        if (rec.user == remotemem::kNilServer) {
+          free_bytes += rec.size;
+        }
+      }
+      EXPECT_EQ(db.FreeBytes(), free_bytes);
+      EXPECT_EQ(db.TotalBytes(), total_bytes);
+      // Per-host / per-user views agree with the model.
+      for (remotemem::ServerId host = 1; host <= 4; ++host) {
+        std::size_t hosted = 0;
+        std::size_t used = 0;
+        for (const auto& [id, rec] : model) {
+          hosted += rec.host == host ? 1 : 0;
+          used += rec.user == host + 100 ? 1 : 0;
+        }
+        EXPECT_EQ(db.BuffersOfHost(host).size(), hosted);
+        EXPECT_EQ(db.BuffersUsedBy(host + 100).size(), used);
+        // Reclaim order: free buffers first, then used, ascending within
+        // each group, covering every buffer of the host exactly once.
+        const auto order = db.ReclaimOrderForHost(host);
+        ASSERT_EQ(order.size(), hosted);
+        bool seen_used = false;
+        remotemem::BufferId last_free = 0;
+        remotemem::BufferId last_used = 0;
+        for (const auto& rec : order) {
+          if (rec.user == remotemem::kNilServer) {
+            EXPECT_FALSE(seen_used) << "free buffer after a used one";
+            EXPECT_GT(rec.id, last_free);
+            last_free = rec.id;
+          } else {
+            seen_used = true;
+            EXPECT_GT(rec.id, last_used);
+            last_used = rec.id;
+          }
+        }
+      }
+      // Snapshot -> Load round trip reproduces the DB byte for byte.
+      remotemem::BufferDb replica;
+      replica.Load(db.Snapshot());
+      ASSERT_EQ(replica.records().size(), db.records().size());
+      for (std::size_t i = 0; i < db.records().size(); ++i) {
+        const auto& a = db.records()[i];
+        const auto& b = replica.records()[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.offset, b.offset);
+        EXPECT_EQ(a.size, b.size);
+        EXPECT_EQ(a.host, b.host);
+        EXPECT_EQ(a.user, b.user);
+        EXPECT_EQ(a.type, b.type);
+      }
+      EXPECT_EQ(replica.free_count(), db.free_count());
+      EXPECT_EQ(replica.FreeBytes(), db.FreeBytes());
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+      const auto op = rng.NextBelow(5);
+      if (op == 0 || model.empty()) {
+        remotemem::BufferRecord rec;
+        rec.id = next_id;
+        next_id += 1 + rng.NextBelow(3);  // gapped ids (sharded id streams)
+        rec.size = (1 + rng.NextBelow(4)) * kMiB;
+        rec.host = static_cast<remotemem::ServerId>(1 + rng.NextBelow(4));
+        rec.type = rng.NextBool(0.5) ? remotemem::BufferType::kZombie
+                                     : remotemem::BufferType::kActive;
+        ASSERT_TRUE(db.Insert(rec).ok());
+        model[rec.id] = rec;
+      } else if (op == 4) {
+        const auto host = static_cast<remotemem::ServerId>(1 + rng.NextBelow(4));
+        const auto type = rng.NextBool(0.5) ? remotemem::BufferType::kZombie
+                                            : remotemem::BufferType::kActive;
+        db.RetypeHost(host, type);
+        for (auto& [id, rec] : model) {
+          if (rec.host == host) {
+            rec.type = type;
+          }
+        }
+      } else {
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng.NextBelow(model.size())));
+        const auto id = it->first;
+        if (op == 1) {
+          const auto user = static_cast<remotemem::ServerId>(101 + rng.NextBelow(4));
+          const Status st = db.Assign(id, user);
+          EXPECT_EQ(st.ok(), it->second.user == remotemem::kNilServer);
+          if (st.ok()) {
+            it->second.user = user;
+          }
+        } else if (op == 2) {
+          EXPECT_TRUE(db.Release(id).ok());
+          it->second.user = remotemem::kNilServer;
+        } else {
+          EXPECT_TRUE(db.Erase(id).ok());
+          model.erase(it);
+        }
+      }
+      if (step % 250 == 0) {
+        check();
+      }
+    }
+    check();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Energy-model physical orderings for randomly perturbed machines.
 // ---------------------------------------------------------------------------
