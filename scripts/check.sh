@@ -2,7 +2,7 @@
 # Full local verification, split into the stages the CI workflow runs as its
 # matrix (.github/workflows/ci.yml).  Run from anywhere inside the repo.
 #
-#   scripts/check.sh                  # tier1 scenario faults diff perf asan
+#   scripts/check.sh                  # tier1 scenario faults serve diff perf asan
 #   scripts/check.sh --fast           # same minus the sanitizer stage
 #   scripts/check.sh tier1 scenario   # just the named stages
 #
@@ -16,6 +16,10 @@
 #             unit suites + the faults_* scenario family), then the fault
 #             sweep re-run at -j 4 vs -j 1 — recovery must be deterministic
 #             and every sweep point must report zero orphaned buffers
+#   serve     online serving mode: the `serve` ctest label (stream/daemon
+#             unit suite + the serve_* scenario family smoke), then the
+#             serving sweeps re-run at -j 4 vs -j 1 — admission/placement
+#             tail latencies and shed rates must be byte-identical
 #   diff      regression gate: a fresh run of the catalog must stay within
 #             bench/tolerances.json of the checked-in BENCH_scenarios.json
 #             (`zombieland diff --fail-on-delta` exits 3 on any violation;
@@ -43,17 +47,17 @@ fi
 stages=()
 for arg in "$@"; do
   case "${arg}" in
-    --fast) stages+=(tier1 scenario faults diff perf) ;;
-    tier1|scenario|faults|diff|perf|asan|bench) stages+=("${arg}") ;;
+    --fast) stages+=(tier1 scenario faults serve diff perf) ;;
+    tier1|scenario|faults|serve|diff|perf|asan|bench) stages+=("${arg}") ;;
     *)
       echo "check.sh: unknown argument '${arg}'" >&2
-      echo "usage: scripts/check.sh [--fast] [tier1|scenario|faults|diff|perf|asan|bench ...]" >&2
+      echo "usage: scripts/check.sh [--fast] [tier1|scenario|faults|serve|diff|perf|asan|bench ...]" >&2
       exit 2
       ;;
   esac
 done
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(tier1 scenario faults diff perf asan)
+  stages=(tier1 scenario faults serve diff perf asan)
 fi
 
 total=${#stages[@]}
@@ -97,6 +101,22 @@ for stage in "${stages[@]}"; do
       ./build/zombieland run faults_controlplane faults_timeline --smoke \
         --format=json -j 4 --out=build/faults_j4.json
       cmp build/faults_j1.json build/faults_j4.json
+      ;;
+    serve)
+      echo "==> [${n}/${total}] online serving: ctest -L serve + deterministic SLO sweeps"
+      cmake -B build -S . "${cmake_args[@]}" >/dev/null
+      cmake --build build -j "${jobs}"
+      # The labelled surface: the stream/daemon unit suite plus the serve_*
+      # scenario family (serve_faults fails any sweep point that does not
+      # recover with zero orphaned buffers).
+      ctest --test-dir build -L serve --output-on-failure -j "${jobs}"
+      # Tail-latency percentiles and shed rates must not depend on sweep
+      # parallelism: the -j 4 render is byte-identical to the serial one.
+      ./build/zombieland run serve_steady serve_spike serve_faults --smoke \
+        --format=json -j 1 --out=build/serve_j1.json
+      ./build/zombieland run serve_steady serve_spike serve_faults --smoke \
+        --format=json -j 4 --out=build/serve_j4.json
+      cmp build/serve_j1.json build/serve_j4.json
       ;;
     diff)
       echo "==> [${n}/${total}] diff gate: fresh run vs BENCH_scenarios.json"

@@ -35,9 +35,19 @@ void RunningStats::Merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+std::string FormatPercentileSummary(const PercentileSummary& summary, int precision) {
+  if (summary.count == 0) {
+    return "no samples";
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p50 %.*f / p99 %.*f / p999 %.*f", precision, summary.p50,
+                precision, summary.p99, precision, summary.p999);
+  return buf;
+}
+
 double Percentiles::Percentile(double p) {
   if (samples_.empty()) {
-    return 0.0;
+    return 0.0;  // defined sentinel for the empty-sample case (see stats.h)
   }
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -49,6 +59,18 @@ double Percentiles::Percentile(double p) {
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+PercentileSummary Percentiles::Summary() {
+  PercentileSummary summary;
+  summary.count = samples_.size();
+  if (summary.count == 0) {
+    return summary;
+  }
+  summary.p50 = Percentile(50.0);
+  summary.p99 = Percentile(99.0);
+  summary.p999 = Percentile(99.9);
+  return summary;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

@@ -122,6 +122,46 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(EventQueue, TiesFollowInsertionNotTimestampOfInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  // Interleave two timestamps: ties at each instant must replay the order
+  // the events were scheduled in, independent of the other instant.
+  q.ScheduleAt(20, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(4); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, TiesSurviveCancellationOfEarlierInsertions) {
+  EventQueue q;
+  std::vector<int> order;
+  auto a = q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.ScheduleAt(10, [&] { order.push_back(3); });
+  q.Cancel(a);
+  // Cancelling the first tied event must not reorder the survivors.
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(EventQueue, EventScheduledAtNowRunsAfterAlreadyQueuedTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] {
+    order.push_back(1);
+    // Scheduled mid-dispatch at the current instant: insertion order says it
+    // runs after the events already queued for t=10, not before.
+    q.ScheduleAt(10, [&] { order.push_back(3); });
+  });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 10);
+}
+
 TEST(EventQueue, RunUntilStopsAtDeadline) {
   EventQueue q;
   int fired = 0;
@@ -298,6 +338,48 @@ TEST(Percentiles, MedianAndTails) {
   EXPECT_NEAR(p.Percentile(0), 1.0, 1e-9);
   EXPECT_NEAR(p.Percentile(100), 100.0, 1e-9);
   EXPECT_NEAR(p.Percentile(99), 99.01, 0.011);
+}
+
+TEST(Percentiles, EmptySampleSetIsDefinedZero) {
+  Percentiles p;
+  // The documented empty-set contract: 0.0 sentinel, never NaN, and the
+  // Summary carries count == 0 so callers can tell "empty" from "all zero".
+  EXPECT_EQ(p.Percentile(50), 0.0);
+  EXPECT_EQ(p.Median(), 0.0);
+  const PercentileSummary s = p.Summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.p999, 0.0);
+  EXPECT_EQ(FormatPercentileSummary(s), "no samples");
+}
+
+TEST(Percentiles, LinearInterpolationBetweenClosestRanks) {
+  Percentiles p;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) {
+    p.Add(x);
+  }
+  // rank = p/100 * (n-1): p=50 on 4 samples lands at rank 1.5 -> 25.0.
+  EXPECT_NEAR(p.Percentile(50), 25.0, 1e-9);
+  EXPECT_NEAR(p.Percentile(25), 17.5, 1e-9);
+  // Out-of-range p clamps to the extremes.
+  EXPECT_NEAR(p.Percentile(-5), 10.0, 1e-9);
+  EXPECT_NEAR(p.Percentile(200), 40.0, 1e-9);
+}
+
+TEST(Percentiles, SummaryMatchesIndividualQueries) {
+  Percentiles p;
+  for (int i = 0; i < 2000; ++i) {
+    p.Add(static_cast<double>(i));
+  }
+  PercentileSummary s = p.Summary();
+  EXPECT_EQ(s.count, 2000u);
+  EXPECT_NEAR(s.p50, p.Percentile(50), 1e-9);
+  EXPECT_NEAR(s.p99, p.Percentile(99), 1e-9);
+  EXPECT_NEAR(s.p999, p.Percentile(99.9), 1e-9);
+  EXPECT_LT(s.p50, s.p99);
+  EXPECT_LT(s.p99, s.p999);
+  EXPECT_FALSE(FormatPercentileSummary(s).empty());
 }
 
 TEST(Histogram, BucketsAndClamping) {

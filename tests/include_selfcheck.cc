@@ -62,6 +62,10 @@
 #include "src/scenario/spec.h"
 #include "src/scenario/testbed.h"
 #include "src/scenario/work_queue.h"
+#include "src/serve/daemon.h"
+#include "src/serve/metrics.h"
+#include "src/serve/request.h"
+#include "src/serve/stream.h"
 #include "src/sim/cooling.h"
 #include "src/sim/dc_sim.h"
 #include "src/sim/trace.h"

@@ -1,0 +1,246 @@
+// Tests for the online serving mode: the seeded request stream, the
+// ServeDaemon's admission/backpressure loop, and fault composition through
+// cloud::FaultPlan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/cloud/faults.h"
+#include "src/serve/daemon.h"
+#include "src/serve/metrics.h"
+#include "src/serve/request.h"
+#include "src/serve/stream.h"
+
+namespace zombie::serve {
+namespace {
+
+StreamConfig SmallStream() {
+  StreamConfig config;
+  config.seed = 7;
+  config.rate_per_s = 20.0;
+  config.horizon = 3 * kSecond;
+  config.mean_lifetime = 1 * kSecond;
+  config.min_memory = 1 * kGiB;
+  config.max_memory = 2 * kGiB;
+  config.memory_step = 1 * kGiB;
+  config.vcpus = 1;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// RequestStream.
+// ---------------------------------------------------------------------------
+
+TEST(RequestStream, DeterministicForSameSeed) {
+  RequestStream a(SmallStream());
+  RequestStream b(SmallStream());
+  const auto ta = a.Generate();
+  const auto tb = b.Generate();
+  ASSERT_EQ(ta.size(), tb.size());
+  ASSERT_FALSE(ta.empty());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].at, tb[i].at);
+    EXPECT_EQ(ta[i].kind, tb[i].kind);
+    EXPECT_EQ(ta[i].tenant, tb[i].tenant);
+    EXPECT_EQ(ta[i].vm.id, tb[i].vm.id);
+    EXPECT_EQ(ta[i].vm.reserved_memory, tb[i].vm.reserved_memory);
+  }
+}
+
+TEST(RequestStream, DifferentSeedsDiffer) {
+  StreamConfig other = SmallStream();
+  other.seed = 8;
+  const auto ta = RequestStream(SmallStream()).Generate();
+  const auto tb = RequestStream(other).Generate();
+  bool same = ta.size() == tb.size();
+  if (same) {
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      if (ta[i].at != tb[i].at) {
+        same = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(RequestStream, TimelineSortedAndPairedArriveDepart) {
+  const auto timeline = RequestStream(SmallStream()).Generate();
+  std::map<hv::VmId, int> arrivals;
+  std::map<hv::VmId, int> departures;
+  SimTime prev = 0;
+  for (const Request& req : timeline) {
+    EXPECT_GE(req.at, prev);
+    prev = req.at;
+    if (req.kind == RequestKind::kArrive) {
+      arrivals[req.vm.id]++;
+      EXPECT_GT(req.vm.reserved_memory, 0u);
+      EXPECT_GT(req.vm.vcpus, 0u);
+    } else if (req.kind == RequestKind::kDepart) {
+      departures[req.vm.id]++;
+    }
+  }
+  // Every VM arrives exactly once and departs exactly once.
+  EXPECT_EQ(arrivals.size(), departures.size());
+  for (const auto& [vm, n] : arrivals) {
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(departures[vm], 1);
+  }
+}
+
+TEST(RequestStream, FlashCrowdConcentratesArrivalsInBurst) {
+  StreamConfig config = SmallStream();
+  config.process = ArrivalProcess::kFlashCrowd;
+  config.horizon = 10 * kSecond;
+  config.rate_per_s = 10.0;
+  config.burst_start = 4 * kSecond;
+  config.burst_duration = 2 * kSecond;
+  config.burst_multiplier = 8.0;
+  RequestStream stream(config);
+  EXPECT_NEAR(stream.RateAt(1 * kSecond), 10.0, 1e-9);
+  EXPECT_NEAR(stream.RateAt(5 * kSecond), 80.0, 1e-9);
+  EXPECT_NEAR(stream.PeakRate(), 80.0, 1e-9);
+  std::size_t in_burst = 0;
+  std::size_t outside = 0;
+  for (const Request& req : stream.Generate()) {
+    if (req.kind != RequestKind::kArrive) {
+      continue;
+    }
+    const bool burst =
+        req.at >= config.burst_start && req.at < config.burst_start + config.burst_duration;
+    (burst ? in_burst : outside)++;
+  }
+  // 2s at 80/s vs 8s at 10/s: the burst window should out-arrive the rest.
+  EXPECT_GT(in_burst, outside);
+}
+
+// ---------------------------------------------------------------------------
+// ServeDaemon.
+// ---------------------------------------------------------------------------
+
+ServeConfig SmallRack() {
+  ServeConfig config;
+  config.hosts = 1;
+  config.zombies = 2;
+  config.host_capacity = {.cpus = 8, .memory = 8 * kGiB};
+  config.admission_service = 1 * kMillisecond;
+  return config;
+}
+
+TEST(ServeDaemon, ConservesEveryArrival) {
+  ServeDaemon daemon(SmallRack());
+  const auto timeline = RequestStream(SmallStream()).Generate();
+  ASSERT_TRUE(daemon.Run(timeline).ok());
+  ServeMetrics& m = daemon.metrics();
+  EXPECT_GT(m.arrivals, 0u);
+  // Every arrival is either admitted or shed at the gate (queue-full and
+  // queue-timeout sheds happen after admission, so they are not in this sum)...
+  const std::uint64_t gate_sheds =
+      m.shed[static_cast<std::size_t>(ShedReason::kThrottled)] +
+      m.shed[static_cast<std::size_t>(ShedReason::kTenantQuota)] +
+      m.shed[static_cast<std::size_t>(ShedReason::kRackBudget)];
+  EXPECT_EQ(m.arrivals, m.admitted + gate_sheds);
+  // ...and after the full timeline drains nothing is left hosted or queued.
+  EXPECT_EQ(daemon.live_vms(), 0u);
+  EXPECT_EQ(daemon.queued(), 0u);
+  EXPECT_TRUE(daemon.CheckHealth().ok());
+  EXPECT_EQ(daemon.admission().admitted_memory(), 0u);
+}
+
+TEST(ServeDaemon, BoundedQueueShedsWhenFull) {
+  ServeConfig config = SmallRack();
+  config.zombies = 0;  // no spare capacity to wake
+  // An over-generous gate admits far more than the one host can place, so
+  // pressure lands on the bounded queue instead of the rack budget.
+  config.admission.memory_headroom = 4.0;
+  config.admission.cpu_overcommit = 8.0;
+  config.queue_depth = 2;
+  config.queue_timeout = 30 * kSecond;  // only the depth bound can shed
+  StreamConfig stream = SmallStream();
+  stream.rate_per_s = 60.0;
+  stream.mean_lifetime = 20 * kSecond;  // hosted VMs never leave in-horizon
+  ServeDaemon daemon(config);
+  ASSERT_TRUE(daemon.Run(RequestStream(stream).Generate()).ok());
+  EXPECT_GT(daemon.metrics().shed[static_cast<std::size_t>(ShedReason::kQueueFull)], 0u);
+  EXPECT_TRUE(daemon.CheckHealth().ok());
+}
+
+TEST(ServeDaemon, QueueTimeoutShedsAndReleasesAdmission) {
+  ServeConfig config = SmallRack();
+  config.zombies = 0;
+  config.admission.memory_headroom = 4.0;
+  config.admission.cpu_overcommit = 8.0;
+  config.queue_depth = 64;
+  config.queue_timeout = 200 * kMillisecond;
+  StreamConfig stream = SmallStream();
+  stream.rate_per_s = 40.0;
+  stream.mean_lifetime = 20 * kSecond;
+  ServeDaemon daemon(config);
+  ASSERT_TRUE(daemon.Run(RequestStream(stream).Generate()).ok());
+  EXPECT_GT(daemon.metrics().shed[static_cast<std::size_t>(ShedReason::kQueueTimeout)], 0u);
+  // Shed requests must release their admission: at drain time the gate's
+  // books only hold VMs that are actually placed (none, at the end).
+  EXPECT_EQ(daemon.queued(), 0u);
+  EXPECT_TRUE(daemon.CheckHealth().ok());
+}
+
+TEST(ServeDaemon, BackpressureWakesZombies) {
+  ServeConfig config = SmallRack();
+  config.hosts = 1;
+  config.zombies = 3;
+  StreamConfig stream = SmallStream();
+  stream.rate_per_s = 40.0;
+  stream.mean_lifetime = 30 * kSecond;  // the backlog stays queued until the wake
+  ServeDaemon daemon(config);
+  const std::size_t asleep_before = daemon.sleeping_zombies().size();
+  ASSERT_TRUE(daemon.Run(RequestStream(stream).Generate()).ok());
+  EXPECT_GT(daemon.metrics().zombie_wakes, 0u);
+  EXPECT_LT(daemon.sleeping_zombies().size(), asleep_before);
+  EXPECT_GT(daemon.metrics().migration_stall_ms.count(), 0u);
+  EXPECT_TRUE(daemon.CheckHealth().ok());
+}
+
+TEST(ServeDaemon, ThrottleShedsAtTypedReason) {
+  ServeConfig config = SmallRack();
+  config.throttle = {.rate_per_s = 5.0, .burst = 1.0};
+  StreamConfig stream = SmallStream();
+  stream.rate_per_s = 40.0;
+  ServeDaemon daemon(config);
+  ASSERT_TRUE(daemon.Run(RequestStream(stream).Generate()).ok());
+  EXPECT_GT(daemon.metrics().shed[static_cast<std::size_t>(ShedReason::kThrottled)], 0u);
+}
+
+TEST(ServeDaemon, ComposesExternalFaultPlan) {
+  ServeDaemon daemon(SmallRack());
+  ASSERT_FALSE(daemon.sleeping_zombies().empty());
+  cloud::FaultPlan plan;
+  plan.events.push_back({.at = 1 * kSecond,
+                         .kind = cloud::FaultKind::kHostCrash,
+                         .host = daemon.sleeping_zombies().back()});
+  plan.events.push_back({.at = 1500 * kMillisecond,
+                         .kind = cloud::FaultKind::kControllerCrash,
+                         .shard = 0});
+  ASSERT_TRUE(daemon.Run(RequestStream(SmallStream()).Generate(), &plan).ok());
+  // The crashed zombie's memory must have left the admission budget, the
+  // pool must heal with zero orphaned buffers, and the run still drains.
+  EXPECT_TRUE(daemon.CheckHealth().ok());
+  EXPECT_EQ(daemon.queued(), 0u);
+}
+
+TEST(ServeDaemon, RepeatRunsProduceIdenticalMetrics) {
+  const auto timeline = RequestStream(SmallStream()).Generate();
+  auto run = [&timeline]() {
+    ServeDaemon daemon(SmallRack());
+    EXPECT_TRUE(daemon.Run(timeline).ok());
+    return std::make_tuple(daemon.metrics().admitted, daemon.metrics().placed,
+                           daemon.metrics().TotalShed(), daemon.metrics().zombie_wakes,
+                           daemon.metrics().admission_wait_ms.Summary().p99,
+                           daemon.metrics().placement_ms.Summary().p999);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace zombie::serve
