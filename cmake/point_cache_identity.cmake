@@ -1,0 +1,85 @@
+# ctest gate: the per-point result cache may not change a result.
+#   * two warm cached runs must be byte-identical to each other, with the
+#     driver reporting all-hit counts on stderr;
+#   * a warm (replayed) run must agree with the cold (fresh) run on every
+#     scenario, point and metric — `diff --fail-on-delta`, tolerance 0;
+#   * --no-point-cache must beat --point-cache and run fresh, byte-identical
+#     to a plain uncached run.
+#
+# The scenario set mixes cacheable sweeps (fig08, hotloop_threaded) with an
+# uncacheable one (faults_timeline) so the opt-in boundary is exercised.
+#
+# Invoked as:
+#   cmake -DZOMBIELAND=<path> -DWORK_DIR=<dir> -P point_cache_identity.cmake
+if(NOT DEFINED ZOMBIELAND OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "point_cache_identity.cmake needs -DZOMBIELAND= and -DWORK_DIR=")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(cache_dir "${WORK_DIR}/cache")
+set(names fig08 hotloop_threaded faults_timeline)
+
+function(run_once out_file err_var)
+  execute_process(
+    COMMAND "${ZOMBIELAND}" run ${names} --smoke --format=json ${ARGN}
+            --out=${out_file}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "zombieland run ${ARGN} failed (exit ${rc}):\n${err}")
+  endif()
+  set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+run_once("${WORK_DIR}/uncached.json" uncached_err --no-point-cache)
+run_once("${WORK_DIR}/cold.json" cold_err --point-cache=${cache_dir})
+run_once("${WORK_DIR}/warm1.json" warm1_err --point-cache=${cache_dir})
+run_once("${WORK_DIR}/warm2.json" warm2_err --point-cache=${cache_dir})
+# --no-point-cache wins over --point-cache, in either order.
+run_once("${WORK_DIR}/override.json" override_err
+         --point-cache=${cache_dir} --no-point-cache)
+
+# The cached combined documents carry a point_cache hits/misses header; the
+# uncached ones don't.  Byte-identity therefore holds within each group, and
+# the "reports" payloads are cross-checked via the diff gate below.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/warm1.json" "${WORK_DIR}/warm2.json"
+  RESULT_VARIABLE warm_rc)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm cached runs are not byte-identical")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/uncached.json" "${WORK_DIR}/override.json"
+  RESULT_VARIABLE override_rc)
+if(NOT override_rc EQUAL 0)
+  message(FATAL_ERROR "--no-point-cache did not disable the cache cleanly")
+endif()
+message(STATUS "point cache: warm runs byte-identical; --no-point-cache wins")
+
+# Replay fidelity: cold (fresh results) vs warm (replayed results) must agree
+# on every scenario, point and metric — exact, tolerance 0.
+execute_process(
+  COMMAND "${ZOMBIELAND}" diff --fail-on-delta
+          "${WORK_DIR}/cold.json" "${WORK_DIR}/warm1.json"
+  RESULT_VARIABLE diff_rc
+  OUTPUT_VARIABLE diff_out)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "cold vs warm cached runs differ:\n${diff_out}")
+endif()
+message(STATUS "point cache: warm replay exactly matches fresh results")
+
+# The driver must report the hit/miss split on stderr: all misses cold, some
+# hits warm, nothing at all when the cache is off.
+if(NOT cold_err MATCHES "point cache .*: 0 hits, [1-9][0-9]* misses")
+  message(FATAL_ERROR "cold run did not report all-miss counts:\n${cold_err}")
+endif()
+if(NOT warm1_err MATCHES "point cache .*: [1-9][0-9]* hits, 0 misses")
+  message(FATAL_ERROR "warm run did not report all-hit counts:\n${warm1_err}")
+endif()
+if(uncached_err MATCHES "point cache")
+  message(FATAL_ERROR "uncached run mentioned the point cache:\n${uncached_err}")
+endif()
+message(STATUS "point cache: hit/miss accounting reported correctly")

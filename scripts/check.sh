@@ -28,10 +28,18 @@
 #             ZOMBIE_SKIP_PERF=1 (escape hatch for CI runners with noisy
 #             neighbors; the workflow sets it, local runs default to off)
 #   asan      ASan/UBSan configure + build + ctest (build-asan/)
+#   tsan      TSan configure + build (build-tsan/, ZOMBIE_SANITIZE=thread),
+#             then the concurrent surface: the `threaded` ctest label (sharded
+#             pager + WorkQueue stress suites and the hotloop_threaded smoke)
+#             plus the `serve` and `faults` labels, and a micro_hotloop smoke
+#             pass so the shard workers run under the race detector (no floor
+#             gate — instrumentation overhead would always trip it)
 #   bench     Release build (build-bench/) + the bench_smoke label
 #
 # ccache is used automatically when present.  Exit code is nonzero if any
-# stage fails.
+# stage fails.  Every stage's wall-clock is printed at the end; when
+# GITHUB_STEP_SUMMARY is set (CI), the same table plus `ccache -s` goes to
+# the job summary.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -48,22 +56,27 @@ stages=()
 for arg in "$@"; do
   case "${arg}" in
     --fast) stages+=(tier1 scenario faults serve diff perf) ;;
-    tier1|scenario|faults|serve|diff|perf|asan|bench) stages+=("${arg}") ;;
+    tier1|scenario|faults|serve|diff|perf|asan|tsan|bench) stages+=("${arg}") ;;
     *)
       echo "check.sh: unknown argument '${arg}'" >&2
-      echo "usage: scripts/check.sh [--fast] [tier1|scenario|faults|serve|diff|perf|asan|bench ...]" >&2
+      echo "usage: scripts/check.sh [--fast] [tier1|scenario|faults|serve|diff|perf|asan|tsan|bench ...]" >&2
       exit 2
       ;;
   esac
 done
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(tier1 scenario faults serve diff perf asan)
+  stages=(tier1 scenario faults serve diff perf asan tsan)
 fi
+
+# Per-stage wall-clock, reported at the end (and to the CI job summary).
+stage_names=()
+stage_secs=()
 
 total=${#stages[@]}
 n=0
 for stage in "${stages[@]}"; do
   n=$((n + 1))
+  stage_start=${SECONDS}
   case "${stage}" in
     tier1)
       echo "==> [${n}/${total}] tier-1: configure + build + ctest (build/)"
@@ -148,6 +161,22 @@ for stage in "${stages[@]}"; do
       cmake --build build-asan -j "${jobs}"
       ctest --test-dir build-asan --output-on-failure -j "${jobs}"
       ;;
+    tsan)
+      echo "==> [${n}/${total}] TSan: configure + build + the concurrent surface (build-tsan/)"
+      # The race-detector lane for the per-vCPU data plane: shard workers,
+      # the ClientRing slot protocol, WorkQueue nesting, and the existing
+      # serve/faults threading all run instrumented.  perf_smoke is not
+      # registered under ZOMBIE_SANITIZE.
+      cmake -B build-tsan -S . -DZOMBIE_SANITIZE=thread "${cmake_args[@]}"
+      cmake --build build-tsan -j "${jobs}"
+      ctest --test-dir build-tsan -L 'threaded|serve|faults' \
+        --output-on-failure -j "${jobs}"
+      # micro_hotloop's threaded rows under TSan: smoke budget, no floor
+      # arguments — this is a race hunt, not a throughput measurement.
+      ZOMBIE_BENCH_SMOKE=1 ./build-tsan/micro_hotloop > /dev/null
+      ./build-tsan/zombieland run hotloop_threaded --smoke --format=json \
+        -j 4 --out=build-tsan/hotloop_threaded.json
+      ;;
     bench)
       echo "==> [${n}/${total}] bench smoke: Release build + bench_smoke label"
       cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release "${cmake_args[@]}"
@@ -155,6 +184,36 @@ for stage in "${stages[@]}"; do
       ctest --test-dir build-bench -L bench_smoke --output-on-failure -j "${jobs}"
       ;;
   esac
+  stage_names+=("${stage}")
+  stage_secs+=("$((SECONDS - stage_start))")
 done
 
 echo "==> check.sh: all stages passed"
+echo "==> stage wall-clock:"
+for i in "${!stage_names[@]}"; do
+  printf '    %-10s %4ss\n' "${stage_names[$i]}" "${stage_secs[$i]}"
+done
+if command -v ccache >/dev/null 2>&1; then
+  echo "==> ccache stats:"
+  ccache -s | sed 's/^/    /'
+fi
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  {
+    echo "### check.sh stages"
+    echo ""
+    echo "| stage | wall-clock |"
+    echo "| --- | --- |"
+    for i in "${!stage_names[@]}"; do
+      echo "| ${stage_names[$i]} | ${stage_secs[$i]}s |"
+    done
+    if command -v ccache >/dev/null 2>&1; then
+      echo ""
+      echo "<details><summary>ccache -s</summary>"
+      echo ""
+      echo '```'
+      ccache -s
+      echo '```'
+      echo "</details>"
+    fi
+  } >> "${GITHUB_STEP_SUMMARY}"
+fi

@@ -1,8 +1,8 @@
-#include "src/scenario/work_queue.h"
+#include "src/common/work_queue.h"
 
 #include <algorithm>
 
-namespace zombie::scenario {
+namespace zombie {
 
 WorkQueue::WorkQueue(int budget) : budget_(std::max(budget, 1)) {
   workers_.reserve(static_cast<std::size_t>(budget_ - 1));
@@ -82,4 +82,4 @@ void WorkQueue::WorkerLoop() {
   }
 }
 
-}  // namespace zombie::scenario
+}  // namespace zombie

@@ -21,8 +21,8 @@
 // units are claimed and executing on other threads.  Unit nesting is
 // bounded (scenario -> points; points never submit batches), so every
 // claimed unit bottoms out in real computation and completes.
-#ifndef ZOMBIELAND_SRC_SCENARIO_WORK_QUEUE_H_
-#define ZOMBIELAND_SRC_SCENARIO_WORK_QUEUE_H_
+#ifndef ZOMBIELAND_SRC_COMMON_WORK_QUEUE_H_
+#define ZOMBIELAND_SRC_COMMON_WORK_QUEUE_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -31,7 +31,7 @@
 #include <thread>
 #include <vector>
 
-namespace zombie::scenario {
+namespace zombie {
 
 class WorkQueue {
  public:
@@ -76,6 +76,6 @@ class WorkQueue {
   std::vector<std::thread> workers_;
 };
 
-}  // namespace zombie::scenario
+}  // namespace zombie
 
-#endif  // ZOMBIELAND_SRC_SCENARIO_WORK_QUEUE_H_
+#endif  // ZOMBIELAND_SRC_COMMON_WORK_QUEUE_H_

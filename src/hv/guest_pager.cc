@@ -37,7 +37,9 @@ Result<Duration> GuestPager::EvictOne() {
   }
   amplification_debt_ += writes;
   while (amplification_debt_ >= 1.0) {
-    if (device_latency_ != nullptr) {
+    if (batcher_ != nullptr) {
+      cost += batcher_->OnStore(choice.page) + config_.split_driver.request_overhead;
+    } else if (device_latency_ != nullptr) {
       cost += device_latency_->write + config_.split_driver.request_overhead;
     } else {
       auto store = device_->StorePage(choice.page);
@@ -69,7 +71,9 @@ Result<Duration> GuestPager::FaultIn(PageTableEntry& entry, PageIndex page) {
     cost += evicted.value();
   }
   if (entry.swapped) {
-    if (device_latency_ != nullptr) {
+    if (batcher_ != nullptr) {
+      cost += batcher_->OnLoad(page) + config_.split_driver.request_overhead;
+    } else if (device_latency_ != nullptr) {
       cost += device_latency_->read + config_.split_driver.request_overhead;
     } else {
       auto load = device_->LoadPage(page);

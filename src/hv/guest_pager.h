@@ -58,6 +58,11 @@ class GuestPager {
   const PagerStats& stats() const { return stats_; }
   std::uint64_t usable_frames() const { return usable_frames_; }
 
+  // Same hook as HostPager::set_fault_batcher: swap traffic rides a per-lane
+  // remote-fault batcher instead of per-page device charges (the split-driver
+  // request overhead still applies per page).  Borrowed, never owned.
+  void set_fault_batcher(RemoteFaultBatcher* batcher) { batcher_ = batcher; }
+
  private:
   Result<Duration> EvictOne();
   // Page-fault slow path; returns the extra cost beyond a resident access.
@@ -72,6 +77,7 @@ class GuestPager {
   PageBackend* device_;
   // Cached device->fixed_latency() (see HostPager::backend_latency_).
   const DeviceLatency* device_latency_ = nullptr;
+  RemoteFaultBatcher* batcher_ = nullptr;
   GuestSwapConfig config_;
   PagerStats stats_;
   std::uint64_t accesses_since_clear_ = 0;

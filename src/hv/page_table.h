@@ -28,6 +28,21 @@ struct PageAccess {
   bool is_write = false;
 };
 
+// Seeded home-shard assignment for the per-vCPU data plane: which lane owns
+// `page`.  A splitmix64 finaliser over (page, seed) spreads pages evenly and
+// makes the partition a pure function of the seed, so sharded results are
+// reproducible run over run.  shards == 1 maps everything to lane 0.
+inline std::uint32_t HomeShard(PageIndex page, std::uint64_t seed, std::uint32_t shards) {
+  if (shards <= 1) {
+    return 0;
+  }
+  std::uint64_t z = page + 0x9e3779b97f4a7c15ULL * (seed + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % shards);
+}
+
 // 8 bytes per page — half a cache line holds eight entries, so the tables
 // of the scaled-down experiment VMs stay L1-resident under the access hot
 // loop (a 4096-page table is 32 KiB).

@@ -28,7 +28,9 @@ Result<Duration> HostPager::EvictOne(Policy& policy) {
   assert(victim.present);
   if (victim.dirty) {
     // Transfer the content of the local frame to the backend.
-    if (backend_latency_ != nullptr) {
+    if (batcher_ != nullptr) {
+      cost += batcher_->OnStore(choice.page);
+    } else if (backend_latency_ != nullptr) {
       cost += backend_latency_->write;
     } else {
       auto store = backend_->StorePage(choice.page);
@@ -65,7 +67,9 @@ Result<Duration> HostPager::FaultIn(PageTableEntry& entry, PageIndex page, Polic
 
   if (entry.swapped) {
     // Reload the page from the backend into the fresh local frame.
-    if (backend_latency_ != nullptr) {
+    if (batcher_ != nullptr) {
+      cost += batcher_->OnLoad(page);
+    } else if (backend_latency_ != nullptr) {
       cost += backend_latency_->read;
     } else {
       auto load = backend_->LoadPage(page);

@@ -18,6 +18,7 @@
 #include "src/common/result.h"
 #include "src/common/units.h"
 #include "src/hv/backend.h"
+#include "src/hv/fault_batch.h"
 #include "src/hv/page_table.h"
 #include "src/hv/params.h"
 #include "src/hv/replacement.h"
@@ -72,6 +73,13 @@ class HostPager {
   ReplacementPolicy& policy() { return *policy_; }
   const PagingParams& params() const { return params_; }
 
+  // Routes backend traffic (reloads, dirty writebacks) through a per-lane
+  // remote-fault batcher instead of charging the backend per page.  Borrowed,
+  // never owned; null restores the per-page path.  With batch_pages == 1 the
+  // charged costs are bit-identical to the unbatched path.
+  void set_fault_batcher(RemoteFaultBatcher* batcher) { batcher_ = batcher; }
+  RemoteFaultBatcher* fault_batcher() const { return batcher_; }
+
  private:
   // Frees one machine frame via the replacement policy.  Returns its cost.
   // Templated on the concrete policy type so AccessBatch dispatches the
@@ -94,6 +102,7 @@ class HostPager {
   // Cached backend->fixed_latency(): non-null when the backend is a plain
   // fixed-cost device, letting the fault path skip the virtual dispatch.
   const DeviceLatency* backend_latency_ = nullptr;
+  RemoteFaultBatcher* batcher_ = nullptr;
   PagingParams params_;
   PagerStats stats_;
   std::uint64_t accesses_since_clear_ = 0;

@@ -16,6 +16,15 @@ std::string_view PolicyKindName(PolicyKind k) {
   return "?";
 }
 
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name) {
+  for (PolicyKind kind : kAllPolicyKinds) {
+    if (PolicyKindName(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
 VictimChoice FifoPolicy::PickVictim(GuestPageTable& table) {
   (void)table;
   assert(size_ > 0);

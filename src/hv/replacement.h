@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,7 +37,14 @@ namespace zombie::hv {
 
 enum class PolicyKind : std::uint8_t { kFifo = 0, kClock = 1, kMixed = 2 };
 
+// Every kind, in enum order — the canonical iteration order for sweep axes
+// and bench rows (per-shard lanes instantiate one policy per kind x lane).
+inline constexpr PolicyKind kAllPolicyKinds[] = {PolicyKind::kFifo, PolicyKind::kClock,
+                                                 PolicyKind::kMixed};
+
 std::string_view PolicyKindName(PolicyKind k);
+// Reverse of PolicyKindName(); nullopt for an unknown name.
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name);
 
 struct VictimChoice {
   PageIndex page = 0;

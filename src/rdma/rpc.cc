@@ -1,6 +1,8 @@
 #include "src/rdma/rpc.h"
 
+#include <bit>
 #include <cstring>
+#include <thread>
 
 namespace zombie::rdma {
 
@@ -135,6 +137,39 @@ Result<std::string> PayloadReader::GetString() {
   std::memcpy(s.data(), buf_.data() + pos_, len.value());
   pos_ += len.value();
   return s;
+}
+
+bool ClientRing::TryAcquire(std::size_t* slot) {
+  std::uint32_t mask = free_mask_.load(std::memory_order_acquire);
+  while (mask != 0) {
+    const int bit = std::countr_zero(mask);
+    if (free_mask_.compare_exchange_weak(mask, mask & ~(1u << bit),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      *slot = static_cast<std::size_t>(bit);
+      return true;
+    }
+    // mask was reloaded by the failed CAS; retry on the fresh value.
+  }
+  return false;
+}
+
+std::size_t ClientRing::Acquire() {
+  std::size_t slot = 0;
+  while (!TryAcquire(&slot)) {
+    // Every slot is held by another lane.  Fault batches flush quickly, so a
+    // yield-spin is cheaper than parking the thread.
+    std::this_thread::yield();
+  }
+  return slot;
+}
+
+void ClientRing::Release(std::size_t slot) {
+  // The release ordering publishes the slot's payload bytes to the next
+  // acquirer (whose successful CAS is an acquire).
+  free_mask_.fetch_or(1u << static_cast<std::uint32_t>(slot),
+                      std::memory_order_release);
 }
 
 }  // namespace zombie::rdma

@@ -18,6 +18,7 @@
 #define ZOMBIELAND_SRC_RDMA_RPC_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -125,6 +126,51 @@ class RpcServer {
   std::size_t ring_pos_ = 0;
   Duration poll_interval_ = 5 * kMicrosecond;
   std::uint64_t dispatched_ = 0;
+};
+
+// Client side of the ring discipline: a fixed set of request/response slot
+// pairs shared by concurrent fault lanes.  The server's response ring above
+// is single-threaded (the daemon recycles slots round-robin); the client
+// ring is the multi-producer mirror image — per-vCPU paging shards acquire a
+// slot, serialise a batched remote-fault request into it, and release it,
+// exactly how the real rx/tx rings hand registered buffers to lanes.  Slot
+// payloads keep their capacity across acquisitions, so the steady state is
+// allocation-free.
+//
+// Thread-safety: Acquire/Release use a lock-free bitmask; the payloads of an
+// acquired slot are owned by the acquiring thread until Release.
+class ClientRing {
+ public:
+  // Enough slots that a hot loop with up to 8 fault lanes never waits.
+  static constexpr std::size_t kSlots = 8;
+
+  struct Slot {
+    Payload request;
+    Payload response;
+  };
+
+  ClientRing() : free_mask_((1u << kSlots) - 1) {}
+
+  ClientRing(const ClientRing&) = delete;
+  ClientRing& operator=(const ClientRing&) = delete;
+
+  // Blocks (yield-spin) until a slot is free and returns its index.  The
+  // caller owns slot(i) until Release(i).
+  std::size_t Acquire();
+  // Non-blocking variant; returns false when every slot is held.
+  bool TryAcquire(std::size_t* slot);
+  void Release(std::size_t slot);
+
+  Slot& slot(std::size_t i) { return slots_[i]; }
+
+  std::uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> free_mask_;  // bit i set = slot i free
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::array<Slot, kSlots> slots_;
 };
 
 // Routes calls between clients and servers on the same fabric and prices the

@@ -6,15 +6,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/env.h"
+#include "src/common/work_queue.h"
 #include "src/scenario/diff.h"
+#include "src/scenario/point_cache.h"
 #include "src/scenario/registry.h"
-#include "src/scenario/work_queue.h"
 
 namespace zombie::scenario {
 
@@ -50,6 +52,12 @@ constexpr std::string_view kUsage =
     "  --timings           (json) add per-scenario wall-clock seconds to the\n"
     "                      combined document and per-point wall_seconds to\n"
     "                      each report's points section\n"
+    "  --point-cache[=DIR] reuse cached sweep-point results for scenarios\n"
+    "                      that declare cacheable points (default DIR\n"
+    "                      .zombie-point-cache; also: ZOMBIE_POINT_CACHE_DIR).\n"
+    "                      Keys include a hash of this binary, so a rebuild\n"
+    "                      invalidates every entry\n"
+    "  --no-point-cache    ignore --point-cache and ZOMBIE_POINT_CACHE_DIR\n"
     "\n"
     "diff options:\n"
     "  --fail-on-delta     exit 3 when any compared metric moves beyond its\n"
@@ -72,6 +80,10 @@ struct ParsedArgs {
   std::vector<std::string> names;
   int jobs = 1;
   bool timings = false;
+  // --point-cache / --no-point-cache / ZOMBIE_POINT_CACHE_DIR resolution:
+  // point_cache_dir is the effective directory, empty = caching off.
+  bool no_point_cache = false;
+  std::string point_cache_dir;
   // diff-only flags (rejected with exit 2 on other commands).
   bool fail_on_delta = false;
   std::vector<std::string> tolerance_flags;  // raw METRIC=SPEC, in CLI order
@@ -177,6 +189,16 @@ bool ParseFlags(int argc, char** argv, int first, ParsedArgs& parsed) {
       parsed.jobs = static_cast<int>(jobs);
     } else if (arg == "--timings") {
       parsed.timings = true;
+    } else if (arg == "--point-cache") {
+      parsed.point_cache_dir = ".zombie-point-cache";
+    } else if (arg.rfind("--point-cache=", 0) == 0) {
+      parsed.point_cache_dir = arg.substr(std::strlen("--point-cache="));
+      if (parsed.point_cache_dir.empty()) {
+        std::fprintf(stderr, "zombieland: --point-cache= needs a directory\n");
+        return false;
+      }
+    } else if (arg == "--no-point-cache") {
+      parsed.no_point_cache = true;
     } else if (arg == "--fail-on-delta") {
       parsed.fail_on_delta = true;
     } else if (arg == "--tolerance") {
@@ -199,6 +221,17 @@ bool ParseFlags(int argc, char** argv, int first, ParsedArgs& parsed) {
   }
   if (parsed.options.smoke || EnvSmokeMode()) {
     parsed.options.smoke = true;
+  }
+  // Environment opt-in (how CI turns the cache on without touching the
+  // command lines baked into check.sh); --no-point-cache beats both forms.
+  if (parsed.point_cache_dir.empty()) {
+    if (const char* env = std::getenv("ZOMBIE_POINT_CACHE_DIR");
+        env != nullptr && env[0] != '\0') {
+      parsed.point_cache_dir = env;
+    }
+  }
+  if (parsed.no_point_cache) {
+    parsed.point_cache_dir.clear();
   }
   return true;
 }
@@ -235,13 +268,23 @@ bool WriteOutput(const std::string& text, const std::string& out_path) {
 // artifact doubles as a perf trajectory.
 std::string Combine(const std::vector<report::Report>& reports,
                     const RunOptions& options,
-                    const std::vector<double>* timings = nullptr) {
+                    const std::vector<double>* timings = nullptr,
+                    const PointCache* cache = nullptr) {
   if (options.format == report::Format::kJson) {
-    if (reports.size() == 1 && timings == nullptr) {
+    if (reports.size() == 1 && timings == nullptr && cache == nullptr) {
       return reports[0].RenderJson();
     }
     std::string out = "{\n  \"schema\": \"zombieland.scenario.reports/v1\",\n";
     out += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") + ",\n";
+    if (cache != nullptr) {
+      // Sits beside "timings" (diff reads only "reports", so extra keys are
+      // invisible to the gate).  Note a cold and a warm run differ here by
+      // construction — byte-identity checks compare warm runs to each other.
+      out += report::StrPrintf(
+          "  \"point_cache\": {\"hits\": %llu, \"misses\": %llu},\n",
+          static_cast<unsigned long long>(cache->hits()),
+          static_cast<unsigned long long>(cache->misses()));
+    }
     if (timings != nullptr) {
       out += "  \"timings\": {";
       for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -345,10 +388,15 @@ int CmdRun(ParsedArgs& parsed) {
   std::vector<Result<report::Report>> results(
       scenarios.size(), Result<report::Report>(ErrorCode::kUnavailable, "not run"));
   std::vector<double> seconds(scenarios.size(), 0.0);
+  std::unique_ptr<PointCache> cache;
+  if (!parsed.point_cache_dir.empty()) {
+    cache = std::make_unique<PointCache>(parsed.point_cache_dir);
+  }
   {
     WorkQueue queue(parsed.jobs);
     for (RunOptions& scenario_options : options) {
       scenario_options.work_queue = &queue;
+      scenario_options.point_cache = cache.get();
     }
     queue.RunBatch(scenarios.size(), [&](std::size_t i) {
       const auto start = std::chrono::steady_clock::now();
@@ -393,8 +441,17 @@ int CmdRun(ParsedArgs& parsed) {
     return 1;
   }
 
-  std::string out =
-      Combine(reports, parsed.options, parsed.timings ? &report_seconds : nullptr);
+  if (cache != nullptr) {
+    std::fprintf(stderr,
+                 "zombieland: point cache '%s': %llu hit%s, %llu miss%s\n",
+                 cache->dir().c_str(),
+                 static_cast<unsigned long long>(cache->hits()),
+                 cache->hits() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(cache->misses()),
+                 cache->misses() == 1 ? "" : "es");
+  }
+  std::string out = Combine(reports, parsed.options,
+                            parsed.timings ? &report_seconds : nullptr, cache.get());
   if (parsed.options.format == report::Format::kJson) {
     if (Status status = report::ValidateJson(out); !status.ok()) {
       std::fprintf(stderr, "zombieland: combined JSON invalid: %s\n",

@@ -1,0 +1,172 @@
+#include "src/scenario/point_cache.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string_view>
+
+namespace zombie::scenario {
+
+namespace {
+
+constexpr std::string_view kSchema = "zombieland.point-cache/v1";
+
+std::uint64_t Fnv64(std::string_view text, std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return false;
+  }
+  char buffer[4096];
+  std::size_t n = 0;
+  out->clear();
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    out->append(buffer, n);
+  }
+  const bool ok = std::ferror(in) == 0;
+  std::fclose(in);
+  return ok;
+}
+
+// A JSON number that is a representable non-negative integer, or nullopt.
+std::optional<std::size_t> AsIndex(const report::JsonValue* value) {
+  if (value == nullptr || !value->is_number() || value->number < 0 ||
+      value->number != static_cast<double>(static_cast<std::uint64_t>(value->number))) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(value->number);
+}
+
+}  // namespace
+
+PointCache::PointCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string PointCache::HashKeyText(const std::string& text) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv64(text)));
+  return hex;
+}
+
+const std::string& PointCache::BinaryFingerprint() {
+  static const std::string fingerprint = [] {
+    std::string bytes;
+    if (!ReadFile("/proc/self/exe", &bytes)) {
+      // No readable self-image (non-Linux): fall back to a constant so the
+      // cache still keys on the scenario tuple alone.
+      bytes = "no-binary-fingerprint";
+    }
+    return HashKeyText(bytes);
+  }();
+  return fingerprint;
+}
+
+std::string PointCache::PathFor(const std::string& key) const {
+  return dir_ + "/" + key + ".json";
+}
+
+bool PointCache::Load(const std::string& key, CachedPoint* out) const {
+  std::string text;
+  if (!ReadFile(PathFor(key), &text)) {
+    return false;
+  }
+  zombie::Result<report::JsonValue> parsed = report::ParseJson(text);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return false;
+  }
+  const report::JsonValue& doc = parsed.value();
+  const report::JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->string != kSchema) {
+    return false;
+  }
+  const report::JsonValue* metrics = doc.Find("metrics");
+  const report::JsonValue* cells = doc.Find("cells");
+  if (metrics == nullptr || !metrics->is_object() || cells == nullptr ||
+      !cells->is_array()) {
+    return false;
+  }
+  CachedPoint loaded;
+  loaded.metrics.reserve(metrics->members.size());
+  for (const auto& [name, value] : metrics->members) {
+    if (!value.is_number()) {
+      return false;
+    }
+    loaded.metrics.emplace_back(name, value.number);
+  }
+  loaded.cells.reserve(cells->items.size());
+  for (const report::JsonValue& item : cells->items) {
+    if (!item.is_object()) {
+      return false;
+    }
+    const std::optional<std::size_t> table = AsIndex(item.Find("table"));
+    const std::optional<std::size_t> row = AsIndex(item.Find("row"));
+    const std::optional<std::size_t> column = AsIndex(item.Find("column"));
+    const report::JsonValue* value = item.Find("value");
+    if (!table || !row || !column || value == nullptr || !value->is_string()) {
+      return false;
+    }
+    loaded.cells.push_back({*table, *row, *column, value->string});
+  }
+  *out = std::move(loaded);
+  return true;
+}
+
+void PointCache::Store(const std::string& key, const CachedPoint& point) const {
+  // Best effort: if the directory can't be made, fopen below fails and the
+  // run simply stays uncached.
+  ::mkdir(dir_.c_str(), 0755);
+
+  std::string doc;
+  doc.reserve(256);
+  doc += "{\"schema\":\"";
+  doc += kSchema;
+  doc += "\",\"metrics\":{";
+  for (std::size_t i = 0; i < point.metrics.size(); ++i) {
+    if (i != 0) {
+      doc += ',';
+    }
+    doc += '"';
+    doc += report::JsonEscape(point.metrics[i].first);
+    doc += "\":";
+    doc += report::JsonNumber(point.metrics[i].second);
+  }
+  doc += "},\"cells\":[";
+  for (std::size_t i = 0; i < point.cells.size(); ++i) {
+    const report::SweepCellWrite& cell = point.cells[i];
+    if (i != 0) {
+      doc += ',';
+    }
+    doc += report::StrPrintf("{\"table\":%zu,\"row\":%zu,\"column\":%zu,\"value\":\"",
+                             cell.table, cell.row, cell.column);
+    doc += report::JsonEscape(cell.value);
+    doc += "\"}";
+  }
+  doc += "]}\n";
+
+  // tmp + rename so readers never see a torn document; the pid suffix keeps
+  // concurrent writers (parallel CI shards on one cache dir) apart.
+  const std::string path = PathFor(key);
+  const std::string tmp =
+      path + report::StrPrintf(".tmp.%ld", static_cast<long>(::getpid()));
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    return;  // unwritable cache dir: silently run uncached
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), out) == doc.size();
+  std::fclose(out);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
+}
+
+}  // namespace zombie::scenario

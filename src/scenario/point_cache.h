@@ -1,0 +1,74 @@
+// Per-point result cache for swept scenarios (`run --all` across CI runs).
+//
+// A cacheable sweep point (ScenarioSpec::cacheable_points) is a pure
+// function of (binary, scenario name, smoke flag, --set params, filters,
+// axis bindings).  The cache stores each point's metrics and captured
+// SweepTable cell writes in one small JSON file keyed by an FNV-64 hash of
+// that tuple; a hit replays the stored record instead of re-running the
+// point.  The binary fingerprint (a hash of /proc/self/exe) is part of the
+// key, so any rebuild that changes the executable invalidates everything —
+// there is no staleness logic to get wrong.
+//
+// The cache is strictly opt-in (driver `--point-cache[=DIR]` or the
+// ZOMBIE_POINT_CACHE_DIR environment variable): the determinism gates in the
+// test suite run without it, so they keep exercising the real compute path.
+#ifndef ZOMBIELAND_SRC_SCENARIO_POINT_CACHE_H_
+#define ZOMBIELAND_SRC_SCENARIO_POINT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/report.h"
+
+namespace zombie::scenario {
+
+// Everything a cache hit must restore: the point's headline metrics (in
+// insertion order — the JSON "points" section preserves it) and the sweep
+// table cells the point wrote.
+struct CachedPoint {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<report::SweepCellWrite> cells;
+};
+
+class PointCache {
+ public:
+  // `dir` is created on first Store if missing.  A cache shared between
+  // binaries is safe: the fingerprint in the key partitions it.
+  explicit PointCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // Loads the entry for `key` into `out`.  A missing, corrupt, or
+  // wrong-schema file is a miss (returns false) — never an error.
+  bool Load(const std::string& key, CachedPoint* out) const;
+
+  // Atomically writes the entry for `key` (tmp file + rename, so a
+  // concurrent reader sees either nothing or the full document).
+  void Store(const std::string& key, const CachedPoint& point) const;
+
+  // Hit/miss counters for the run summary, updated by RunContext.
+  void CountHit() const { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void CountMiss() const { misses_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  // FNV-64 (hex) over the canonical key text; exposed for tests.
+  static std::string HashKeyText(const std::string& text);
+
+  // Hash of this executable's bytes, computed once per process.  Part of
+  // every key so a rebuilt binary never sees stale entries.
+  static const std::string& BinaryFingerprint();
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  std::string dir_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace zombie::scenario
+
+#endif  // ZOMBIELAND_SRC_SCENARIO_POINT_CACHE_H_

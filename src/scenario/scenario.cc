@@ -10,8 +10,9 @@
 #include <thread>
 
 #include "src/common/report.h"
+#include "src/common/work_queue.h"
+#include "src/scenario/point_cache.h"
 #include "src/scenario/testbed.h"
-#include "src/scenario/work_queue.h"
 
 namespace zombie::scenario {
 
@@ -60,11 +61,8 @@ MachineKind MachineKindFromKey(std::string_view key) {
 }
 
 hv::PolicyKind PolicyKindFromName(std::string_view name) {
-  for (hv::PolicyKind kind :
-       {hv::PolicyKind::kFifo, hv::PolicyKind::kClock, hv::PolicyKind::kMixed}) {
-    if (hv::PolicyKindName(kind) == name) {
-      return kind;
-    }
+  if (auto kind = hv::ParsePolicyKind(name)) {
+    return *kind;
   }
   std::fprintf(stderr, "zombieland: unknown replacement policy '%s'\n",
                std::string(name).c_str());
@@ -730,9 +728,64 @@ void RunContext::ForEachSweepPoint(report::Report& report, const PointFn& fn) co
   }
   report.set_point_timings(options_.timings);
 
+  // The per-point cache engages only when the scenario vouched for point
+  // purity and no fault plan perturbs this run.  The key folds in everything
+  // a point's result can depend on: the binary itself, the scenario name,
+  // smoke mode, every --set override and --filter (filters shift zipped-axis
+  // pairings), and the point's own axis bindings.
+  PointCache* cache = (options_.point_cache != nullptr && spec_.cacheable_points &&
+                       options_.fault_plan == nullptr)
+                          ? options_.point_cache
+                          : nullptr;
+  auto cache_key = [&](const SweepPoint& point) {
+    std::string text = PointCache::BinaryFingerprint();
+    text += '\n';
+    text += spec_.name;
+    text += options_.smoke ? "\nsmoke" : "\nfull";
+    for (const auto& [key, value] : options_.params) {
+      text += "\nset:" + key + '=' + value;
+    }
+    for (const auto& [key, value] : options_.filters) {
+      text += "\nfilter:" + key + '=' + value;
+    }
+    for (std::size_t a = 0; a < spec_.sweep.axes.size(); ++a) {
+      text += "\naxis:" + spec_.sweep.axes[a].param + '=' + point.values_[a];
+    }
+    return spec_.name + '-' + PointCache::HashKeyText(text);
+  };
+  auto replay = [&](const CachedPoint& cached, report::SweepPointRecord& record) {
+    for (const report::SweepCellWrite& cell : cached.cells) {
+      if (!report.CellInGrid(cell)) {
+        return false;  // stale grid shape: treat as a miss
+      }
+    }
+    for (const report::SweepCellWrite& cell : cached.cells) {
+      report.ApplySweepCell(cell);
+    }
+    record.metrics = cached.metrics;
+    return true;
+  };
+
   auto run_point = [&](std::size_t i) {
     const auto start = std::chrono::steady_clock::now();
-    fn(points[i], records[i]);
+    if (cache != nullptr) {
+      const std::string key = cache_key(points[i]);
+      CachedPoint cached;
+      if (cache->Load(key, &cached) && replay(cached, records[i])) {
+        cache->CountHit();
+      } else {
+        cache->CountMiss();
+        CachedPoint fresh;
+        {
+          report::ScopedCellCapture capture(&fresh.cells);
+          fn(points[i], records[i]);
+        }
+        fresh.metrics = records[i].metrics;
+        cache->Store(key, fresh);
+      }
+    } else {
+      fn(points[i], records[i]);
+    }
     records[i].wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

@@ -34,10 +34,14 @@ namespace zombie::cloud {
 struct FaultPlan;
 }  // namespace zombie::cloud
 
+namespace zombie {
+class WorkQueue;
+}  // namespace zombie
+
 namespace zombie::scenario {
 
+class PointCache;
 class Testbed;
-class WorkQueue;
 
 struct RunOptions {
   bool smoke = false;
@@ -62,6 +66,11 @@ struct RunOptions {
   // the scenario replays this plan instead of its built-in one.  Borrowed,
   // never owned; must outlive the run.
   const cloud::FaultPlan* fault_plan = nullptr;
+  // Per-point result cache (driver `--point-cache` / ZOMBIE_POINT_CACHE_DIR):
+  // sweep points of scenarios that opted in via CacheablePoints() replay
+  // cached records instead of re-running.  Ignored while a fault_plan is
+  // active (injected faults break point purity).  Borrowed, never owned.
+  PointCache* point_cache = nullptr;
 };
 
 // One point of an expanded sweep: a binding of every axis parameter to one
@@ -233,12 +242,19 @@ class ScenarioBuilder {
   ScenarioBuilder& Param(std::string name, ParamType type, std::string default_value,
                          std::string description) {
     spec_.params.push_back({std::move(name), type, std::move(default_value),
-                            std::move(description), /*choices=*/{}});
+                            std::move(description), /*choices=*/{},
+                            /*range=*/{}});
     return *this;
   }
   // Declares the sweep grid; every axis must name a declared parameter.
   ScenarioBuilder& Sweep(SweepSpec sweep) {
     spec_.sweep = std::move(sweep);
+    return *this;
+  }
+  // Opts the scenario's sweep points into the per-point result cache (see
+  // ScenarioSpec::cacheable_points for the purity contract this asserts).
+  ScenarioBuilder& CacheablePoints() {
+    spec_.cacheable_points = true;
     return *this;
   }
   ScenarioBuilder& Runner(Scenario::RunFn run) {

@@ -172,6 +172,13 @@ struct ScenarioSpec {
   // grid built from them (empty = not a swept scenario).
   std::vector<ParamSpec> params;
   SweepSpec sweep;
+
+  // Opt-in for the per-point result cache: the scenario promises each sweep
+  // point's record and table cells are a pure function of (binary, name,
+  // smoke, params, filters, axis bindings) — no wall-clock-derived metrics,
+  // no cross-point state.  Scenarios that read exec state after the sweep or
+  // record timing-dependent numbers must leave this off.
+  bool cacheable_points = false;
 };
 
 }  // namespace zombie::scenario

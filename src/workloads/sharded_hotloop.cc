@@ -1,0 +1,99 @@
+#include "src/workloads/sharded_hotloop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+
+#include "src/common/work_queue.h"
+
+namespace zombie::workloads {
+
+PatternParams HotloopPattern(std::string_view name) {
+  PatternParams params;
+  if (name == "scan") {
+    // One cyclic sweep over the whole footprint: the LRU worst case.
+    params.tiers = {{1.0, 1.0, false}};
+    params.zipf_weight = 0.0;
+  } else if (name == "zipf") {
+    // Skewed point accesses (caches, indexes), no scan component.
+    params.tiers = {};
+    params.zipf_weight = 0.95;
+    params.zipf_theta = 0.9;
+  } else {  // "tiered": hot core + warm ring + uniform tail.
+    params.tiers = {{0.2, 0.5, false}, {0.6, 0.3, true}};
+    params.zipf_weight = 0.1;
+  }
+  params.write_ratio = 0.3;
+  return params;
+}
+
+ShardedHotLoopResult RunShardedHotLoop(const ShardedHotLoopOptions& options) {
+  hv::ShardedPagerConfig config;
+  config.shards = std::max<std::uint32_t>(options.shards, 1);
+  config.seed = options.seed;
+  config.fault_batch = options.fault_batch;
+  hv::ShardedPager pager(options.footprint_pages, options.local_frames, options.policy,
+                         options.backend_latency, config);
+
+  // Split the access budget proportionally to the pages each shard owns, the
+  // remainder going to the lowest-index shards — deterministic, and for one
+  // shard the whole budget lands on lane 0 (the historical loop).
+  const std::uint32_t shards = pager.shards();
+  std::vector<std::uint64_t> budget(shards, 0);
+  std::uint64_t assigned = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    budget[s] = options.accesses * pager.shard_pages(s) /
+                std::max<std::uint64_t>(options.footprint_pages, 1);
+    assigned += budget[s];
+  }
+  for (std::uint32_t s = 0; assigned < options.accesses; s = (s + 1) % shards) {
+    if (pager.shard_pages(s) != 0) {
+      ++budget[s];
+      ++assigned;
+    }
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(options.chunk, 1);
+  const auto run_shard = [&](std::size_t s32) {
+    const auto s = static_cast<std::uint32_t>(s32);
+    if (pager.shard_pages(s) == 0 || budget[s] == 0) {
+      return;
+    }
+    // The lane's own stream over its LOCAL page space: shard 0 of a 1-shard
+    // run sees exactly the historical single-threaded stream.
+    AccessPattern pattern(pager.shard_pages(s), options.pattern, pager.shard_seed(s));
+    std::vector<PageAccess> buffer(chunk);
+    std::uint64_t remaining = budget[s];
+    while (remaining > 0) {
+      const auto n = static_cast<std::size_t>(std::min<std::uint64_t>(chunk, remaining));
+      const std::span<PageAccess> slice(buffer.data(), n);
+      pattern.FillBatch(slice);
+      pager.AccessShard(s, slice);
+      remaining -= n;
+    }
+    pager.DrainShard(s);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    WorkQueue queue(options.threads);
+    queue.RunBatch(shards, run_shard);
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ShardedHotLoopResult result;
+  result.stats = pager.MergedStats();
+  result.shard_stats.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    result.shard_stats.push_back(pager.lane(s) != nullptr ? pager.shard_stats(s)
+                                                          : hv::PagerStats{});
+  }
+  result.accesses = result.stats.accesses;
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.round_trips = pager.round_trips();
+  result.rider_pages = pager.rider_pages();
+  result.ring_acquisitions = pager.ring().acquisitions();
+  return result;
+}
+
+}  // namespace zombie::workloads

@@ -61,7 +61,7 @@
 #include "src/scenario/scenario.h"
 #include "src/scenario/spec.h"
 #include "src/scenario/testbed.h"
-#include "src/scenario/work_queue.h"
+#include "src/common/work_queue.h"
 #include "src/serve/daemon.h"
 #include "src/serve/metrics.h"
 #include "src/serve/request.h"

@@ -1,0 +1,181 @@
+// Tests for the per-point scenario result cache: file round trips, the
+// corrupt-entry-degrades-to-miss contract, cell-capture/replay through
+// ForEachSweepPoint, and the end-to-end guarantee that a warm run renders a
+// byte-identical report without invoking any point function.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/report.h"
+#include "src/scenario/point_cache.h"
+#include "src/scenario/scenario.h"
+
+namespace zombie::scenario {
+namespace {
+
+using report::Report;
+
+std::string TempCacheDir(const char* tag) {
+  // Per-test directory under the build tree's cwd; tests may run in
+  // parallel, so the tag keeps them apart.
+  std::string dir = std::string(".point-cache-test-") + tag;
+  return dir;
+}
+
+void RemoveDir(const std::string& dir) {
+  // Best-effort cleanup of the handful of files the tests create.
+  const std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+}
+
+TEST(PointCacheTest, StoreThenLoadRoundTripsMetricsAndCells) {
+  const std::string dir = TempCacheDir("roundtrip");
+  RemoveDir(dir);
+  PointCache cache(dir);
+  CachedPoint stored;
+  stored.metrics = {{"faults", 123.0}, {"sim_cost_seconds", 0.25}};
+  stored.cells = {{0, 1, 2, "12.34"}, {2, 0, 0, "inf"}};
+  cache.Store("swept-abc", stored);
+
+  CachedPoint loaded;
+  ASSERT_TRUE(cache.Load("swept-abc", &loaded));
+  ASSERT_EQ(loaded.metrics.size(), 2u);
+  EXPECT_EQ(loaded.metrics[0].first, "faults");
+  EXPECT_EQ(loaded.metrics[0].second, 123.0);
+  EXPECT_EQ(loaded.metrics[1].first, "sim_cost_seconds");
+  EXPECT_EQ(loaded.metrics[1].second, 0.25);  // exact: JsonNumber round trip
+  ASSERT_EQ(loaded.cells.size(), 2u);
+  EXPECT_EQ(loaded.cells[0].table, 0u);
+  EXPECT_EQ(loaded.cells[0].row, 1u);
+  EXPECT_EQ(loaded.cells[0].column, 2u);
+  EXPECT_EQ(loaded.cells[0].value, "12.34");
+  EXPECT_EQ(loaded.cells[1].value, "inf");
+  RemoveDir(dir);
+}
+
+TEST(PointCacheTest, MissingCorruptAndWrongSchemaFilesAreMisses) {
+  const std::string dir = TempCacheDir("corrupt");
+  RemoveDir(dir);
+  PointCache cache(dir);
+  CachedPoint out;
+  EXPECT_FALSE(cache.Load("never-stored", &out));
+
+  cache.Store("entry", {});
+  ASSERT_TRUE(cache.Load("entry", &out));
+
+  // Truncate the file mid-document: must degrade to a miss, not an error.
+  const std::string path = dir + "/entry.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"schema\":\"zombieland.point-ca", f);
+  std::fclose(f);
+  EXPECT_FALSE(cache.Load("entry", &out));
+
+  // Valid JSON, wrong schema: also a miss.
+  f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"schema\":\"something-else/v9\",\"metrics\":{},\"cells\":[]}", f);
+  std::fclose(f);
+  EXPECT_FALSE(cache.Load("entry", &out));
+  RemoveDir(dir);
+}
+
+TEST(PointCacheTest, KeyHashIsStableAndInputSensitive) {
+  const std::string a = PointCache::HashKeyText("fig08\nsmoke");
+  EXPECT_EQ(a, PointCache::HashKeyText("fig08\nsmoke"));
+  EXPECT_NE(a, PointCache::HashKeyText("fig08\nfull"));
+  EXPECT_EQ(a.size(), 16u);  // FNV-64 hex
+  // The binary fingerprint is part of every real key: non-empty and stable
+  // within a process.
+  EXPECT_FALSE(PointCache::BinaryFingerprint().empty());
+  EXPECT_EQ(PointCache::BinaryFingerprint(), PointCache::BinaryFingerprint());
+}
+
+TEST(PointCacheTest, ReplayRejectsCellsOutsideTheGrid) {
+  Report r("s", "t");
+  auto grid = r.AddSweepTable("g", "", "row", {"a", "b"}, {"x", "y"});
+  grid.Set(0, 0, "seed");
+  EXPECT_TRUE(r.CellInGrid({0, 1, 1, "ok"}));
+  EXPECT_TRUE(r.ApplySweepCell({0, 1, 1, "ok"}));
+  EXPECT_FALSE(r.CellInGrid({0, 2, 0, "row oob"}));
+  EXPECT_FALSE(r.CellInGrid({0, 0, 2, "col oob"}));
+  EXPECT_FALSE(r.CellInGrid({1, 0, 0, "table oob"}));
+  EXPECT_FALSE(r.ApplySweepCell({1, 0, 0, "table oob"}));
+}
+
+// ---------------------------------------------------------------------------
+// End to end through ForEachSweepPoint.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec CacheableSpec() {
+  ScenarioSpec spec;
+  spec.name = "cached_sweep";
+  spec.title = "t";
+  spec.params = {{"policy", ParamType::kString, "", "", {}, {}},
+                 {"fraction", ParamType::kDouble, "", "", {}, {}}};
+  spec.sweep = {SweepMode::kCross,
+                {{"policy", {"FIFO", "Mixed"}}, {"fraction", {"0.2", "0.8"}}}};
+  spec.cacheable_points = true;
+  return spec;
+}
+
+std::string RenderSweep(const ScenarioSpec& spec, PointCache* cache,
+                        std::atomic<int>* runs) {
+  RunOptions options;
+  options.point_cache = cache;
+  RunContext ctx(spec, options);
+  Report r(spec.name, spec.title);
+  auto grid = r.AddSweepTable("g", "", "fraction", {"0.2", "0.8"}, {"FIFO", "Mixed"});
+  ctx.ForEachSweepPoint(r, [&](const SweepPoint& pt, report::SweepPointRecord& rec) {
+    runs->fetch_add(1);
+    grid.Set(pt.AxisIndex("fraction"), pt.AxisIndex("policy"),
+             pt.Value("policy") + "@" + pt.Value("fraction"));
+    rec.Metric("fraction", pt.Double("fraction"));
+    rec.Metric("index", static_cast<double>(pt.index()));
+  });
+  return r.RenderJson();
+}
+
+TEST(PointCacheTest, WarmRunReplaysWithoutInvokingPointsByteIdentically) {
+  const std::string dir = TempCacheDir("endtoend");
+  RemoveDir(dir);
+  const ScenarioSpec spec = CacheableSpec();
+  PointCache cache(dir);
+  std::atomic<int> runs{0};
+  const std::string cold = RenderSweep(spec, &cache, &runs);
+  EXPECT_EQ(runs.load(), 4);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 4u);
+
+  const std::string warm = RenderSweep(spec, &cache, &runs);
+  EXPECT_EQ(runs.load(), 4) << "warm run must not invoke any point function";
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_EQ(warm, cold);
+
+  // No cache pointer: the same sweep runs fresh and renders the same bytes.
+  std::atomic<int> uncached_runs{0};
+  EXPECT_EQ(RenderSweep(spec, nullptr, &uncached_runs), cold);
+  EXPECT_EQ(uncached_runs.load(), 4);
+  RemoveDir(dir);
+}
+
+TEST(PointCacheTest, CacheIsIgnoredWithoutTheCacheablePointsOptIn) {
+  const std::string dir = TempCacheDir("optout");
+  RemoveDir(dir);
+  ScenarioSpec spec = CacheableSpec();
+  spec.cacheable_points = false;
+  PointCache cache(dir);
+  std::atomic<int> runs{0};
+  RenderSweep(spec, &cache, &runs);
+  RenderSweep(spec, &cache, &runs);
+  EXPECT_EQ(runs.load(), 8) << "both runs must execute every point";
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+  RemoveDir(dir);
+}
+
+}  // namespace
+}  // namespace zombie::scenario

@@ -17,7 +17,7 @@
 #include "src/scenario/driver.h"
 #include "src/scenario/registry.h"
 #include "src/scenario/scenario.h"
-#include "src/scenario/work_queue.h"
+#include "src/common/work_queue.h"
 
 namespace zombie::scenario {
 namespace {

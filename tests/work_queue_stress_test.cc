@@ -1,0 +1,86 @@
+// Contention stress for zombie::WorkQueue, the caller-participating batch
+// scheduler behind `run -j N` and the threaded hot loop.  Nested RunBatch
+// calls re-enter the queue from inside a running unit (exactly what a swept
+// scenario does when its points spawn shard batches), and seeded per-unit
+// jitter shuffles which worker helps which batch.  The assertions are
+// completion counters; the real check is that the test terminates at all
+// (no deadlock) and that TSan sees no races — CI runs it under
+// ZOMBIE_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/work_queue.h"
+
+namespace zombie {
+namespace {
+
+// Deterministic per-unit jitter (splitmix64): a few hundred iterations of
+// busy work so units finish out of order and helpers interleave.
+void SpinJitter(std::uint64_t seed) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < (x % 512); ++i) {
+    sink = sink + i;
+  }
+}
+
+TEST(WorkQueueStressTest, NestedBatchesUnderContentionRunEveryUnitOnce) {
+  constexpr std::size_t kOuter = 24;
+  constexpr std::size_t kInner = 16;
+  WorkQueue queue(4);
+  std::atomic<std::uint64_t> outer_done{0};
+  std::atomic<std::uint64_t> inner_done{0};
+  std::vector<std::atomic<int>> outer_runs(kOuter);
+  for (auto& run : outer_runs) {
+    run.store(0);
+  }
+
+  queue.RunBatch(kOuter, [&](std::size_t i) {
+    SpinJitter(i);
+    // Re-enter the queue from inside a unit: the submitter participates in
+    // its own inner batch and, while waiting, helps whatever other batch is
+    // runnable — never sleeping while work exists (the no-deadlock part).
+    queue.RunBatch(kInner, [&](std::size_t j) {
+      SpinJitter(i * kInner + j);
+      inner_done.fetch_add(1, std::memory_order_relaxed);
+    });
+    outer_runs[i].fetch_add(1, std::memory_order_relaxed);
+    outer_done.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  EXPECT_EQ(outer_done.load(), kOuter);
+  EXPECT_EQ(inner_done.load(), kOuter * kInner);
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    EXPECT_EQ(outer_runs[i].load(), 1) << "unit " << i;
+  }
+}
+
+TEST(WorkQueueStressTest, RepeatedBatchesReuseIdleWorkers) {
+  WorkQueue queue(3);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    queue.RunBatch(8, [&](std::size_t i) {
+      SpinJitter(static_cast<std::uint64_t>(round) * 8 + i);
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 8u);
+}
+
+TEST(WorkQueueStressTest, BudgetOneIsTheSerialLoop) {
+  WorkQueue queue(1);
+  std::vector<std::size_t> order;
+  queue.RunBatch(10, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);  // index order, no interleaving
+  }
+}
+
+}  // namespace
+}  // namespace zombie
