@@ -1,0 +1,61 @@
+# Configure-time header-hygiene gate: every header under ${root}/src must be
+# listed in ${root}/tests/include_selfcheck.cc (the TU that proves each public
+# header compiles stand-alone).  The list used to be hand-maintained and could
+# silently go stale; this check fails the *configure* naming the exact header
+# and the exact line to add, so a new header can never ship unchecked.
+#
+# Two entry points:
+#   - include(cmake/include_selfcheck.cmake) from CMakeLists.txt, then
+#     zombie_include_selfcheck(${CMAKE_CURRENT_SOURCE_DIR})   # configure gate
+#   - cmake -DROOT=<tree> -P cmake/include_selfcheck.cmake    # script mode,
+#     used by the include_selfcheck.gate ctest to pin the diagnostic against
+#     a scratch tree with an injected header.
+#
+# zombie-lint's include-selfcheck rule enforces the same invariant lexically;
+# this check is the one that stops a build before a single file is compiled.
+
+function(zombie_include_selfcheck root)
+  set(selfcheck "${root}/tests/include_selfcheck.cc")
+  if(NOT EXISTS "${selfcheck}")
+    message(FATAL_ERROR
+      "include_selfcheck: '${selfcheck}' does not exist")
+  endif()
+  # CONFIGURE_DEPENDS: adding a header re-runs the configure (and this gate)
+  # on the next build instead of waiting for a manual re-configure.  Script
+  # mode (-P) forbids the flag, so the gate ctest globs without it.
+  if(CMAKE_SCRIPT_MODE_FILE)
+    file(GLOB_RECURSE headers RELATIVE "${root}" "${root}/src/*.h")
+  else()
+    file(GLOB_RECURSE headers RELATIVE "${root}" CONFIGURE_DEPENDS
+         "${root}/src/*.h")
+  endif()
+  file(READ "${selfcheck}" selfcheck_text)
+  set(missing "")
+  foreach(header IN LISTS headers)
+    string(FIND "${selfcheck_text}" "#include \"${header}\"" found)
+    if(found EQUAL -1)
+      list(APPEND missing "${header}")
+    endif()
+  endforeach()
+  if(missing)
+    set(lines "")
+    foreach(header IN LISTS missing)
+      string(APPEND lines "  #include \"${header}\"\n")
+    endforeach()
+    message(FATAL_ERROR
+      "include_selfcheck: header(s) missing from tests/include_selfcheck.cc "
+      "(every src/ header must compile stand-alone; add in alphabetical "
+      "order):\n${lines}")
+  endif()
+  list(LENGTH headers header_count)
+  message(STATUS
+    "zombieland: include_selfcheck gate: ${header_count} src/ headers listed")
+endfunction()
+
+if(CMAKE_SCRIPT_MODE_FILE AND
+   CMAKE_SCRIPT_MODE_FILE STREQUAL CMAKE_CURRENT_LIST_FILE)
+  if(NOT DEFINED ROOT)
+    message(FATAL_ERROR "include_selfcheck.cmake -P needs -DROOT=<tree>")
+  endif()
+  zombie_include_selfcheck("${ROOT}")
+endif()

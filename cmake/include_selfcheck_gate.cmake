@@ -1,0 +1,48 @@
+# ctest gate for cmake/include_selfcheck.cmake itself: builds a scratch tree,
+# proves the check passes when every header is listed, then injects a header
+# and proves the check fails naming exactly that header.  This pins the
+# configure-time gate's diagnostic so it can never silently stop firing.
+#
+# Invoked as:
+#   cmake -DCHECK_SCRIPT=<include_selfcheck.cmake> -DWORK_DIR=<dir>
+#         -P include_selfcheck_gate.cmake
+if(NOT DEFINED CHECK_SCRIPT OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "include_selfcheck_gate.cmake needs -DCHECK_SCRIPT= and -DWORK_DIR=")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/src/common" "${WORK_DIR}/tests")
+file(WRITE "${WORK_DIR}/src/common/alpha.h" "// scratch header\n")
+file(WRITE "${WORK_DIR}/tests/include_selfcheck.cc"
+     "#include \"src/common/alpha.h\"\n")
+
+# Complete list: the check must pass.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -DROOT=${WORK_DIR} -P "${CHECK_SCRIPT}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "complete list: expected the gate to pass, got exit ${rc}\n${out}\n${err}")
+endif()
+message(STATUS "include_selfcheck gate (complete list): passed as expected")
+
+# Inject a header the TU does not list: the check must fail naming it.
+file(WRITE "${WORK_DIR}/src/common/injected.h" "// scratch header\n")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -DROOT=${WORK_DIR} -P "${CHECK_SCRIPT}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "injected header: expected the gate to fail, but it passed\n${out}")
+endif()
+if(NOT err MATCHES "src/common/injected\\.h")
+  message(FATAL_ERROR
+    "injected header: diagnostic does not name src/common/injected.h:\n${err}")
+endif()
+message(STATUS
+  "include_selfcheck gate (injected header): failed naming the header, as expected")

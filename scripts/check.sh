@@ -35,6 +35,13 @@
 #             pass so the shard workers run under the race detector (no floor
 #             gate — instrumentation overhead would always trip it)
 #   bench     Release build (build-bench/) + the bench_smoke label
+#   lint      static analysis: zombie-lint over the whole tree (BLOCKING —
+#             any finding fails the stage; suppressions need a written
+#             reason), the `lint` ctest label (engine unit tests, fixture
+#             rules, the 0/1/2 exit-code contract, the include-selfcheck
+#             configure gate), then clang-tidy over changed files when the
+#             tool is on PATH (skipped gracefully otherwise — zombie-lint
+#             is the dependency-free floor)
 #
 # ccache is used automatically when present.  Exit code is nonzero if any
 # stage fails.  Every stage's wall-clock is printed at the end; when
@@ -55,17 +62,17 @@ fi
 stages=()
 for arg in "$@"; do
   case "${arg}" in
-    --fast) stages+=(tier1 scenario faults serve diff perf) ;;
-    tier1|scenario|faults|serve|diff|perf|asan|tsan|bench) stages+=("${arg}") ;;
+    --fast) stages+=(lint tier1 scenario faults serve diff perf) ;;
+    lint|tier1|scenario|faults|serve|diff|perf|asan|tsan|bench) stages+=("${arg}") ;;
     *)
       echo "check.sh: unknown argument '${arg}'" >&2
-      echo "usage: scripts/check.sh [--fast] [tier1|scenario|faults|serve|diff|perf|asan|tsan|bench ...]" >&2
+      echo "usage: scripts/check.sh [--fast] [lint|tier1|scenario|faults|serve|diff|perf|asan|tsan|bench ...]" >&2
       exit 2
       ;;
   esac
 done
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(tier1 scenario faults serve diff perf asan tsan)
+  stages=(lint tier1 scenario faults serve diff perf asan tsan)
 fi
 
 # Per-stage wall-clock, reported at the end (and to the CI job summary).
@@ -78,6 +85,49 @@ for stage in "${stages[@]}"; do
   n=$((n + 1))
   stage_start=${SECONDS}
   case "${stage}" in
+    lint)
+      echo "==> [${n}/${total}] lint: zombie-lint (blocking) + ctest -L lint + clang-tidy"
+      cmake -B build -S . "${cmake_args[@]}" >/dev/null
+      cmake --build build -j "${jobs}" --target zombie-lint lint_test
+      # The project linter is blocking: any finding at error severity fails
+      # the stage.  Findings (if any) also land in the CI job summary.
+      lint_rc=0
+      ./build/zombie-lint --root=. | tee build/lint_findings.txt || lint_rc=$?
+      if [[ -n "${GITHUB_STEP_SUMMARY:-}" && -s build/lint_findings.txt ]]; then
+        {
+          echo "### zombie-lint findings"
+          echo ""
+          echo '```'
+          cat build/lint_findings.txt
+          echo '```'
+        } >> "${GITHUB_STEP_SUMMARY}"
+      fi
+      if [[ "${lint_rc}" -ne 0 ]]; then
+        echo "check.sh: zombie-lint found violations (see above); suppress" >&2
+        echo "only with a written reason: // ZLINT-ALLOW(rule): why" >&2
+        exit "${lint_rc}"
+      fi
+      # The lint ctest label: engine unit tests, fixture rules, the 0/1/2
+      # exit-code contract, and the include-selfcheck configure gate.
+      ctest --test-dir build -L lint --output-on-failure -j "${jobs}"
+      # clang-tidy over changed compiled files when the tool is available.
+      # compile_commands.json is exported by the configure above; without
+      # clang-tidy on PATH this is a graceful skip (offline containers) —
+      # zombie-lint above is the dependency-free floor.
+      if command -v clang-tidy >/dev/null 2>&1; then
+        tidy_base="$(git merge-base origin/main HEAD 2>/dev/null || echo HEAD)"
+        mapfile -t tidy_files < <(git diff --name-only --diff-filter=d \
+          "${tidy_base}" -- 'src/*.cc' 'tools/*.cc' 2>/dev/null || true)
+        if [[ ${#tidy_files[@]} -gt 0 ]]; then
+          echo "    clang-tidy over ${#tidy_files[@]} changed file(s)"
+          clang-tidy -p build "${tidy_files[@]}"
+        else
+          echo "    clang-tidy: no changed .cc files vs ${tidy_base}"
+        fi
+      else
+        echo "    clang-tidy: not on PATH, skipping (zombie-lint already ran)"
+      fi
+      ;;
     tier1)
       echo "==> [${n}/${total}] tier-1: configure + build + ctest (build/)"
       cmake -B build -S . "${cmake_args[@]}"

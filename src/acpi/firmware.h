@@ -50,7 +50,7 @@ class Firmware {
   // OSPM writes SLP_TYP|SLP_EN here (both registers, as on real hardware).
   // If the write enables sleep and both registers agree, the firmware
   // sequences the transition.  Returns the state entered.
-  Result<SleepState> LatchAndSleep();
+  [[nodiscard]] Result<SleepState> LatchAndSleep();
 
   // Wake path: re-initialises the chipset state and re-opens rails for S0.
   void Wake();

@@ -45,7 +45,7 @@ class Machine {
   PowerMw PowerNow() const { return profile_.PowerAtPercent(PowerPercentNow()); }
 
   // Convenience wrappers used by the rack layer.
-  Status Suspend(SleepState target);
+  [[nodiscard]] Status Suspend(SleepState target);
   // Wake-on-LAN entry point; returns the wake (exit) latency of the state we
   // left, so callers can account for it.
   Duration WakeOnLan();

@@ -33,7 +33,7 @@ class Ospm {
 
   // The sysfs entry point: accepts "mem", "disk", "zom", ...  Returns the
   // state entered.  The machine is left suspended; call Wake() to resume.
-  Result<SleepState> WriteSysPowerState(std::string_view keyword);
+  [[nodiscard]] Result<SleepState> WriteSysPowerState(std::string_view keyword);
 
   // Wake path (triggered by WoL or the platform).  Returns the state we woke
   // from.  No-op when already in S0.
@@ -59,13 +59,13 @@ class Ospm {
   }
 
  private:
-  Result<SleepState> PmSuspend(SleepState target);
-  Result<SleepState> EnterState(SleepState target);
-  Result<SleepState> SuspendDevicesAndEnter(SleepState target);
-  Result<SleepState> SuspendEnter(SleepState target);
-  Result<SleepState> AcpiSuspendEnter(SleepState target);
-  Result<SleepState> X86AcpiEnterSleepState(SleepState target);
-  Result<SleepState> AcpiHwLegacySleep(SleepState target);
+  [[nodiscard]] Result<SleepState> PmSuspend(SleepState target);
+  [[nodiscard]] Result<SleepState> EnterState(SleepState target);
+  [[nodiscard]] Result<SleepState> SuspendDevicesAndEnter(SleepState target);
+  [[nodiscard]] Result<SleepState> SuspendEnter(SleepState target);
+  [[nodiscard]] Result<SleepState> AcpiSuspendEnter(SleepState target);
+  [[nodiscard]] Result<SleepState> X86AcpiEnterSleepState(SleepState target);
+  [[nodiscard]] Result<SleepState> AcpiHwLegacySleep(SleepState target);
 
   void Trace(std::string_view fn) { call_trace_.emplace_back(fn); }
 

@@ -91,7 +91,7 @@ class AdmissionController {
 
   // Legacy single-tenant gate: no throttle, tenant 0.  Kept for the
   // consolidation/runtime callers that predate the serving mode.
-  Status Admit(const hv::VmSpec& vm);
+  [[nodiscard]] Status Admit(const hv::VmSpec& vm);
 
   // Re-books an admitted VM at a new size.  On success the delta is applied
   // atomically to the rack and tenant accounting; on rejection the old
@@ -100,7 +100,7 @@ class AdmissionController {
 
   // Releases a booking.  Unknown ids return kNotFound (they must not
   // silently "succeed" — a double release would let accounting drift).
-  Status Release(hv::VmId vm);
+  [[nodiscard]] Status Release(hv::VmId vm);
   bool IsAdmitted(hv::VmId vm) const { return admitted_.contains(vm); }
 
   Bytes admitted_memory() const { return admitted_memory_; }

@@ -76,12 +76,12 @@ class Rack {
   // ---- Power orchestration ------------------------------------------------
   // Pushes a server into Sz: its manager delegates memory, then OSPM runs
   // the Fig. 6 path.  Fails if the server still hosts VMs.
-  Status PushToZombie(remotemem::ServerId id);
+  [[nodiscard]] Status PushToZombie(remotemem::ServerId id);
   // Suspends without lending (plain S3; the Section 4.4 deep-sleep case for
   // surplus zombies).
-  Status PushToSleep(remotemem::ServerId id, acpi::SleepState state);
+  [[nodiscard]] Status PushToSleep(remotemem::ServerId id, acpi::SleepState state);
   // Wakes a server and reclaims its lent memory.  Returns wake latency.
-  Result<Duration> WakeServer(remotemem::ServerId id);
+  [[nodiscard]] Result<Duration> WakeServer(remotemem::ServerId id);
 
   // Section 4.4 surplus policy: push fully-idle zombies beyond
   // `keep_free_bytes` of pool slack into plain S3 (their memory leaves the
@@ -101,7 +101,7 @@ class Rack {
   // ---- Fault injection ----------------------------------------------------
   // Sudden, silent host death: the node drops off the fabric mid-flight; the
   // control plane only learns through the missed-heartbeat deadline.
-  Status KillHost(remotemem::ServerId id);
+  [[nodiscard]] Status KillHost(remotemem::ServerId id);
   bool HostDead(remotemem::ServerId id) const { return dead_hosts_.contains(id); }
   // Partitions (or heals) the fabric between one controller shard's node and
   // every server: lease renewals to that shard fail until healed.
@@ -128,7 +128,7 @@ class Rack {
   class Agents final : public remotemem::AgentDirectory {
    public:
     explicit Agents(Rack* rack) : rack_(rack) {}
-    Status ReclaimFromUser(remotemem::ServerId user,
+    [[nodiscard]] Status ReclaimFromUser(remotemem::ServerId user,
                            const std::vector<remotemem::BufferId>& buffers) override;
     Bytes RequestActiveDelegation(remotemem::ServerId host, Bytes wanted) override;
 

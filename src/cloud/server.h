@@ -55,8 +55,8 @@ class Server {
   // ---- VM hosting ---------------------------------------------------------
   // `local_bytes` is the part of the VM's reserved memory taken from this
   // host's RAM (the rest lives in remote buffers).
-  Status HostVm(const hv::VmSpec& vm, Bytes local_bytes);
-  Status DropVm(hv::VmId vm);
+  [[nodiscard]] Status HostVm(const hv::VmSpec& vm, Bytes local_bytes);
+  [[nodiscard]] Status DropVm(hv::VmId vm);
   bool Hosts(hv::VmId vm) const { return vms_.contains(vm); }
   const std::map<hv::VmId, hv::VmSpec>& vms() const { return vms_; }
   Bytes LocalBytesOf(hv::VmId vm) const;

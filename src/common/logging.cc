@@ -1,6 +1,9 @@
+// ZLINT-ALLOW-FILE(printf-family): this file IS the logging sink; every
+// other library file routes its stderr traffic through it.
 #include "src/common/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace zombie {
 namespace {
@@ -30,6 +33,12 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 
 void LogMessage(LogLevel level, const std::string& tag, const std::string& message) {
   std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), tag.c_str(), message.c_str());
+}
+
+void FatalMessage(const std::string& tag, const std::string& message) {
+  std::fprintf(stderr, "[FATAL] %s: %s\n", tag.c_str(), message.c_str());
+  std::fflush(stderr);
+  std::abort();
 }
 
 }  // namespace zombie

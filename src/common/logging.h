@@ -18,6 +18,12 @@ void SetLogLevel(LogLevel level);
 // Emits one formatted line to stderr ("[LEVEL] tag: message").
 void LogMessage(LogLevel level, const std::string& tag, const std::string& message);
 
+// Emits "[FATAL] tag: message" to stderr and aborts.  Never filtered by the
+// log level: this is the library's one sanctioned way to die on an invariant
+// violation from a path that has no Status channel (so callers don't reach
+// for fprintf+abort, which the printf-family lint rule rejects).
+[[noreturn]] void FatalMessage(const std::string& tag, const std::string& message);
+
 // Stream-style helper: ZLOG(kInfo, "ospm") << "entering " << state;
 class LogStream {
  public:

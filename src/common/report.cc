@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/logging.h"
 #include "src/common/table.h"
 
 namespace zombie::report {
@@ -67,9 +68,9 @@ ReportTable& Report::AddTable(std::string id, std::string title,
 
 void ReportTable::SetCell(std::size_t row, std::size_t column, std::string value) {
   if (row >= rows_.size() || column >= rows_[row].size()) {
-    std::fprintf(stderr, "report: SetCell(%zu, %zu) outside the %zux%zu grid of '%s'\n",
-                 row, column, rows_.size(), columns_.size(), id_.c_str());
-    std::abort();
+    FatalMessage("report", "SetCell(" + std::to_string(row) + ", " + std::to_string(column) +
+                               ") outside the " + std::to_string(rows_.size()) + "x" +
+                               std::to_string(columns_.size()) + " grid of '" + id_ + "'");
   }
   rows_[row][column] = std::move(value);
 }
@@ -108,9 +109,9 @@ ScopedCellCapture::~ScopedCellCapture() { g_cell_sink = previous_; }
 
 void SweepTable::Set(std::size_t row, std::size_t column, std::string value) {
   if (row >= rows_ || column >= columns_) {
-    std::fprintf(stderr, "report: sweep cell (%zu, %zu) outside the %zux%zu grid\n",
-                 row, column, rows_, columns_);
-    std::abort();
+    FatalMessage("report", "sweep cell (" + std::to_string(row) + ", " + std::to_string(column) +
+                               ") outside the " + std::to_string(rows_) + "x" +
+                               std::to_string(columns_) + " grid");
   }
   if (g_cell_sink != nullptr) {
     g_cell_sink->push_back({table_index_, row, column, value});

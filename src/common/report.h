@@ -24,7 +24,7 @@ enum class Format { kTable = 0, kCsv, kJson };
 
 std::string_view FormatName(Format format);
 // Parses "table" / "csv" / "json" (case-sensitive, as typed on the CLI).
-Result<Format> ParseFormat(std::string_view name);
+[[nodiscard]] Result<Format> ParseFormat(std::string_view name);
 
 // printf into a std::string (the note/banner helper of the scenario ports).
 std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -220,11 +220,11 @@ class Report {
 // Minimal JSON syntax checker (objects, arrays, strings, numbers, literals)
 // used by the driver's --format=json self-check and the tests; returns
 // kInvalidArgument with a position on the first syntax error.
-Status ValidateJson(std::string_view text);
+[[nodiscard]] Status ValidateJson(std::string_view text);
 
 // Schema check for a rendered report document: syntactically valid JSON that
 // contains the required top-level keys ("schema", "scenario", "tables").
-Status ValidateReportJson(std::string_view text);
+[[nodiscard]] Status ValidateReportJson(std::string_view text);
 
 // JSON string escaping (exposed for the driver's aggregate documents).
 std::string JsonEscape(std::string_view text);
@@ -261,7 +261,7 @@ struct JsonValue {
 
 // Full parse into the document model; kInvalidArgument with an offset on the
 // first syntax error (same grammar as ValidateJson).
-Result<JsonValue> ParseJson(std::string_view text);
+[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace zombie::report
 

@@ -1,3 +1,7 @@
+// ZLINT-ALLOW-FILE(printf-family): Result/Status misuse aborts must not
+// depend on the logging layer (logging.h pulls in <sstream>/std::string
+// machinery that may itself be mid-failure); this file writes its two fatal
+// diagnostics to stderr directly.
 #include "src/common/result.h"
 
 #include <cstdio>
@@ -9,6 +13,13 @@ namespace internal {
 
 void ResultCheckFailed(const char* what) {
   std::fprintf(stderr, "zombieland: fatal Result/Status misuse: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void CheckOkFailed(const char* expr, const Status& status) {
+  std::fprintf(stderr, "zombieland: ZOMBIE_CHECK_OK(%s) failed: %s\n", expr,
+               status.ToString().c_str());
   std::fflush(stderr);
   std::abort();
 }

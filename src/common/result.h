@@ -32,12 +32,14 @@ enum class ErrorCode {
 const char* ErrorCodeName(ErrorCode code);
 
 // A status: either OK or an error code plus a human-readable message.
-class Status {
+// Class-level [[nodiscard]]: a dropped Status is a swallowed failure, so every
+// call site must either consume it or cast to void with a justification.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrorCode::kOk) {}
   Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }
@@ -50,9 +52,10 @@ class Status {
   std::string message_;
 };
 
-// Result<T>: a value or a Status error.
+// Result<T>: a value or a Status error.  [[nodiscard]] for the same reason as
+// Status: discarding one silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
@@ -81,7 +84,7 @@ class Result {
     return std::get<T>(std::move(data_));
   }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) {
       return Status::Ok();
     }
@@ -129,6 +132,29 @@ class Result {
       return zombie_status_;                      \
     }                                             \
   } while (false)
+
+namespace internal {
+// Prints the failing expression plus the error status to stderr and aborts.
+[[noreturn]] void CheckOkFailed(const char* expr, const Status& status);
+
+inline void CheckOkImpl(const char* expr, const Status& status) {
+  if (!status.ok()) {
+    CheckOkFailed(expr, status);
+  }
+}
+template <typename T>
+void CheckOkImpl(const char* expr, const Result<T>& result) {
+  if (!result.ok()) {
+    CheckOkFailed(expr, result.status());
+  }
+}
+}  // namespace internal
+
+// Consumes a Status/Result<T> whose failure would be a programming error:
+// aborts with the expression and error message instead of discarding it.
+// Use where a caller has no error channel and "cannot happen" failures must
+// fail loudly (e.g. fixed-topology scenario setup).
+#define ZOMBIE_CHECK_OK(expr) ::zombie::internal::CheckOkImpl(#expr, (expr))
 
 }  // namespace zombie
 

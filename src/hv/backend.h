@@ -21,8 +21,8 @@ class PageBackend {
   virtual ~PageBackend() = default;
 
   // Stores / loads one 4 KiB page.  Returns the simulated foreground cost.
-  virtual Result<Duration> StorePage(PageIndex page) = 0;
-  virtual Result<Duration> LoadPage(PageIndex page) = 0;
+  [[nodiscard]] virtual Result<Duration> StorePage(PageIndex page) = 0;
+  [[nodiscard]] virtual Result<Duration> LoadPage(PageIndex page) = 0;
 
   virtual std::string name() const = 0;
   // Pages this backend can hold; kNoLimit for device-backed swap.
@@ -42,10 +42,10 @@ class RemoteBackend final : public PageBackend {
  public:
   explicit RemoteBackend(remotemem::RemoteExtent* extent) : extent_(extent) {}
 
-  Result<Duration> StorePage(PageIndex page) override {
+  [[nodiscard]] Result<Duration> StorePage(PageIndex page) override {
     return extent_->WritePage(page, {});
   }
-  Result<Duration> LoadPage(PageIndex page) override { return extent_->ReadPage(page, {}); }
+  [[nodiscard]] Result<Duration> LoadPage(PageIndex page) override { return extent_->ReadPage(page, {}); }
 
   std::string name() const override { return "remote-ram"; }
   std::uint64_t capacity_pages() const override { return extent_->capacity_pages(); }
@@ -62,8 +62,8 @@ class DeviceBackend final : public PageBackend {
   DeviceBackend(std::string device_name, DeviceLatency latency)
       : name_(std::move(device_name)), latency_(latency) {}
 
-  Result<Duration> StorePage(PageIndex) override { return latency_.write; }
-  Result<Duration> LoadPage(PageIndex) override { return latency_.read; }
+  [[nodiscard]] Result<Duration> StorePage(PageIndex) override { return latency_.write; }
+  [[nodiscard]] Result<Duration> LoadPage(PageIndex) override { return latency_.read; }
 
   std::string name() const override { return name_; }
   std::uint64_t capacity_pages() const override { return kNoLimit; }

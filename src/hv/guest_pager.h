@@ -49,7 +49,7 @@ class GuestPager {
   GuestPager(std::uint64_t guest_pages, std::uint64_t visible_ram_pages, PageBackend* device,
              GuestSwapConfig config = {});
 
-  Result<Duration> Access(PageIndex page, bool is_write);
+  [[nodiscard]] Result<Duration> Access(PageIndex page, bool is_write);
 
   // Batched form of Access(): same state machine, summed cost, failed
   // accesses contribute 0 (see HostPager::AccessBatch).
@@ -64,9 +64,9 @@ class GuestPager {
   void set_fault_batcher(RemoteFaultBatcher* batcher) { batcher_ = batcher; }
 
  private:
-  Result<Duration> EvictOne();
+  [[nodiscard]] Result<Duration> EvictOne();
   // Page-fault slow path; returns the extra cost beyond a resident access.
-  Result<Duration> FaultIn(PageTableEntry& entry, PageIndex page);
+  [[nodiscard]] Result<Duration> FaultIn(PageTableEntry& entry, PageIndex page);
 
   GuestPageTable table_;
   std::uint64_t usable_frames_;

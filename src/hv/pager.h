@@ -54,7 +54,7 @@ class HostPager {
 
   // One guest access to `page`.  Returns the simulated cost of the access
   // including any fault handling, and accumulates it into stats().
-  Result<Duration> Access(PageIndex page, bool is_write);
+  [[nodiscard]] Result<Duration> Access(PageIndex page, bool is_write);
 
   // Batched accesses: applies exactly the Access() state machine to every
   // element and returns the summed simulated cost.  Out-of-range or
@@ -86,11 +86,11 @@ class HostPager {
   // PickVictim/OnPageIn calls statically (the policy classes are final, so
   // the compiler devirtualises and inlines them into the fault path).
   template <typename Policy>
-  Result<Duration> EvictOne(Policy& policy);
+  [[nodiscard]] Result<Duration> EvictOne(Policy& policy);
   // The page-fault slow path: evict if needed, reload if swapped, map.
   // Returns the extra cost beyond the resident-access cost.
   template <typename Policy>
-  Result<Duration> FaultIn(PageTableEntry& entry, PageIndex page, Policy& policy);
+  [[nodiscard]] Result<Duration> FaultIn(PageTableEntry& entry, PageIndex page, Policy& policy);
   template <typename Policy>
   Duration AccessBatchImpl(std::span<const PageAccess> batch, Policy& policy);
 

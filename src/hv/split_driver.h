@@ -58,11 +58,11 @@ class SwapDeviceBackend {
   // Lazily obtains (or grows) the remote extent.  Called on first use and
   // again by the hourly refresh ("periodically called ... in order to take
   // advantage of unused remote buffers").  Returns bytes now available.
-  Result<Bytes> RefreshRemoteAllocation();
+  [[nodiscard]] Result<Bytes> RefreshRemoteAllocation();
 
   // Synchronous submit path used by the pager models: one request through
   // the ring, returns the completion.
-  Result<BlockCompletion> Submit(const BlockRequest& request);
+  [[nodiscard]] Result<BlockCompletion> Submit(const BlockRequest& request);
 
   // Ring interface (asynchronous flavour, used by tests that model the
   // frontend explicitly).
@@ -92,8 +92,8 @@ class SplitDriverPageBackend final : public PageBackend {
  public:
   explicit SplitDriverPageBackend(SwapDeviceBackend* device) : device_(device) {}
 
-  Result<Duration> StorePage(PageIndex page) override;
-  Result<Duration> LoadPage(PageIndex page) override;
+  [[nodiscard]] Result<Duration> StorePage(PageIndex page) override;
+  [[nodiscard]] Result<Duration> LoadPage(PageIndex page) override;
   std::string name() const override { return "explicit-sd"; }
   std::uint64_t capacity_pages() const override { return kNoLimit; }
 

@@ -72,14 +72,14 @@ class Fabric {
   const std::string& NodeName(NodeId id) const;
 
   // Validates an initiator->target one-sided operation and returns its cost.
-  Result<Duration> PriceOneSided(NodeId initiator, NodeId target, Bytes bytes) const;
+  [[nodiscard]] Result<Duration> PriceOneSided(NodeId initiator, NodeId target, Bytes bytes) const;
   // Two-sided (send/recv) needs a live CPU on both ends.
-  Result<Duration> PriceTwoSided(NodeId initiator, NodeId target, Bytes bytes) const;
+  [[nodiscard]] Result<Duration> PriceTwoSided(NodeId initiator, NodeId target, Bytes bytes) const;
 
   // Delivers a Wake-on-LAN magic packet.  The initiator needs a CPU; the
   // target needs an armed WoL NIC (any sleep state keeping the standby
   // well).  Returns packet flight time plus the target's wake latency.
-  Result<Duration> SendWakePacket(NodeId initiator, NodeId target);
+  [[nodiscard]] Result<Duration> SendWakePacket(NodeId initiator, NodeId target);
 
   // ---- Link failures (derecho-style is_broken + failure upcall) ----------
   // Marks the a<->b link as partitioned (or heals it).  A broken link fails
@@ -115,7 +115,7 @@ class Fabric {
     return (static_cast<std::uint64_t>(hi) << 32) | lo;
   }
   // Returns an error (and fires the failure upcall) if the link is broken.
-  Status CheckLink(NodeId initiator, NodeId target) const;
+  [[nodiscard]] Status CheckLink(NodeId initiator, NodeId target) const;
 
   FabricParams params_;
   std::unordered_map<NodeId, NodePort> ports_;

@@ -76,9 +76,9 @@ class PayloadReader {
  public:
   explicit PayloadReader(const Payload& payload) : buf_(payload) {}
 
-  Result<std::uint64_t> GetU64();
-  Result<std::uint32_t> GetU32();
-  Result<std::string> GetString();
+  [[nodiscard]] Result<std::uint64_t> GetU64();
+  [[nodiscard]] Result<std::uint32_t> GetU32();
+  [[nodiscard]] Result<std::string> GetString();
   bool AtEnd() const { return pos_ == buf_.size(); }
 
  private:
@@ -109,7 +109,7 @@ class RpcServer {
   // Executes one request (called by the RpcRouter).  The response lives in a
   // reusable ring slot: the pointer stays valid for the next kRingSlots - 1
   // dispatches only.
-  Result<const Payload*> Dispatch(const std::string& method, const Payload& request);
+  [[nodiscard]] Result<const Payload*> Dispatch(const std::string& method, const Payload& request);
 
   // Average daemon polling interval: a request written into the ring waits
   // this long on average before the daemon notices it.
@@ -187,11 +187,11 @@ class RpcRouter {
   // The response bytes replace the contents of `response` (capacity reused —
   // the caller's poll slot).  `response` must not alias `request`.  `cost`
   // (optional) receives the priced client/server time.
-  Status CallInto(NodeId from, NodeId to, const std::string& method, const Payload& request,
+  [[nodiscard]] Status CallInto(NodeId from, NodeId to, const std::string& method, const Payload& request,
                   Payload& response, RpcCost* cost = nullptr);
 
   // Convenience wrapper returning a freshly-allocated response.
-  Result<Payload> Call(NodeId from, NodeId to, const std::string& method,
+  [[nodiscard]] Result<Payload> Call(NodeId from, NodeId to, const std::string& method,
                        const Payload& request, RpcCost* cost = nullptr);
 
  private:

@@ -92,8 +92,8 @@ class Verbs {
   Fabric& fabric() { return *fabric_; }
 
   // Registers `size` bytes on `owner`.  Returns the region's rkey.
-  Result<RKey> RegisterRegion(NodeId owner, Bytes size, MrAccess access = {});
-  Status DeregisterRegion(RKey rkey);
+  [[nodiscard]] Result<RKey> RegisterRegion(NodeId owner, Bytes size, MrAccess access = {});
+  [[nodiscard]] Status DeregisterRegion(RKey rkey);
 
   MemoryRegion* FindRegion(RKey rkey);
   const MemoryRegion* FindRegion(RKey rkey) const;
@@ -101,24 +101,24 @@ class Verbs {
   // One-sided READ: copies [remote_offset, +len) of the remote region into
   // `dst`.  `initiator` must have a live CPU; the region's owner only needs
   // powered memory (the zombie property).  Returns the simulated cost.
-  Result<Duration> Read(NodeId initiator, RKey rkey, Bytes remote_offset,
+  [[nodiscard]] Result<Duration> Read(NodeId initiator, RKey rkey, Bytes remote_offset,
                         std::span<std::byte> dst, CompletionQueue* cq = nullptr,
                         std::uint64_t wr_id = 0);
 
   // One-sided WRITE: copies `src` into the remote region at remote_offset.
-  Result<Duration> Write(NodeId initiator, RKey rkey, Bytes remote_offset,
+  [[nodiscard]] Result<Duration> Write(NodeId initiator, RKey rkey, Bytes remote_offset,
                          std::span<const std::byte> src, CompletionQueue* cq = nullptr,
                          std::uint64_t wr_id = 0);
 
   // Two-sided SEND: delivers `payload` to the target's receive queue.
-  Result<Duration> Send(NodeId initiator, NodeId target, std::vector<std::byte> payload,
+  [[nodiscard]] Result<Duration> Send(NodeId initiator, NodeId target, std::vector<std::byte> payload,
                         CompletionQueue* cq = nullptr, std::uint64_t wr_id = 0);
   // Receives the oldest pending message for `node`, if any.
-  Result<std::vector<std::byte>> Recv(NodeId node);
+  [[nodiscard]] Result<std::vector<std::byte>> Recv(NodeId node);
   bool HasPending(NodeId node) const;
 
  private:
-  Result<Duration> CheckOneSided(NodeId initiator, const MemoryRegion& mr, Bytes offset,
+  [[nodiscard]] Result<Duration> CheckOneSided(NodeId initiator, const MemoryRegion& mr, Bytes offset,
                                  Bytes len, bool is_write) const;
 
   Fabric* fabric_;

@@ -24,14 +24,14 @@ namespace zombie::remotemem {
 class BufferDb {
  public:
   // Inserts a record; id must be fresh.
-  Status Insert(const BufferRecord& record);
-  Status Erase(BufferId id);
+  [[nodiscard]] Status Insert(const BufferRecord& record);
+  [[nodiscard]] Status Erase(BufferId id);
   std::optional<BufferRecord> Find(BufferId id) const;
 
   // Marks a free buffer as used by `user`.
-  Status Assign(BufferId id, ServerId user);
+  [[nodiscard]] Status Assign(BufferId id, ServerId user);
   // Returns a buffer to the free pool.
-  Status Release(BufferId id);
+  [[nodiscard]] Status Release(BufferId id);
   // Flips the type of all buffers of `host` (zombie <-> active) when the
   // host changes power state without reclaiming.
   void RetypeHost(ServerId host, BufferType type);

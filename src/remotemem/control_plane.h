@@ -28,27 +28,27 @@ class ControlPlane {
 
   // GS_goto_zombie: `host` transitions to zombie and delegates `buffers`.
   // Returns the controller-assigned ids, in input order.
-  virtual Result<std::vector<BufferId>> GsGotoZombie(
+  [[nodiscard]] virtual Result<std::vector<BufferId>> GsGotoZombie(
       ServerId host, const std::vector<BufferGrant>& buffers) = 0;
 
   // Delegation from a host that stays active (slack lending while in S0).
-  virtual Result<std::vector<BufferId>> DelegateActiveBuffers(
+  [[nodiscard]] virtual Result<std::vector<BufferId>> DelegateActiveBuffers(
       ServerId host, const std::vector<BufferGrant>& buffers) = 0;
 
   // GS_reclaim: a waking host takes back `nb_buffers` of its delegations.
-  virtual Result<std::vector<BufferId>> GsReclaim(ServerId host,
+  [[nodiscard]] virtual Result<std::vector<BufferId>> GsReclaim(ServerId host,
                                                   std::size_t nb_buffers) = 0;
 
   // GS_alloc_ext: guaranteed RAM-Ext allocation (all-or-nothing).
-  virtual Result<std::vector<BufferGrant>> GsAllocExt(ServerId user,
+  [[nodiscard]] virtual Result<std::vector<BufferGrant>> GsAllocExt(ServerId user,
                                                       Bytes mem_size) = 0;
 
   // GS_alloc_swap: best-effort swap allocation (may return fewer buffers).
-  virtual Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user,
+  [[nodiscard]] virtual Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user,
                                                        Bytes mem_size) = 0;
 
   // Releases buffers `user` no longer needs.
-  virtual Status GsRelease(ServerId user,
+  [[nodiscard]] virtual Status GsRelease(ServerId user,
                            const std::vector<BufferId>& buffers) = 0;
 };
 

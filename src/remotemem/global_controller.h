@@ -58,7 +58,7 @@ class AgentDirectory {
   virtual ~AgentDirectory() = default;
   // US_reclaim: informs `user`'s remote-mem-mgr that `buffers` are no longer
   // available; the mgr migrates its backup copies elsewhere.
-  virtual Status ReclaimFromUser(ServerId user, const std::vector<BufferId>& buffers) = 0;
+  [[nodiscard]] virtual Status ReclaimFromUser(ServerId user, const std::vector<BufferId>& buffers) = 0;
   // AS_get_free_mem: asks an active server how much slack it can lend, and
   // to delegate it (the agent responds by calling DelegateBuffers).
   virtual Bytes RequestActiveDelegation(ServerId host, Bytes wanted) = 0;
@@ -103,26 +103,26 @@ class GlobalMemoryController : public ControlPlane {
   // GS_goto_zombie(buffers): the host is about to enter Sz and lends the
   // given buffers.  Buffers previously lent while active flip to zombie
   // type.  Returns the controller-assigned ids, in input order.
-  Result<std::vector<BufferId>> GsGotoZombie(
+  [[nodiscard]] Result<std::vector<BufferId>> GsGotoZombie(
       ServerId host, const std::vector<BufferGrant>& buffers) override;
 
   // Active-server delegation (slack lending while in S0).
-  Result<std::vector<BufferId>> DelegateActiveBuffers(
+  [[nodiscard]] Result<std::vector<BufferId>> DelegateActiveBuffers(
       ServerId host, const std::vector<BufferGrant>& buffers) override;
 
   // GS_reclaim(nbBuffers): a waking host takes back `nb` of its buffers.
   // Unallocated buffers go first; then allocated ones are reclaimed from
   // their users via US_reclaim.  Returns the reclaimed buffer ids.
-  Result<std::vector<BufferId>> GsReclaim(ServerId host, std::size_t nb_buffers) override;
+  [[nodiscard]] Result<std::vector<BufferId>> GsReclaim(ServerId host, std::size_t nb_buffers) override;
 
   // ---- Allocation (Section 4.4) -----------------------------------------
   // RAM-Extension allocation: must fully satisfy memSize (admission control
   // guarantees rack capacity); escalates to active/user servers if needed.
-  Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size) override;
+  [[nodiscard]] Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size) override;
   // Swap allocation: best effort, may return less than memSize.
-  Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size) override;
+  [[nodiscard]] Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size) override;
   // Releases buffers a user no longer needs.
-  Status GsRelease(ServerId user, const std::vector<BufferId>& buffers) override;
+  [[nodiscard]] Status GsRelease(ServerId user, const std::vector<BufferId>& buffers) override;
 
   // Takes up to `want` free buffers of one type for `user` (zombie-hosted
   // and active-hosted pools are separate priority classes; the plane calls
@@ -143,7 +143,7 @@ class GlobalMemoryController : public ControlPlane {
 
   // GS_get_lru_zombie(): the zombie with the fewest allocated buffers
   // (Section 5.2) — the cheapest one to wake.
-  Result<ServerId> GsGetLruZombie() const;
+  [[nodiscard]] Result<ServerId> GsGetLruZombie() const;
 
   // Section 4.4 surplus policy: "If the global-mem-ctr holds huge amounts of
   // free memory (e.g. more than the total memory of a rack server), the
@@ -155,7 +155,7 @@ class GlobalMemoryController : public ControlPlane {
   // Drops all (free) buffers of `host` from the pool as it transitions to a
   // state where its memory is unreachable (S3/S4).  Fails if any buffer of
   // the host is still allocated.
-  Status RetireZombie(ServerId host);
+  [[nodiscard]] Status RetireZombie(ServerId host);
 
   // ---- Introspection -----------------------------------------------------
   const BufferDb& db() const { return db_; }
@@ -167,7 +167,7 @@ class GlobalMemoryController : public ControlPlane {
   std::uint64_t BumpHeartbeat() { return ++heartbeat_seq_; }
 
  private:
-  Result<std::vector<BufferId>> InsertGrants(ServerId host,
+  [[nodiscard]] Result<std::vector<BufferId>> InsertGrants(ServerId host,
                                              const std::vector<BufferGrant>& buffers,
                                              BufferType type);
   void Mirror(const MirrorOp& op);

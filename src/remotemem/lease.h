@@ -41,7 +41,7 @@ class LeaseManager {
   // Renews a live lease.  kNotFound when the host was never granted one;
   // kFailedPrecondition when the lease already expired (the host must be
   // re-admitted with Grant, which starts a new epoch).
-  Status Renew(ServerId host, SimTime now);
+  [[nodiscard]] Status Renew(ServerId host, SimTime now);
 
   // Renew-or-re-grant: the "host made contact" path.  A live lease is
   // renewed; an expired or missing one is re-granted with a fresh epoch.

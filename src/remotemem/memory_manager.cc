@@ -103,6 +103,9 @@ std::size_t RemoteExtent::RehomeMirroredPages() {
   // reclaimed slots.
   std::size_t moved = 0;
   std::vector<std::uint64_t> rehomed;
+  // Order-independent: each page is tested against its own slot in isolation,
+  // `moved` is a count, and the erase set is the same whatever the order.
+  // ZLINT-ALLOW(unordered-iter): per-element predicate + count, order-free.
   for (std::uint64_t page : mirror_only_pages_) {
     const Location loc = Locate(page);
     if (loc.slot < buffers_.size() && !buffers_[loc.slot].reclaimed) {

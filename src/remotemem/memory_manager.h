@@ -55,10 +55,10 @@ class RemoteExtent {
   // Writes one page at `page_index`.  Returns the simulated foreground cost
   // (the async local mirror is free on this path).  `data` may be empty for
   // accounting-only runs.
-  Result<Duration> WritePage(std::uint64_t page_index, std::span<const std::byte> data);
+  [[nodiscard]] Result<Duration> WritePage(std::uint64_t page_index, std::span<const std::byte> data);
   // Reads one page.  Pages whose buffer was reclaimed are served from the
   // local backup at storage latency (the paper's slower path).
-  Result<Duration> ReadPage(std::uint64_t page_index, std::span<std::byte> out);
+  [[nodiscard]] Result<Duration> ReadPage(std::uint64_t page_index, std::span<std::byte> out);
 
   // Reclaim notification: the given buffers are gone.  Pages they held stay
   // readable via the local mirror.  Returns how many pages were affected.
@@ -117,12 +117,12 @@ class RemoteMemoryManager {
   // Called on the Sz signal: carves `free_bytes` into BUFF_SIZE buffers,
   // registers MRs and calls GS_goto_zombie.  Returns the number of buffers
   // delegated.  `materialize` = false for accounting-only simulations.
-  Result<std::size_t> DelegateOnZombie(Bytes free_bytes, bool materialize = true);
+  [[nodiscard]] Result<std::size_t> DelegateOnZombie(Bytes free_bytes, bool materialize = true);
   // Active-server slack lending (AS_get_free_mem response).
-  Result<std::size_t> DelegateActive(Bytes free_bytes, bool materialize = true);
+  [[nodiscard]] Result<std::size_t> DelegateActive(Bytes free_bytes, bool materialize = true);
   // Called after wake: reclaims `bytes` worth of buffers from the pool and
   // releases their MRs.
-  Result<std::size_t> ReclaimOnWake(Bytes bytes);
+  [[nodiscard]] Result<std::size_t> ReclaimOnWake(Bytes bytes);
 
   // Buffers this host currently has delegated (by id).
   const std::vector<BufferId>& delegated() const { return delegated_; }
@@ -134,14 +134,14 @@ class RemoteMemoryManager {
 
   // ---- Consumption (user side) --------------------------------------------
   // Allocates a RAM-Extension extent of exactly `size` (guaranteed).
-  Result<RemoteExtent*> AllocExtension(Bytes size, LocalStoreParams store = {});
+  [[nodiscard]] Result<RemoteExtent*> AllocExtension(Bytes size, LocalStoreParams store = {});
   // Allocates a best-effort swap extent; may be smaller than `size`.
-  Result<RemoteExtent*> AllocSwap(Bytes size, LocalStoreParams store = {});
+  [[nodiscard]] Result<RemoteExtent*> AllocSwap(Bytes size, LocalStoreParams store = {});
   // Grows an existing swap extent by up to `additional` bytes (best-effort,
   // the hourly GS_alloc_swap refresh).  Returns bytes actually added.
-  Result<Bytes> GrowSwapExtent(RemoteExtent* extent, Bytes additional);
+  [[nodiscard]] Result<Bytes> GrowSwapExtent(RemoteExtent* extent, Bytes additional);
   // Releases an extent's buffers back to the pool.
-  Status ReleaseExtent(RemoteExtent* extent);
+  [[nodiscard]] Status ReleaseExtent(RemoteExtent* extent);
 
   // US_reclaim delivery from the controller.
   void OnReclaimNotice(const std::vector<BufferId>& buffers);
@@ -149,7 +149,7 @@ class RemoteMemoryManager {
   std::size_t extent_count() const { return extents_.size(); }
 
  private:
-  Result<std::size_t> Delegate(Bytes free_bytes, bool materialize, bool zombie);
+  [[nodiscard]] Result<std::size_t> Delegate(Bytes free_bytes, bool materialize, bool zombie);
 
   ServerId server_;
   rdma::Verbs* verbs_;

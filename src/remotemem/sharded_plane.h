@@ -88,20 +88,20 @@ class ShardedControlPlane : public ControlPlane {
 
   // ---- ControlPlane -------------------------------------------------------
   Bytes buff_size() const override { return config_.buff_size; }
-  Result<std::vector<BufferId>> GsGotoZombie(
+  [[nodiscard]] Result<std::vector<BufferId>> GsGotoZombie(
       ServerId host, const std::vector<BufferGrant>& buffers) override;
-  Result<std::vector<BufferId>> DelegateActiveBuffers(
+  [[nodiscard]] Result<std::vector<BufferId>> DelegateActiveBuffers(
       ServerId host, const std::vector<BufferGrant>& buffers) override;
-  Result<std::vector<BufferId>> GsReclaim(ServerId host,
+  [[nodiscard]] Result<std::vector<BufferId>> GsReclaim(ServerId host,
                                           std::size_t nb_buffers) override;
-  Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size) override;
-  Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size) override;
-  Status GsRelease(ServerId user, const std::vector<BufferId>& buffers) override;
+  [[nodiscard]] Result<std::vector<BufferGrant>> GsAllocExt(ServerId user, Bytes mem_size) override;
+  [[nodiscard]] Result<std::vector<BufferGrant>> GsAllocSwap(ServerId user, Bytes mem_size) override;
+  [[nodiscard]] Status GsRelease(ServerId user, const std::vector<BufferId>& buffers) override;
 
   // ---- Rack-level policies (aggregated across shards) ---------------------
-  Result<ServerId> GsGetLruZombie() const;
+  [[nodiscard]] Result<ServerId> GsGetLruZombie() const;
   std::vector<ServerId> SurplusZombies(Bytes keep_free_bytes) const;
-  Status RetireZombie(ServerId host);
+  [[nodiscard]] Status RetireZombie(ServerId host);
   Bytes FreeRemoteBytes() const;
   std::size_t ServerCount() const { return registry_.size(); }
 
@@ -147,7 +147,7 @@ class ShardedControlPlane : public ControlPlane {
   // and in the shard's residue class; free/used accounting consistent; the
   // warm secondary's replica byte-identical to its primary (unless that
   // secondary was consumed by a failover).  Error names the first violation.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
   // Buffers whose host holds no live lease (or that sit in the wrong
   // shard) — must be empty after every recovery.  Ascending ids.
   std::vector<BufferId> OrphanedBuffers(SimTime now) const;

@@ -32,11 +32,11 @@ inline constexpr char kMethodHeartbeat[] = "GS_heartbeat";
 
 // ---- Codec helpers (exposed for tests) ------------------------------------
 void EncodeGrant(rdma::PayloadWriter& writer, const BufferGrant& grant);
-Result<BufferGrant> DecodeGrant(rdma::PayloadReader& reader);
+[[nodiscard]] Result<BufferGrant> DecodeGrant(rdma::PayloadReader& reader);
 // Status wire form: u32 code then message.  Decoding a malformed payload
 // yields kInvalidArgument.
 void EncodeStatus(rdma::PayloadWriter& writer, const Status& status);
-Status DecodeStatus(rdma::PayloadReader& reader);
+[[nodiscard]] Status DecodeStatus(rdma::PayloadReader& reader);
 
 // ---- Server side -----------------------------------------------------------
 // Registers the GS_* methods on `server`, dispatching into `controller`.
@@ -57,15 +57,15 @@ class ControllerClient {
   ControllerClient(rdma::RpcRouter* router, rdma::NodeId self, rdma::NodeId controller_node)
       : router_(router), self_(self), controller_node_(controller_node) {}
 
-  Result<std::vector<BufferId>> GotoZombie(ServerId host,
+  [[nodiscard]] Result<std::vector<BufferId>> GotoZombie(ServerId host,
                                            const std::vector<BufferGrant>& buffers);
-  Result<std::vector<BufferId>> Reclaim(ServerId host, std::uint64_t nb_buffers);
-  Result<std::vector<BufferGrant>> AllocExt(ServerId user, Bytes mem_size);
-  Result<std::vector<BufferGrant>> AllocSwap(ServerId user, Bytes mem_size);
-  Status Release(ServerId user, const std::vector<BufferId>& buffers);
-  Result<ServerId> GetLruZombie();
+  [[nodiscard]] Result<std::vector<BufferId>> Reclaim(ServerId host, std::uint64_t nb_buffers);
+  [[nodiscard]] Result<std::vector<BufferGrant>> AllocExt(ServerId user, Bytes mem_size);
+  [[nodiscard]] Result<std::vector<BufferGrant>> AllocSwap(ServerId user, Bytes mem_size);
+  [[nodiscard]] Status Release(ServerId user, const std::vector<BufferId>& buffers);
+  [[nodiscard]] Result<ServerId> GetLruZombie();
   // Pushes one heartbeat through the fabric; returns the sequence number.
-  Result<std::uint64_t> Heartbeat();
+  [[nodiscard]] Result<std::uint64_t> Heartbeat();
 
   const rdma::RpcCost& last_cost() const { return last_cost_; }
 
@@ -73,7 +73,7 @@ class ControllerClient {
   // Sends request_buf_ and fills response_buf_; both buffers (the client's
   // registered request/poll slots) keep their capacity across calls, so the
   // stub allocates nothing in steady state.
-  Status Call(const std::string& method);
+  [[nodiscard]] Status Call(const std::string& method);
 
   rdma::RpcRouter* router_;
   rdma::NodeId self_;

@@ -188,10 +188,12 @@ Report RunRackConsolidation(const RunContext& ctx) {
     vm.vcpus = cpus;
     return vm;
   };
-  rack.servers()[0]->HostVm(make_vm(1, 6 * kGiB, 6), 6 * kGiB);
-  rack.servers()[1]->HostVm(make_vm(2, 6 * kGiB, 5), 6 * kGiB);
-  rack.servers()[2]->HostVm(make_vm(3, 2 * kGiB, 1), 2 * kGiB);
-  rack.servers()[3]->HostVm(make_vm(4, 2 * kGiB, 1), 2 * kGiB);
+  // Fixed topology: a placement refusal here is a bug in the example, not a
+  // runtime condition — fail loudly instead of reporting a half-built rack.
+  ZOMBIE_CHECK_OK(rack.servers()[0]->HostVm(make_vm(1, 6 * kGiB, 6), 6 * kGiB));
+  ZOMBIE_CHECK_OK(rack.servers()[1]->HostVm(make_vm(2, 6 * kGiB, 5), 6 * kGiB));
+  ZOMBIE_CHECK_OK(rack.servers()[2]->HostVm(make_vm(3, 2 * kGiB, 1), 2 * kGiB));
+  ZOMBIE_CHECK_OK(rack.servers()[3]->HostVm(make_vm(4, 2 * kGiB, 1), 2 * kGiB));
 
   ReportRack(r, "before", rack, "Before consolidation:");
 
@@ -216,8 +218,12 @@ Report RunRackConsolidation(const RunContext& ctx) {
                      to->hostname().c_str(),
                      0.30 * static_cast<double>(vm.working_set) / kGiB,
                      static_cast<double>(vm.reserved_memory) / kGiB));
-    from->DropVm(move.vm);
-    to->HostVm(vm, static_cast<Bytes>(0.30 * static_cast<double>(vm.working_set)));
+    // The planner only emits moves it already validated against capacity; a
+    // failure here means the plan and the rack disagree — abort, don't
+    // render a report that silently lost a VM.
+    ZOMBIE_CHECK_OK(from->DropVm(move.vm));
+    ZOMBIE_CHECK_OK(
+        to->HostVm(vm, static_cast<Bytes>(0.30 * static_cast<double>(vm.working_set))));
   }
   for (auto id : plan.hosts_to_suspend) {
     auto status = rack.PushToZombie(id);

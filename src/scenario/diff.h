@@ -49,7 +49,7 @@ struct Tolerance {
 
 // Parses one tolerance spec: "5%" | "0.01" | "ignore".  Numbers must be
 // finite and >= 0.  kInvalidArgument (naming the bad spec) otherwise.
-Result<Tolerance> ParseTolerance(std::string_view text);
+[[nodiscard]] Result<Tolerance> ParseTolerance(std::string_view text);
 
 struct DiffOptions {
   // Applied to metrics without an explicit entry.  Exact match by default:
@@ -71,7 +71,7 @@ struct DiffOptions {
 // "schema" (if present) must match, "default" and every "metrics" value are
 // ParseTolerance specs, and unknown top-level keys are rejected so typos
 // cannot silently weaken the gate.  `label` names the file in errors.
-Result<DiffOptions> ParseToleranceFile(std::string_view json,
+[[nodiscard]] Result<DiffOptions> ParseToleranceFile(std::string_view json,
                                        std::string_view label);
 
 // A diff's rendered report plus its gate verdict.
@@ -89,7 +89,7 @@ struct DiffResult {
 // `gate_violations`).  Wall-clock fields ("timings", "wall_seconds") are
 // ignored — they are noise between runs.  kInvalidArgument when either
 // document does not parse or has no recognizable report schema.
-Result<DiffResult> DiffReportDocs(std::string_view old_json,
+[[nodiscard]] Result<DiffResult> DiffReportDocs(std::string_view old_json,
                                   std::string_view new_json,
                                   const DiffOptions& options = {});
 

@@ -1,3 +1,6 @@
+// ZLINT-ALLOW-FILE(printf-family): this file is the zombieland CLI front end;
+// usage errors and per-run diagnostics go straight to stderr by design (the
+// 0/1/2/3 exit-code contract is exercised by tests that match this output).
 #include "src/scenario/driver.h"
 
 #include <cerrno>
@@ -399,8 +402,12 @@ int CmdRun(ParsedArgs& parsed) {
       scenario_options.point_cache = cache.get();
     }
     queue.RunBatch(scenarios.size(), [&](std::size_t i) {
+      // Feeds only the --timings wall-clock table, which is excluded from
+      // the byte-identical and diff gates.
+      // ZLINT-ALLOW(wall-clock): timing report only, never in gated output.
       const auto start = std::chrono::steady_clock::now();
       results[i] = scenarios[i]->Run(options[i]);
+      // ZLINT-ALLOW(wall-clock): see `start` above — timing report only.
       seconds[i] = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                  start)
                        .count();

@@ -1,9 +1,9 @@
 #include "src/scenario/registry.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <numeric>
+
+#include "src/common/logging.h"
 
 namespace zombie::scenario {
 
@@ -29,6 +29,9 @@ std::size_t EditDistance(std::string_view a, std::string_view b) {
 }  // namespace
 
 ScenarioRegistry& ScenarioRegistry::Instance() {
+  // The registry is populated by static initializers and must outlive every
+  // destructor, so it is deliberately leaked.
+  // ZLINT-ALLOW(naked-new): intentionally-leaked singleton.
   static ScenarioRegistry* registry = new ScenarioRegistry();
   return *registry;
 }
@@ -88,15 +91,12 @@ namespace internal {
 
 ScenarioRegistrar::ScenarioRegistrar(Result<Scenario> scenario) {
   if (!scenario.ok()) {
-    std::fprintf(stderr, "zombieland: scenario registration failed: %s\n",
-                 scenario.status().ToString().c_str());
-    std::abort();
+    FatalMessage("scenario",
+                 "scenario registration failed: " + scenario.status().ToString());
   }
   if (Status status = ScenarioRegistry::Instance().Register(std::move(scenario).take());
       !status.ok()) {
-    std::fprintf(stderr, "zombieland: scenario registration failed: %s\n",
-                 status.ToString().c_str());
-    std::abort();
+    FatalMessage("scenario", "scenario registration failed: " + status.ToString());
   }
 }
 

@@ -25,10 +25,10 @@ class ScenarioRegistry {
   static ScenarioRegistry& Instance();
 
   // Fails with kConflict on duplicate names.
-  Status Register(Scenario scenario);
+  [[nodiscard]] Status Register(Scenario scenario);
 
   // kNotFound (with a hint listing close names) when missing.
-  Result<const Scenario*> Find(std::string_view name) const;
+  [[nodiscard]] Result<const Scenario*> Find(std::string_view name) const;
 
   // All scenarios, name-sorted.
   std::vector<const Scenario*> List() const;

@@ -5,10 +5,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <thread>
 
+#include "src/common/logging.h"
 #include "src/common/report.h"
 #include "src/common/work_queue.h"
 #include "src/scenario/point_cache.h"
@@ -55,18 +54,14 @@ MachineKind MachineKindFromKey(std::string_view key) {
   if (key == "dell") {
     return MachineKind::kDellPrecisionT5810;
   }
-  std::fprintf(stderr, "zombieland: unknown machine key '%s'\n",
-               std::string(key).c_str());
-  std::abort();
+  FatalMessage("scenario", "unknown machine key '" + std::string(key) + "'");
 }
 
 hv::PolicyKind PolicyKindFromName(std::string_view name) {
   if (auto kind = hv::ParsePolicyKind(name)) {
     return *kind;
   }
-  std::fprintf(stderr, "zombieland: unknown replacement policy '%s'\n",
-               std::string(name).c_str());
-  std::abort();
+  FatalMessage("scenario", "unknown replacement policy '" + std::string(name) + "'");
 }
 
 workloads::App AppFromName(std::string_view name) {
@@ -75,8 +70,7 @@ workloads::App AppFromName(std::string_view name) {
       return app;
     }
   }
-  std::fprintf(stderr, "zombieland: unknown app '%s'\n", std::string(name).c_str());
-  std::abort();
+  FatalMessage("scenario", "unknown app '" + std::string(name) + "'");
 }
 
 std::string_view ParamTypeName(ParamType type) {
@@ -603,9 +597,7 @@ std::size_t SweepPoint::Find(std::string_view param) const {
       }
     }
   }
-  std::fprintf(stderr, "zombieland: sweep point has no axis '%s'\n",
-               std::string(param).c_str());
-  std::abort();
+  FatalMessage("scenario", "sweep point has no axis '" + std::string(param) + "'");
 }
 
 std::size_t SweepPoint::AxisIndex(std::string_view param) const {
@@ -633,9 +625,8 @@ std::vector<std::string> RunContext::Axis(std::string_view param) const {
       return EffectiveAxes(spec_.sweep, options_)[a];
     }
   }
-  std::fprintf(stderr, "zombieland: scenario '%s' has no sweep axis '%s'\n",
-               spec_.name.c_str(), std::string(param).c_str());
-  std::abort();
+  FatalMessage("scenario", "scenario '" + spec_.name + "' has no sweep axis '" +
+                               std::string(param) + "'");
 }
 
 std::vector<double> RunContext::AxisDoubles(std::string_view param) const {
@@ -679,11 +670,9 @@ std::vector<SweepPoint> RunContext::SweepPoints() const {
     std::size_t length = axes[0].size();
     for (const auto& axis : axes) {
       if (axis.size() != length) {
-        std::fprintf(stderr,
-                     "zombieland: scenario '%s': zipped axes have unequal "
-                     "lengths after --set overrides\n",
-                     spec_.name.c_str());
-        std::abort();
+        FatalMessage("scenario", "scenario '" + spec_.name +
+                                     "': zipped axes have unequal lengths "
+                                     "after --set overrides");
       }
     }
     std::vector<std::size_t> indices(axes.size(), 0);
@@ -767,6 +756,9 @@ void RunContext::ForEachSweepPoint(report::Report& report, const PointFn& fn) co
   };
 
   auto run_point = [&](std::size_t i) {
+    // wall_seconds is the explicitly non-deterministic per-point timing
+    // field; --timings output is excluded from the byte-identical/diff gates.
+    // ZLINT-ALLOW(wall-clock): timing field only, never a simulated metric.
     const auto start = std::chrono::steady_clock::now();
     if (cache != nullptr) {
       const std::string key = cache_key(points[i]);
@@ -787,6 +779,7 @@ void RunContext::ForEachSweepPoint(report::Report& report, const PointFn& fn) co
       fn(points[i], records[i]);
     }
     records[i].wall_seconds =
+        // ZLINT-ALLOW(wall-clock): see `start` above — timing field only.
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
   };

@@ -189,7 +189,7 @@ class Scenario {
 
   // Runs the scenario: composes the testbed/workload/dc-sim layers through
   // the RunContext and returns the structured report.
-  Result<report::Report> Run(const RunOptions& options = {}) const;
+  [[nodiscard]] Result<report::Report> Run(const RunOptions& options = {}) const;
 
  private:
   friend class ScenarioBuilder;
@@ -262,7 +262,7 @@ class ScenarioBuilder {
     return *this;
   }
 
-  Result<Scenario> Build() const;
+  [[nodiscard]] Result<Scenario> Build() const;
 
  private:
   ScenarioSpec spec_;
@@ -270,10 +270,10 @@ class ScenarioBuilder {
 };
 
 // Spec validation, exposed for tests: OK or the first problem found.
-Status ValidateSpec(const ScenarioSpec& spec);
+[[nodiscard]] Status ValidateSpec(const ScenarioSpec& spec);
 
 // Checks one rendered parameter value against a declared parameter's type.
-Status CheckParamValue(const ParamSpec& param, std::string_view value);
+[[nodiscard]] Status CheckParamValue(const ParamSpec& param, std::string_view value);
 
 // Validates CLI `--set` overrides and `--filter` subsets against a spec:
 // every `--set` key must name a declared parameter, values must parse as the
@@ -282,7 +282,7 @@ Status CheckParamValue(const ParamSpec& param, std::string_view value);
 // axis-vs-scalar diagnostic.  Every `--filter` key must name a sweep axis
 // and every filter value must be on the effective axis (strict subset; on a
 // zipped sweep filters select lockstep rows and must match at least one).
-Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options);
+[[nodiscard]] Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options);
 
 // Per-scenario RunOptions for a (possibly multi-scenario) run, validated.
 // Single-scenario runs validate strictly.  Multi-scenario runs (`run --all`)
@@ -295,7 +295,7 @@ Status ValidateRunParams(const ScenarioSpec& spec, const RunOptions& options);
 // has (a scenario matching none runs its full sweep).  A `--set` key no
 // scenario declares, a filter axis no scenario sweeps, or filter values on
 // no target axis at all are errors.
-Result<std::vector<RunOptions>> PerScenarioRunOptions(
+[[nodiscard]] Result<std::vector<RunOptions>> PerScenarioRunOptions(
     const std::vector<const Scenario*>& scenarios, const RunOptions& options);
 
 }  // namespace zombie::scenario

@@ -81,7 +81,7 @@ class ServeDaemon {
   // the optional fault plan onto the same simulated clock.  Returns an error
   // if the rack could not be assembled; request-level failures are metrics,
   // not errors.
-  Status Run(const std::vector<Request>& timeline,
+  [[nodiscard]] Status Run(const std::vector<Request>& timeline,
              const cloud::FaultPlan* faults = nullptr);
 
   ServeMetrics& metrics() { return metrics_; }
@@ -89,7 +89,7 @@ class ServeDaemon {
   const cloud::AdmissionController& admission() const { return admission_; }
 
   // End-of-run health: ownership invariants hold and no buffer is orphaned.
-  Status CheckHealth() const;
+  [[nodiscard]] Status CheckHealth() const;
 
   std::size_t live_vms() const { return placements_.size(); }
   std::size_t queued() const { return pending_.size(); }

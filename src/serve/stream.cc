@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
+#include <string>
 
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 
 namespace zombie::serve {
@@ -62,9 +62,7 @@ ArrivalProcess ArrivalProcessFromKey(std::string_view key) {
   if (key == "flash") {
     return ArrivalProcess::kFlashCrowd;
   }
-  std::fprintf(stderr, "unknown arrival process '%.*s'\n", static_cast<int>(key.size()),
-               key.data());
-  std::abort();
+  FatalMessage("serve", "unknown arrival process '" + std::string(key) + "'");
 }
 
 double RequestStream::RateAt(SimTime t) const {

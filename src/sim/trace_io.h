@@ -21,13 +21,13 @@ inline constexpr char kTraceCsvHeader[] =
 
 // Writes the trace (header + one line per task).
 void WriteTraceCsv(const Trace& trace, std::ostream& out);
-Status WriteTraceCsvFile(const Trace& trace, const std::string& path);
+[[nodiscard]] Status WriteTraceCsvFile(const Trace& trace, const std::string& path);
 
 // Parses a CSV stream.  `servers`/`horizon` configure the replay; horizon 0
 // derives it from the last task end.  Malformed lines abort with their line
 // number in the error message.
-Result<Trace> ReadTraceCsv(std::istream& in, std::size_t servers, Duration horizon = 0);
-Result<Trace> ReadTraceCsvFile(const std::string& path, std::size_t servers,
+[[nodiscard]] Result<Trace> ReadTraceCsv(std::istream& in, std::size_t servers, Duration horizon = 0);
+[[nodiscard]] Result<Trace> ReadTraceCsvFile(const std::string& path, std::size_t servers,
                                Duration horizon = 0);
 
 }  // namespace zombie::sim

@@ -75,6 +75,24 @@ TEST(Result, EveryErrorCodeHasAName) {
   }
 }
 
+// ZOMBIE_CHECK_OK is the sanctioned way to consume a Status/Result that is
+// guaranteed-ok by construction (Status and Result<T> are [[nodiscard]] and
+// the build runs -Werror=unused-result, so silently dropping one no longer
+// compiles).  Passing statuses must be a no-op; a failing status must abort
+// loudly, naming the expression and the status.
+TEST(Result, CheckOkPassesThroughOkValues) {
+  ZOMBIE_CHECK_OK(Status::Ok());
+  ZOMBIE_CHECK_OK(Result<int>(42));
+  SUCCEED();
+}
+
+TEST(Result, CheckOkAbortsOnError) {
+  EXPECT_DEATH(ZOMBIE_CHECK_OK(Status(ErrorCode::kTimeout, "rpc stalled")),
+               "ZOMBIE_CHECK_OK.*TIMEOUT: rpc stalled");
+  EXPECT_DEATH(ZOMBIE_CHECK_OK(Result<int>(ErrorCode::kNotFound, "gone")),
+               "ZOMBIE_CHECK_OK.*NOT_FOUND: gone");
+}
+
 // ---------------------------------------------------------------------------
 // SimClock / CostAccumulator.
 // ---------------------------------------------------------------------------

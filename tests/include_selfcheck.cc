@@ -34,12 +34,15 @@
 #include "src/common/stats.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
+#include "src/common/work_queue.h"
 #include "src/hv/backend.h"
+#include "src/hv/fault_batch.h"
 #include "src/hv/guest_pager.h"
 #include "src/hv/page_table.h"
 #include "src/hv/pager.h"
 #include "src/hv/params.h"
 #include "src/hv/replacement.h"
+#include "src/hv/sharded_pager.h"
 #include "src/hv/split_driver.h"
 #include "src/hv/vm.h"
 #include "src/migration/migration.h"
@@ -57,11 +60,11 @@
 #include "src/remotemem/wire.h"
 #include "src/scenario/diff.h"
 #include "src/scenario/driver.h"
+#include "src/scenario/point_cache.h"
 #include "src/scenario/registry.h"
 #include "src/scenario/scenario.h"
 #include "src/scenario/spec.h"
 #include "src/scenario/testbed.h"
-#include "src/common/work_queue.h"
 #include "src/serve/daemon.h"
 #include "src/serve/metrics.h"
 #include "src/serve/request.h"
@@ -73,6 +76,7 @@
 #include "src/workloads/access_pattern.h"
 #include "src/workloads/app_models.h"
 #include "src/workloads/runner.h"
+#include "src/workloads/sharded_hotloop.h"
 
 #include <gtest/gtest.h>
 

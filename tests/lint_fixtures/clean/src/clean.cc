@@ -1,0 +1,16 @@
+// Fixture: a source file with no findings.  The string literal below spells
+// tokens the rules match ("rand(", "new int") to pin that literals are
+// scrubbed before any rule runs.
+#include "src/clean.h"
+
+#include <memory>
+
+namespace fixture {
+
+int Add(int a, int b) { return a + b; }
+
+const char* ScrubberBait() { return "rand( new int steady_clock"; }
+
+std::unique_ptr<int> MakeOwned() { return std::make_unique<int>(3); }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a header with no findings — the fallible API carries
+// [[nodiscard]] and appears in tests/include_selfcheck.cc.
+#ifndef LINT_FIXTURE_CLEAN_H_
+#define LINT_FIXTURE_CLEAN_H_
+
+namespace fixture {
+
+class Status {};
+
+[[nodiscard]] Status Connect(int fd);
+
+int Add(int a, int b);
+
+}  // namespace fixture
+
+#endif  // LINT_FIXTURE_CLEAN_H_

@@ -1,0 +1,2 @@
+// Fixture selfcheck TU for the clean tree: every src/ header is listed.
+#include "src/clean.h"

@@ -1,0 +1,18 @@
+// Fixture: every violation shape silenced by a well-formed suppression —
+// the file-wide form, the marker-on-own-line form (covers the next line),
+// and the same-line form.  zombie-lint over this tree must exit 0.
+// ZLINT-ALLOW-FILE(printf-family): fixture pinning the file-wide form.
+#include <chrono>
+#include <cstdio>
+
+int* MakeSingleton() {
+  // ZLINT-ALLOW(naked-new): fixture pinning the marker-line form.
+  static int* leaked = new int(1);
+  return leaked;
+}
+
+long Stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // ZLINT-ALLOW(wall-clock): fixture pinning the same-line form.
+}
+
+void Warn() { std::fprintf(stderr, "fixture\n"); }

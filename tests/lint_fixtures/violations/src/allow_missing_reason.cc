@@ -1,0 +1,3 @@
+// Fixture: allow-missing-reason — a suppression with no written reason.
+// ZLINT-ALLOW(naked-new)
+int* Make() { return new int(1); }

@@ -1,0 +1,3 @@
+// Fixture: allow-unknown-rule — a suppression naming an unregistered rule.
+// ZLINT-ALLOW(not-a-rule): believed harmless
+int Answer() { return 42; }

@@ -1,0 +1,13 @@
+// Fixture: nodiscard-fallible — a Status-returning API without [[nodiscard]].
+#ifndef LINT_FIXTURE_FALLIBLE_H_
+#define LINT_FIXTURE_FALLIBLE_H_
+
+namespace fixture {
+
+class Status {};
+
+Status Connect(int fd);
+
+}  // namespace fixture
+
+#endif  // LINT_FIXTURE_FALLIBLE_H_

@@ -1,0 +1,4 @@
+// Fixture: libc-rand — globally-seeded libc randomness.
+#include <cstdlib>
+
+int Draw() { return rand(); }

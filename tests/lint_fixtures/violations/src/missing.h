@@ -1,0 +1,12 @@
+// Fixture: include-selfcheck — this header is deliberately absent from
+// tests/include_selfcheck.cc in this mini-tree.
+#ifndef LINT_FIXTURE_MISSING_H_
+#define LINT_FIXTURE_MISSING_H_
+
+namespace fixture {
+
+inline int Seven() { return 7; }
+
+}  // namespace fixture
+
+#endif  // LINT_FIXTURE_MISSING_H_

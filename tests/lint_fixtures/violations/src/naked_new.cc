@@ -1,0 +1,2 @@
+// Fixture: naked-new — a raw new expression in library code.
+int* Make() { return new int(7); }

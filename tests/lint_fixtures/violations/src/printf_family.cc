@@ -1,0 +1,4 @@
+// Fixture: printf-family — stderr emission bypassing common/logging.h.
+#include <cstdio>
+
+void Warn() { std::fprintf(stderr, "fixture warning\n"); }

@@ -1,0 +1,3 @@
+// Fixture: scenario-registration — a catalog entry outside
+// src/scenario/catalog_*.cc.
+ZOMBIE_REGISTER_SCENARIO(fixture_scenario, MakeFixtureScenario());

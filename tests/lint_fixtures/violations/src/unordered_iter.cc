@@ -1,0 +1,11 @@
+// Fixture: unordered-iter — range-for over an unordered container.
+#include <unordered_map>
+
+int Sum() {
+  std::unordered_map<int, int> table;
+  int total = 0;
+  for (const auto& [key, value] : table) {
+    total += value;
+  }
+  return total;
+}

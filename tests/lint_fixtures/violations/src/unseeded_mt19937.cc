@@ -1,0 +1,7 @@
+// Fixture: unseeded-mt19937 — a default-constructed engine.
+#include <random>
+
+unsigned Draw() {
+  std::mt19937 gen;
+  return gen();
+}

@@ -1,0 +1,6 @@
+// Fixture: wall-clock — a real clock source in library code.
+#include <chrono>
+
+long Stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,3 @@
+// Fixture selfcheck TU: lists src/fallible.h but not src/missing.h, so the
+// include-selfcheck rule must flag exactly the missing one.
+#include "src/fallible.h"

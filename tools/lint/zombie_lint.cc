@@ -1,0 +1,126 @@
+// zombie-lint CLI.  See tools/lint/lint.h for the rule catalog and the
+// suppression grammar, and BUILDING.md ("Static analysis") for how this is
+// wired into check.sh and CI.
+//
+//   zombie-lint [--root=DIR] [paths...] [--severity RULE=LEVEL] [--werror]
+//   zombie-lint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: zombie-lint [options] [paths...]\n"
+    "\n"
+    "Lints the zombieland tree for project invariants (seeded determinism,\n"
+    "non-discardable fallibles, header/registry conventions).  With no paths,\n"
+    "scans src/ tools/ bench/ tests/ under --root.\n"
+    "\n"
+    "options:\n"
+    "  --root=DIR             repo root to scan and report relative to (default .)\n"
+    "  --severity=RULE=LEVEL  override a rule's severity (off|warning|error)\n"
+    "  --werror               treat warning findings as errors (exit 1)\n"
+    "  --list-rules           print the rule catalog and exit\n"
+    "  --help                 this text\n"
+    "\n"
+    "exit codes: 0 clean, 1 findings, 2 usage or IO error\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zombie::lint::Options options;
+  bool werror = false;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      options.root = std::string(arg.substr(7));
+      if (options.root.empty()) {
+        std::fprintf(stderr, "zombie-lint: --root= needs a directory\n");
+        return 2;
+      }
+    } else if (arg.rfind("--severity=", 0) == 0) {
+      const std::string_view spec = arg.substr(11);
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string_view::npos) {
+        std::fprintf(stderr,
+                     "zombie-lint: --severity wants RULE=off|warning|error, got '%s'\n",
+                     std::string(spec).c_str());
+        return 2;
+      }
+      const std::string rule(spec.substr(0, eq));
+      zombie::lint::Severity severity;
+      if (zombie::lint::FindRule(rule) == nullptr) {
+        std::fprintf(stderr, "zombie-lint: unknown rule '%s' (see --list-rules)\n",
+                     rule.c_str());
+        return 2;
+      }
+      if (!zombie::lint::ParseSeverity(spec.substr(eq + 1), &severity)) {
+        std::fprintf(stderr, "zombie-lint: bad severity '%s' (want off|warning|error)\n",
+                     std::string(spec.substr(eq + 1)).c_str());
+        return 2;
+      }
+      options.severity_overrides[rule] = severity;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "zombie-lint: unknown option '%s'\n%s",
+                   std::string(arg).c_str(), kUsage);
+      return 2;
+    } else {
+      options.paths.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : zombie::lint::Rules()) {
+      std::printf("%-22s %-8s %s\n", std::string(rule.name).c_str(),
+                  std::string(zombie::lint::SeverityName(rule.severity)).c_str(),
+                  std::string(rule.rationale).c_str());
+    }
+    return 0;
+  }
+
+  const zombie::lint::LintResult result = zombie::lint::RunLint(options);
+  for (const std::string& err : result.io_errors) {
+    std::fprintf(stderr, "zombie-lint: %s\n", err.c_str());
+  }
+  if (!result.io_errors.empty()) {
+    return 2;
+  }
+  if (result.files_scanned == 0) {
+    std::fprintf(stderr, "zombie-lint: no source files found under '%s'\n",
+                 options.root.c_str());
+    return 2;
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const auto& finding : result.findings) {
+    std::printf("%s\n", zombie::lint::FormatFinding(finding).c_str());
+    if (finding.severity == zombie::lint::Severity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+  }
+  std::fprintf(stderr, "zombie-lint: %zu files, %zu errors, %zu warnings\n",
+               result.files_scanned, errors, warnings);
+  if (errors > 0 || (werror && warnings > 0)) {
+    return 1;
+  }
+  return 0;
+}
